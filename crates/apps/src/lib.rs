@@ -1,0 +1,30 @@
+//! # nice-apps
+//!
+//! The three real OpenFlow controller applications the NICE paper evaluates
+//! (Section 8), re-implemented against the `nice-controller` platform, each
+//! with switches that re-introduce or fix the individual bugs the paper
+//! reports:
+//!
+//! * [`pyswitch`] — the MAC-learning switch of Figure 3 (BUG-I, BUG-II,
+//!   BUG-III and the fixed variants).
+//! * [`loadbalancer`] — the wildcard-rule web server load balancer of
+//!   Section 8.2 (BUG-IV … BUG-VII).
+//! * [`energyte`] — the energy-efficient traffic-engineering application of
+//!   Section 8.3 (BUG-VIII … BUG-XI), plus its application-specific
+//!   `UseCorrectRoutingTable` property.
+//! * [`scenarios`] — one ready-to-check [`nice_mc::Scenario`] per bug,
+//!   matching the topologies and workloads of Table 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energyte;
+pub mod loadbalancer;
+pub mod pyswitch;
+pub mod scenarios;
+pub mod util;
+
+pub use energyte::{EnergyTeApp, EnergyTeConfig, UseCorrectRoutingTable};
+pub use loadbalancer::{LoadBalancerApp, LoadBalancerConfig};
+pub use pyswitch::{PySwitchApp, PySwitchVariant};
+pub use scenarios::{bug_scenario, BugId};

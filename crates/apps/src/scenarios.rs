@@ -1,0 +1,429 @@
+//! Ready-to-check scenarios for the eleven bugs of Section 8 (Table 2).
+//!
+//! Each scenario pairs the application variant containing the bug with the
+//! topology, host models, send policy and the correctness property that the
+//! paper reports as detecting it. The benchmark harness iterates over
+//! [`BugId::ALL`] × the four search strategies to regenerate Table 2.
+
+use crate::energyte::{EnergyTeApp, EnergyTeConfig, UseCorrectRoutingTable};
+use crate::loadbalancer::{LoadBalancerApp, LoadBalancerConfig};
+use crate::pyswitch::{PySwitchApp, PySwitchVariant};
+use nice_hosts::{ClientHost, HostModel, MobileHost, SendBudget, ServerHost};
+use nice_mc::properties::{FlowAffinity, NoBlackHoles, NoForgottenPackets, NoForwardingLoops, Property, StrictDirectPaths};
+use nice_mc::{Scenario, SendPolicy};
+use nice_openflow::{EthType, HostId, Location, MacAddr, NwAddr, Packet, PortId, Topology};
+use nice_sym::{PacketDomains, StatsDomains};
+
+/// The bugs reported in Section 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum BugId {
+    BugI,
+    BugII,
+    BugIII,
+    BugIV,
+    BugV,
+    BugVI,
+    BugVII,
+    BugVIII,
+    BugIX,
+    BugX,
+    BugXI,
+}
+
+impl BugId {
+    /// All bugs, in Table 2 order.
+    pub const ALL: [BugId; 11] = [
+        BugId::BugI,
+        BugId::BugII,
+        BugId::BugIII,
+        BugId::BugIV,
+        BugId::BugV,
+        BugId::BugVI,
+        BugId::BugVII,
+        BugId::BugVIII,
+        BugId::BugIX,
+        BugId::BugX,
+        BugId::BugXI,
+    ];
+
+    /// The Roman-numeral label used in the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BugId::BugI => "I",
+            BugId::BugII => "II",
+            BugId::BugIII => "III",
+            BugId::BugIV => "IV",
+            BugId::BugV => "V",
+            BugId::BugVI => "VI",
+            BugId::BugVII => "VII",
+            BugId::BugVIII => "VIII",
+            BugId::BugIX => "IX",
+            BugId::BugX => "X",
+            BugId::BugXI => "XI",
+        }
+    }
+
+    /// The application the bug belongs to.
+    pub fn application(&self) -> &'static str {
+        match self {
+            BugId::BugI | BugId::BugII | BugId::BugIII => "pyswitch",
+            BugId::BugIV | BugId::BugV | BugId::BugVI | BugId::BugVII => "load-balancer",
+            _ => "energy-te",
+        }
+    }
+
+    /// The correctness property whose violation reveals the bug.
+    pub fn property_name(&self) -> &'static str {
+        match self {
+            BugId::BugI => "NoBlackHoles",
+            BugId::BugII => "StrictDirectPaths",
+            BugId::BugIII => "NoForwardingLoops",
+            BugId::BugIV | BugId::BugV | BugId::BugVI => "NoForgottenPackets",
+            BugId::BugVII => "FlowAffinity",
+            BugId::BugVIII | BugId::BugIX | BugId::BugXI => "NoForgottenPackets",
+            BugId::BugX => "UseCorrectRoutingTable",
+        }
+    }
+
+    /// A one-line description (from Section 8).
+    pub fn description(&self) -> &'static str {
+        match self {
+            BugId::BugI => "host unreachable after moving",
+            BugId::BugII => "delayed direct path",
+            BugId::BugIII => "excess flooding",
+            BugId::BugIV => "next TCP packet always dropped after reconfiguration",
+            BugId::BugV => "some TCP packets dropped after reconfiguration",
+            BugId::BugVI => "ARP packets forgotten during address resolution",
+            BugId::BugVII => "duplicate SYN packets during transitions",
+            BugId::BugVIII => "first packet of a new flow is dropped",
+            BugId::BugIX => "first few packets of a new flow can be dropped",
+            BugId::BugX => "only on-demand routes used under high load",
+            BugId::BugXI => "packets can be dropped when the load reduces",
+        }
+    }
+}
+
+/// The virtual IP used by the load-balancer scenarios.
+pub fn load_balancer_vip() -> NwAddr {
+    NwAddr::from_octets(10, 0, 0, 100)
+}
+
+fn l2_domains(topology: &Topology) -> PacketDomains {
+    PacketDomains::from_topology(topology)
+        .with_eth_types(vec![EthType::L2Ping.value() as u64])
+        .with_ports(vec![0])
+        .with_payloads(vec![0])
+}
+
+fn lb_domains(topology: &Topology) -> PacketDomains {
+    let vip = load_balancer_vip();
+    let mut domains = PacketDomains::from_topology(topology)
+        .with_eth_types(vec![EthType::Ipv4.value() as u64, EthType::Arp.value() as u64])
+        .with_ports(vec![1000, 80])
+        .with_payloads(vec![0]);
+    domains.ips.push(vip.value() as u64);
+    domains
+}
+
+fn pyswitch_scenario(
+    name: &str,
+    variant: PySwitchVariant,
+    topology: Topology,
+    mobile_b: bool,
+    sends: u32,
+    property: Box<dyn Property>,
+) -> Scenario {
+    let host_a = *topology.host(HostId(1)).unwrap();
+    let host_b = *topology.host(HostId(2)).unwrap();
+    let domains = l2_domains(&topology);
+
+    let b: Box<dyn HostModel> = if mobile_b {
+        // The mobile host can move to the spare port of its own switch.
+        let targets = vec![Location { switch: host_b.location.switch, port: PortId(3) }];
+        Box::new(MobileHost::new(host_b, SendBudget::SILENT, targets).with_echo())
+    } else {
+        Box::new(ClientHost::new(host_b, SendBudget::SILENT).with_echo())
+    };
+    let hosts: Vec<Box<dyn HostModel>> = vec![
+        Box::new(ClientHost::new(host_a, SendBudget::sends_with_burst(sends, 1))),
+        b,
+    ];
+
+    Scenario::new(name, topology, Box::new(PySwitchApp::new(variant)), hosts, SendPolicy::Discover)
+        .with_packet_domains(domains)
+        .with_property(property)
+}
+
+fn load_balancer_scenario(
+    name: &str,
+    config: LoadBalancerConfig,
+    sends: u32,
+    property: Box<dyn Property>,
+) -> Scenario {
+    let topology = Topology::single_switch(3);
+    let client = *topology.host(HostId(1)).unwrap();
+    let replica1 = *topology.host(HostId(2)).unwrap();
+    let replica2 = *topology.host(HostId(3)).unwrap();
+    let vip = load_balancer_vip();
+    let domains = lb_domains(&topology);
+
+    let hosts: Vec<Box<dyn HostModel>> = vec![
+        Box::new(ClientHost::new(client, SendBudget::sends_with_burst(sends, 2))),
+        Box::new(ServerHost::new(replica1).with_virtual_ip(vip)),
+        Box::new(ServerHost::new(replica2).with_virtual_ip(vip)),
+    ];
+
+    Scenario::new(name, topology, Box::new(LoadBalancerApp::new(config)), hosts, SendPolicy::Discover)
+        .with_packet_domains(domains)
+        .with_property(property)
+}
+
+fn energy_te_scenario(
+    name: &str,
+    config: EnergyTeConfig,
+    flows: &[(u32, u32)],
+    property: Box<dyn Property>,
+) -> Scenario {
+    let topology = Topology::triangle();
+    let sender = *topology.host(HostId(1)).unwrap();
+    let recv1 = *topology.host(HostId(2)).unwrap();
+    let recv2 = *topology.host(HostId(3)).unwrap();
+
+    let script: Vec<Packet> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, (src, dst))| {
+            Packet::l2_ping(i as u64 + 1, MacAddr::for_host(*src), MacAddr::for_host(*dst), i as u32)
+        })
+        .collect();
+    let sends = script.len() as u32;
+
+    let hosts: Vec<Box<dyn HostModel>> = vec![
+        Box::new(ClientHost::new(sender, SendBudget::sends(sends))),
+        Box::new(ClientHost::new(recv1, SendBudget::SILENT)),
+        Box::new(ClientHost::new(recv2, SendBudget::SILENT)),
+    ];
+
+    let threshold = config.utilization_threshold;
+    Scenario::new(
+        name,
+        topology,
+        Box::new(EnergyTeApp::new(config)),
+        hosts,
+        SendPolicy::scripted([(HostId(1), script)]),
+    )
+    .with_stats_domains(StatsDomains::around_threshold(threshold))
+    .with_property(property)
+}
+
+/// Builds the scenario that exhibits `bug` (Table 2 row).
+pub fn bug_scenario(bug: BugId) -> Scenario {
+    match bug {
+        BugId::BugI => pyswitch_scenario(
+            "bug-i-host-unreachable-after-moving",
+            PySwitchVariant::Original,
+            Topology::linear_two_switches(),
+            true,
+            3,
+            Box::new(NoBlackHoles::new()),
+        ),
+        BugId::BugII => pyswitch_scenario(
+            "bug-ii-delayed-direct-path",
+            PySwitchVariant::Original,
+            Topology::linear_two_switches(),
+            false,
+            2,
+            Box::new(StrictDirectPaths::new()),
+        ),
+        BugId::BugIII => pyswitch_scenario(
+            "bug-iii-excess-flooding",
+            PySwitchVariant::Original,
+            Topology::triangle(),
+            false,
+            1,
+            Box::new(NoForwardingLoops::new()),
+        ),
+        BugId::BugIV => {
+            let mut config = LoadBalancerConfig::correct(load_balancer_vip());
+            config.bug_forget_packet_out = true;
+            load_balancer_scenario(
+                "bug-iv-next-packet-dropped",
+                config,
+                1,
+                Box::new(NoForgottenPackets::new()),
+            )
+        }
+        BugId::BugV => {
+            let mut config =
+                LoadBalancerConfig::correct(load_balancer_vip()).with_reconfiguration_after(1);
+            config.bug_ignore_unexpected_reason = true;
+            load_balancer_scenario(
+                "bug-v-packets-dropped-in-transition",
+                config,
+                2,
+                Box::new(NoForgottenPackets::new()),
+            )
+        }
+        BugId::BugVI => {
+            let mut config = LoadBalancerConfig::correct(load_balancer_vip());
+            config.bug_forget_arp_buffer = true;
+            load_balancer_scenario(
+                "bug-vi-arp-packets-forgotten",
+                config,
+                1,
+                Box::new(NoForgottenPackets::new()),
+            )
+        }
+        BugId::BugVII => {
+            let config =
+                LoadBalancerConfig::correct(load_balancer_vip()).with_reconfiguration_after(1);
+            load_balancer_scenario(
+                "bug-vii-duplicate-syn",
+                config,
+                3,
+                Box::new(FlowAffinity::new([HostId(2), HostId(3)])),
+            )
+        }
+        BugId::BugVIII => {
+            let mut config = EnergyTeConfig::triangle_default();
+            config.bug_forget_packet_out = true;
+            energy_te_scenario(
+                "bug-viii-first-packet-dropped",
+                config,
+                &[(1, 2)],
+                Box::new(NoForgottenPackets::new()),
+            )
+        }
+        BugId::BugIX => {
+            let mut config = EnergyTeConfig::triangle_default();
+            config.bug_ignore_intermediate = true;
+            energy_te_scenario(
+                "bug-ix-intermediate-switch-packets-dropped",
+                config,
+                &[(1, 2)],
+                Box::new(NoForgottenPackets::new()),
+            )
+        }
+        BugId::BugX => {
+            let mut config = EnergyTeConfig::triangle_default();
+            config.bug_single_table_pointer = true;
+            energy_te_scenario(
+                "bug-x-only-on-demand-routes",
+                config,
+                &[(1, 2), (1, 3)],
+                Box::new(UseCorrectRoutingTable::new()),
+            )
+        }
+        BugId::BugXI => {
+            let mut config = EnergyTeConfig::triangle_default();
+            config.bug_ignore_after_scale_down = true;
+            config.stats_polls = 2;
+            energy_te_scenario(
+                "bug-xi-packets-dropped-on-scale-down",
+                config,
+                &[(1, 2), (1, 3)],
+                Box::new(NoForgottenPackets::new()),
+            )
+        }
+    }
+}
+
+/// Builds the *fixed* counterpart of a bug scenario, where one exists: same
+/// topology and workload, but with the fix applied. Used to demonstrate that
+/// the fixes eliminate the violations.
+pub fn fixed_scenario(bug: BugId) -> Option<Scenario> {
+    match bug {
+        BugId::BugII => Some(pyswitch_scenario(
+            "bug-ii-fixed",
+            PySwitchVariant::FixedTwoWayInstall,
+            Topology::linear_two_switches(),
+            false,
+            2,
+            Box::new(StrictDirectPaths::new()),
+        )),
+        BugId::BugIV => Some(load_balancer_scenario(
+            "bug-iv-fixed",
+            LoadBalancerConfig::correct(load_balancer_vip()),
+            1,
+            Box::new(NoForgottenPackets::new()),
+        )),
+        BugId::BugVI => Some(load_balancer_scenario(
+            "bug-vi-fixed",
+            LoadBalancerConfig::correct(load_balancer_vip()),
+            1,
+            Box::new(NoForgottenPackets::new()),
+        )),
+        BugId::BugVIII => Some(energy_te_scenario(
+            "bug-viii-fixed",
+            EnergyTeConfig::triangle_default(),
+            &[(1, 2)],
+            Box::new(NoForgottenPackets::new()),
+        )),
+        BugId::BugX => Some(energy_te_scenario(
+            "bug-x-fixed",
+            EnergyTeConfig::triangle_default(),
+            &[(1, 2), (1, 3)],
+            Box::new(UseCorrectRoutingTable::new()),
+        )),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nice_mc::{CheckerConfig, ModelChecker};
+
+    #[test]
+    fn every_bug_has_a_scenario_with_one_property() {
+        for bug in BugId::ALL {
+            let scenario = bug_scenario(bug);
+            assert_eq!(scenario.properties.len(), 1, "{bug:?}");
+            assert!(!scenario.name.is_empty());
+            assert!(!bug.label().is_empty());
+            assert!(!bug.description().is_empty());
+            assert!(!bug.application().is_empty());
+            assert!(!bug.property_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn bug_iv_is_detected_quickly() {
+        let report = ModelChecker::new(
+            bug_scenario(BugId::BugIV),
+            CheckerConfig::default().with_max_transitions(50_000),
+        )
+        .run();
+        assert!(!report.passed(), "BUG-IV must be detected: {report}");
+        assert_eq!(report.first_violation().unwrap().property, "NoForgottenPackets");
+    }
+
+    #[test]
+    fn bug_viii_is_detected_and_its_fix_passes() {
+        let report = ModelChecker::new(
+            bug_scenario(BugId::BugVIII),
+            CheckerConfig::default().with_max_transitions(50_000),
+        )
+        .run();
+        assert!(!report.passed(), "BUG-VIII must be detected: {report}");
+
+        let fixed = ModelChecker::new(
+            fixed_scenario(BugId::BugVIII).unwrap(),
+            CheckerConfig::default().with_max_transitions(50_000),
+        )
+        .run();
+        assert!(fixed.passed(), "the fixed TE app must not violate NoForgottenPackets: {fixed}");
+    }
+
+    #[test]
+    fn bug_iii_forwarding_loop_is_detected() {
+        let report = ModelChecker::new(
+            bug_scenario(BugId::BugIII),
+            CheckerConfig::default().with_max_transitions(100_000),
+        )
+        .run();
+        assert!(!report.passed(), "BUG-III must be detected: {report}");
+        assert_eq!(report.first_violation().unwrap().property, "NoForwardingLoops");
+    }
+}

@@ -1,0 +1,133 @@
+//! Small helpers shared by the applications: building concrete match
+//! patterns from (possibly symbolic) packets.
+
+use nice_openflow::{EthType, MacAddr, MatchPattern, NwAddr, PortId};
+use nice_openflow::matchfields::PrefixMatch;
+use nice_openflow::IpProto;
+use nice_sym::{Env, SymPacket};
+
+/// Builds the layer-2 match of Figure 3 line 11 (`DL_SRC`, `DL_DST`,
+/// `DL_TYPE`, `IN_PORT`) from a possibly-symbolic packet, concretising the
+/// fields through the execution environment.
+pub fn l2_match(env: &mut dyn Env, packet: &SymPacket, in_port: PortId) -> MatchPattern {
+    MatchPattern {
+        in_port: Some(in_port),
+        dl_src: Some(MacAddr(env.concretize(&packet.src_mac))),
+        dl_dst: Some(MacAddr(env.concretize(&packet.dst_mac))),
+        dl_type: Some(EthType::from_value(env.concretize(&packet.eth_type) as u16)),
+        ..MatchPattern::default()
+    }
+}
+
+/// Builds the reverse-direction layer-2 match (for the StrictDirectPaths fix
+/// of BUG-II): source and destination swapped, matching on the port the
+/// reply traffic will arrive on.
+pub fn l2_match_reverse(env: &mut dyn Env, packet: &SymPacket, reverse_in_port: PortId) -> MatchPattern {
+    MatchPattern {
+        in_port: Some(reverse_in_port),
+        dl_src: Some(MacAddr(env.concretize(&packet.dst_mac))),
+        dl_dst: Some(MacAddr(env.concretize(&packet.src_mac))),
+        dl_type: Some(EthType::from_value(env.concretize(&packet.eth_type) as u16)),
+        ..MatchPattern::default()
+    }
+}
+
+/// Builds an exact TCP five-tuple match ("microflow") from a possibly-
+/// symbolic packet — the per-connection rules the load balancer installs.
+pub fn tcp_microflow_match(env: &mut dyn Env, packet: &SymPacket) -> MatchPattern {
+    MatchPattern {
+        dl_type: Some(EthType::Ipv4),
+        nw_proto: Some(IpProto::Tcp),
+        nw_src: Some(PrefixMatch::exact(NwAddr(env.concretize(&packet.src_ip) as u32))),
+        nw_dst: Some(PrefixMatch::exact(NwAddr(env.concretize(&packet.dst_ip) as u32))),
+        tp_src: Some(env.concretize(&packet.src_port) as u16),
+        tp_dst: Some(env.concretize(&packet.dst_port) as u16),
+        ..MatchPattern::default()
+    }
+}
+
+/// Builds a destination-only layer-2 match used by the traffic-engineering
+/// application's path rules.
+pub fn dst_match(env: &mut dyn Env, packet: &SymPacket) -> MatchPattern {
+    MatchPattern {
+        dl_dst: Some(MacAddr(env.concretize(&packet.dst_mac))),
+        ..MatchPattern::default()
+    }
+}
+
+/// A symbolic-friendly connection key for TCP flows: `(src_ip << 16) |
+/// src_port`, computed over [`nice_sym::SymValue`]s so it can key a
+/// [`nice_sym::SymMap`] under symbolic execution.
+pub fn connection_key(packet: &SymPacket) -> nice_sym::SymValue {
+    packet.src_ip.shl(16).bit_or(&packet.src_port)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nice_openflow::{Packet, TcpFlags};
+    use nice_sym::ConcreteEnv;
+
+    fn tcp_packet() -> Packet {
+        Packet::tcp(
+            1,
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            NwAddr::for_host(1),
+            NwAddr::for_host(2),
+            1000,
+            80,
+            TcpFlags::SYN,
+            0,
+        )
+    }
+
+    #[test]
+    fn l2_match_pins_addresses_and_port() {
+        let pkt = tcp_packet();
+        let sym = SymPacket::from_concrete(&pkt);
+        let mut env = ConcreteEnv::new();
+        let m = l2_match(&mut env, &sym, PortId(3));
+        assert!(m.matches(&pkt, PortId(3)));
+        assert!(!m.matches(&pkt, PortId(4)));
+        let reply = pkt.reply_template(2);
+        assert!(!m.matches(&reply, PortId(3)));
+        let rev = l2_match_reverse(&mut env, &sym, PortId(5));
+        assert!(rev.matches(&reply, PortId(5)));
+        assert!(!rev.matches(&pkt, PortId(5)));
+    }
+
+    #[test]
+    fn microflow_match_is_connection_specific() {
+        let pkt = tcp_packet();
+        let sym = SymPacket::from_concrete(&pkt);
+        let mut env = ConcreteEnv::new();
+        let m = tcp_microflow_match(&mut env, &sym);
+        assert!(m.matches(&pkt, PortId(1)));
+        let mut other = pkt;
+        other.src_port = 2000;
+        assert!(!m.matches(&other, PortId(1)));
+    }
+
+    #[test]
+    fn dst_match_ignores_everything_else() {
+        let pkt = tcp_packet();
+        let sym = SymPacket::from_concrete(&pkt);
+        let mut env = ConcreteEnv::new();
+        let m = dst_match(&mut env, &sym);
+        let mut other = pkt;
+        other.src_port = 9999;
+        other.src_mac = MacAddr::for_host(7);
+        assert!(m.matches(&other, PortId(9)));
+    }
+
+    #[test]
+    fn connection_key_distinguishes_ports_and_ips() {
+        let a = SymPacket::from_concrete(&tcp_packet());
+        let mut other = tcp_packet();
+        other.src_port = 1001;
+        let b = SymPacket::from_concrete(&other);
+        let mut env = ConcreteEnv::new();
+        assert_ne!(env.concretize(&connection_key(&a)), env.concretize(&connection_key(&b)));
+    }
+}

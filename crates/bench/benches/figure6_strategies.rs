@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 6: the full search vs the NO-DELAY, FLOW-IR
+//! and UNUSUAL heuristic strategies on the 3-ping workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nice_bench::{exhaustive, ping_workload};
+use nice_mc::{CheckerConfig, StrategyKind};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_strategies");
+    group.sample_size(10);
+    let pings = 3u32;
+    for strategy in StrategyKind::ALL {
+        group.bench_with_input(BenchmarkId::new(strategy.name(), pings), &pings, |b, &n| {
+            b.iter(|| {
+                exhaustive(
+                    ping_workload(n, true),
+                    CheckerConfig::default().with_strategy(strategy),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

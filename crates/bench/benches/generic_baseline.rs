@@ -1,0 +1,22 @@
+//! Criterion bench for the Section 7 comparison: NICE vs a generic model
+//! checker baseline (no canonical flow tables, per-port packet transitions)
+//! on the 2-ping workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nice_bench::{exhaustive, ping_workload};
+use nice_mc::CheckerConfig;
+
+fn bench_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generic_baseline");
+    group.sample_size(10);
+    group.bench_function("nice_2_pings", |b| {
+        b.iter(|| exhaustive(ping_workload(2, true), CheckerConfig::default()))
+    });
+    group.bench_function("generic_2_pings", |b| {
+        b.iter(|| exhaustive(ping_workload(2, false), CheckerConfig::generic_baseline()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_comparison);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the concolic machinery on its own: solving packet
+//! path constraints and exploring the pyswitch `packet_in` handler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nice_apps::pyswitch::{PySwitchApp, PySwitchVariant};
+use nice_controller::{ControllerRuntime, PacketInContext};
+use nice_openflow::{BufferId, PacketInReason, PortId, SwitchId, Topology};
+use nice_sym::{PacketDomains, PathExplorer, Solver, SymPacket};
+
+fn bench_symbolic_discovery(c: &mut Criterion) {
+    let topology = Topology::linear_two_switches();
+    let domains = PacketDomains::from_topology(&topology);
+
+    c.bench_function("discover_pyswitch_packet_classes", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let (sym_packet, vars) = SymPacket::symbolic(&mut solver, &domains);
+            let runtime =
+                ControllerRuntime::new(Box::new(PySwitchApp::new(PySwitchVariant::Original)));
+            let ctx = PacketInContext {
+                switch: SwitchId(1),
+                in_port: PortId(1),
+                buffer_id: BufferId(0),
+                reason: PacketInReason::NoMatch,
+            };
+            let explorer = PathExplorer::default();
+            let outcome = explorer.explore(&mut solver, |env| {
+                let mut clone = runtime.clone();
+                let _ = clone.run_packet_in_symbolic(env, ctx, &sym_packet);
+            });
+            let packets: Vec<_> = outcome
+                .paths
+                .iter()
+                .map(|p| vars.packet_from(&p.assignment, 0))
+                .collect();
+            packets
+        })
+    });
+}
+
+criterion_group!(benches, bench_symbolic_discovery);
+criterion_main!(benches);

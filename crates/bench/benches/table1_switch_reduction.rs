@@ -1,0 +1,23 @@
+//! Criterion bench for Table 1: exhaustive search with and without the
+//! canonical (simplified) switch model, on the 2- and 3-ping workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nice_bench::{exhaustive, ping_workload};
+use nice_mc::CheckerConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_switch_reduction");
+    group.sample_size(10);
+    for pings in [2u32, 3] {
+        group.bench_with_input(BenchmarkId::new("nice_mc", pings), &pings, |b, &n| {
+            b.iter(|| exhaustive(ping_workload(n, true), CheckerConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("no_switch_reduction", pings), &pings, |b, &n| {
+            b.iter(|| exhaustive(ping_workload(n, false), CheckerConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

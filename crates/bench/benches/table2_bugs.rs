@@ -1,0 +1,25 @@
+//! Criterion bench for Table 2: time to the first violation for a
+//! representative bug of each application, under the full search and the
+//! UNUSUAL strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nice_apps::scenarios::BugId;
+use nice_bench::hunt_bug;
+use nice_mc::StrategyKind;
+
+fn bench_bug_hunts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_bugs");
+    group.sample_size(10);
+    for bug in [BugId::BugII, BugId::BugIV, BugId::BugVIII] {
+        for strategy in [StrategyKind::FullDfs, StrategyKind::Unusual] {
+            let id = format!("bug_{}_{}", bug.label(), strategy.name());
+            group.bench_with_input(BenchmarkId::new(id, 0), &bug, |b, &bug| {
+                b.iter(|| hunt_bug(bug, strategy, 200_000))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bug_hunts);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates Figure 6: relative state-space reduction of the NO-DELAY and
+//! FLOW-IR search strategies (plus UNUSUAL) vs the full NICE-MC search.
+//!
+//! Usage: `figure6 [max_pings] [max_transitions]`
+
+use nice_bench::figure6;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_pings: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let max_transitions: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    println!("Figure 6: relative reduction vs NICE-MC full search (higher is better)");
+    println!(
+        "{:<6} | {:>22} | {:>22} | {:>22} | {:>18} | {:>18}",
+        "Pings",
+        "NO-DELAY transitions",
+        "FLOW-IR transitions",
+        "UNUSUAL transitions",
+        "NO-DELAY CPU time",
+        "FLOW-IR CPU time"
+    );
+    println!("{}", "-".repeat(125));
+    let rows = figure6(2..=max_pings, max_transitions);
+    for row in &rows {
+        println!(
+            "{:<6} | {:>21.1}% | {:>21.1}% | {:>21.1}% | {:>17.1}% | {:>17.1}%",
+            row.pings,
+            100.0 * row.transition_reduction(&row.no_delay),
+            100.0 * row.transition_reduction(&row.flow_ir),
+            100.0 * row.transition_reduction(&row.unusual),
+            100.0 * row.time_reduction(&row.no_delay),
+            100.0 * row.time_reduction(&row.flow_ir),
+        );
+    }
+    println!();
+    println!("Baseline (full search) sizes:");
+    for row in &rows {
+        println!(
+            "  {} pings: {} transitions, {} unique states",
+            row.pings, row.full.transitions, row.full.unique_states
+        );
+    }
+}

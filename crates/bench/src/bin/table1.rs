@@ -1,0 +1,34 @@
+//! Regenerates Table 1: exhaustive search with NICE-MC vs
+//! NO-SWITCH-REDUCTION on the layer-2 ping workload.
+//!
+//! Usage: `table1 [max_pings] [max_transitions]`
+//! (defaults: 4 pings, unbounded transitions; the 5-ping row of the paper is
+//! enabled by passing `5`, and takes a long time — as it did in the paper.)
+
+use nice_bench::{stats_cell, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_pings: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let max_transitions: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    println!("Table 1: NICE-MC vs NO-SWITCH-REDUCTION (layer-2 ping workload, pyswitch)");
+    println!(
+        "{:<6} | {:<45} | {:<45} | {:>6}",
+        "Pings", "NICE-MC (transitions, states, time)", "NO-SWITCH-REDUCTION", "rho"
+    );
+    println!("{}", "-".repeat(115));
+    for row in table1(2..=max_pings, max_transitions) {
+        println!(
+            "{:<6} | {:<45} | {:<45} | {:>6.2}",
+            row.pings,
+            stats_cell(&row.nice),
+            stats_cell(&row.no_reduction),
+            row.rho()
+        );
+    }
+    println!();
+    println!(
+        "rho = (Unique(NO-SWITCH-REDUCTION) - Unique(NICE-MC)) / Unique(NO-SWITCH-REDUCTION)"
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table 2: transitions / time to the first property violation
+//! for each of the eleven bugs of Section 8 under the four search strategies.
+//!
+//! Usage: `table2 [max_transitions_per_cell]` (default 200000)
+
+use nice_apps::scenarios::BugId;
+use nice_bench::table2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+
+    println!("Table 2: transitions / time to the first violation uncovering each bug");
+    println!("(budget: {budget} transitions per cell; 'Missed' = not found within the reduced search space/budget)");
+    println!();
+    println!(
+        "{:<5} {:<14} {:<24} | {:>16} | {:>16} | {:>16} | {:>16}",
+        "BUG", "application", "property", "PKT-SEQ only", "NO-DELAY", "FLOW-IR", "UNUSUAL"
+    );
+    println!("{}", "-".repeat(125));
+    for row in table2(BugId::ALL, budget) {
+        let cells: Vec<String> = row.outcomes.iter().map(|(_, o)| o.cell()).collect();
+        println!(
+            "{:<5} {:<14} {:<24} | {:>16} | {:>16} | {:>16} | {:>16}",
+            row.bug.label(),
+            row.bug.application(),
+            row.bug.property_name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+}

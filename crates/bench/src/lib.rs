@@ -1,0 +1,402 @@
+//! # nice-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Section 7 and Section 8):
+//!
+//! * [`table1`] — exhaustive search, NICE-MC vs NO-SWITCH-REDUCTION
+//!   (Table 1), including the state-space-reduction metric ρ.
+//! * [`figure6`] — relative reduction of the NO-DELAY and FLOW-IR search
+//!   strategies vs the full search (Figure 6).
+//! * [`comparison`] — NICE vs a generic model checker baseline with no
+//!   domain-specific reductions (the SPIN/JPF comparison of Section 7).
+//! * [`table2`] — transitions / time to the first violation for each of the
+//!   eleven bugs under the four search strategies (Table 2).
+//! * [`ablation`] — the design-choice ablations called out in DESIGN.md
+//!   (canonical flow tables, replay vs full state storage, coarse vs
+//!   fine-grained packet processing).
+//!
+//! Binaries under `src/bin/` print the rows in the same shape as the paper;
+//! Criterion benches under `benches/` track the runtime of representative
+//! configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nice_apps::pyswitch::{PySwitchApp, PySwitchVariant};
+use nice_apps::scenarios::{bug_scenario, BugId};
+use nice_hosts::{ClientHost, HostModel, SendBudget};
+use nice_mc::{
+    CheckerConfig, ModelChecker, Scenario, SearchStats, SendPolicy, StateStorage, StrategyKind,
+};
+use nice_openflow::{HostId, Packet, SwitchConfig, Topology};
+use std::time::Duration;
+
+/// The layer-2 ping workload of Section 7: host A sends `pings` pings to
+/// host B over the Figure 1 topology, host B echoes each one, and the
+/// controller runs the MAC-learning switch of Figure 3. Symbolic execution is
+/// off (scripted sends), matching Table 1's setup.
+pub fn ping_workload(pings: u32, canonical_switch_model: bool) -> Scenario {
+    let topology = Topology::linear_two_switches();
+    let host_a = *topology.host(HostId(1)).unwrap();
+    let host_b = *topology.host(HostId(2)).unwrap();
+    let hosts: Vec<Box<dyn HostModel>> = vec![
+        Box::new(ClientHost::new(host_a, SendBudget::sends(pings))),
+        Box::new(ClientHost::new(host_b, SendBudget::SILENT).with_echo()),
+    ];
+    let script: Vec<Packet> = (0..pings)
+        .map(|i| Packet::l2_ping(i as u64 + 1, host_a.mac, host_b.mac, i))
+        .collect();
+    Scenario::new(
+        format!("ping-{pings}"),
+        topology,
+        Box::new(PySwitchApp::new(PySwitchVariant::Original)),
+        hosts,
+        SendPolicy::scripted([(HostId(1), script)]),
+    )
+    .with_switch_config(SwitchConfig {
+        canonical_flow_table: canonical_switch_model,
+        ..SwitchConfig::default()
+    })
+}
+
+/// Runs an exhaustive search (no property checking, no early stop) and
+/// returns the search statistics.
+pub fn exhaustive(scenario: Scenario, config: CheckerConfig) -> SearchStats {
+    let config = CheckerConfig { stop_at_first_violation: false, ..config };
+    ModelChecker::new(scenario, config).run().stats
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Number of concurrent pings.
+    pub pings: u32,
+    /// NICE-MC (canonical switch model) statistics.
+    pub nice: SearchStats,
+    /// NO-SWITCH-REDUCTION statistics.
+    pub no_reduction: SearchStats,
+}
+
+impl Table1Row {
+    /// The state-space-reduction metric ρ of Section 7.
+    pub fn rho(&self) -> f64 {
+        if self.no_reduction.unique_states == 0 {
+            return 0.0;
+        }
+        (self.no_reduction.unique_states as f64 - self.nice.unique_states as f64)
+            / self.no_reduction.unique_states as f64
+    }
+}
+
+/// Regenerates Table 1 for the given ping counts. `max_transitions` bounds
+/// each individual run (0 = unbounded, as in the paper).
+pub fn table1(pings: impl IntoIterator<Item = u32>, max_transitions: u64) -> Vec<Table1Row> {
+    pings
+        .into_iter()
+        .map(|n| {
+            let config = CheckerConfig::default().with_max_transitions(max_transitions);
+            Table1Row {
+                pings: n,
+                nice: exhaustive(ping_workload(n, true), config.clone()),
+                no_reduction: exhaustive(ping_workload(n, false), config),
+            }
+        })
+        .collect()
+}
+
+/// One row of Figure 6: the transition and CPU-time reduction of each
+/// heuristic strategy relative to the full NICE-MC search.
+#[derive(Debug, Clone)]
+pub struct Figure6Row {
+    /// Number of concurrent pings.
+    pub pings: u32,
+    /// Full-search statistics (the baseline).
+    pub full: SearchStats,
+    /// NO-DELAY statistics.
+    pub no_delay: SearchStats,
+    /// FLOW-IR statistics.
+    pub flow_ir: SearchStats,
+    /// UNUSUAL statistics (the paper omits it from the figure as "similar";
+    /// reported here for completeness).
+    pub unusual: SearchStats,
+}
+
+impl Figure6Row {
+    /// Relative reduction (0..1) of explored transitions for a strategy.
+    pub fn transition_reduction(&self, strategy: &SearchStats) -> f64 {
+        if self.full.transitions == 0 {
+            return 0.0;
+        }
+        1.0 - strategy.transitions as f64 / self.full.transitions as f64
+    }
+
+    /// Relative reduction (0..1) of CPU time for a strategy.
+    pub fn time_reduction(&self, strategy: &SearchStats) -> f64 {
+        let full = self.full.duration.as_secs_f64();
+        if full == 0.0 {
+            return 0.0;
+        }
+        1.0 - strategy.duration.as_secs_f64() / full
+    }
+}
+
+/// Regenerates Figure 6 for the given ping counts.
+pub fn figure6(pings: impl IntoIterator<Item = u32>, max_transitions: u64) -> Vec<Figure6Row> {
+    pings
+        .into_iter()
+        .map(|n| {
+            let run = |strategy: StrategyKind| {
+                exhaustive(
+                    ping_workload(n, true),
+                    CheckerConfig::default()
+                        .with_strategy(strategy)
+                        .with_max_transitions(max_transitions),
+                )
+            };
+            Figure6Row {
+                pings: n,
+                full: run(StrategyKind::FullDfs),
+                no_delay: run(StrategyKind::NoDelay),
+                flow_ir: run(StrategyKind::FlowIr),
+                unusual: run(StrategyKind::Unusual),
+            }
+        })
+        .collect()
+}
+
+/// One row of the Section 7 comparison against a generic model checker
+/// baseline (SPIN/JPF stand-in): same workload, but with the coarse packet
+/// processing and the canonical switch model disabled.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Number of concurrent pings.
+    pub pings: u32,
+    /// NICE with its domain-specific model.
+    pub nice: SearchStats,
+    /// The generic baseline.
+    pub generic: SearchStats,
+}
+
+impl ComparisonRow {
+    /// How many times more transitions the generic baseline explores.
+    pub fn transition_ratio(&self) -> f64 {
+        if self.nice.transitions == 0 {
+            return 0.0;
+        }
+        self.generic.transitions as f64 / self.nice.transitions as f64
+    }
+}
+
+/// Regenerates the generic-model-checker comparison.
+pub fn comparison(pings: impl IntoIterator<Item = u32>, max_transitions: u64) -> Vec<ComparisonRow> {
+    pings
+        .into_iter()
+        .map(|n| ComparisonRow {
+            pings: n,
+            nice: exhaustive(
+                ping_workload(n, true),
+                CheckerConfig::default().with_max_transitions(max_transitions),
+            ),
+            generic: exhaustive(
+                ping_workload(n, false),
+                CheckerConfig::generic_baseline().with_max_transitions(max_transitions),
+            ),
+        })
+        .collect()
+}
+
+/// The outcome of hunting one bug with one strategy (a cell of Table 2).
+#[derive(Debug, Clone)]
+pub enum BugHuntOutcome {
+    /// The violation was found.
+    Found {
+        /// Transitions explored up to the first violation.
+        transitions: u64,
+        /// Wall-clock time to the first violation.
+        time: Duration,
+        /// The violated property.
+        property: String,
+    },
+    /// The strategy exhausted its budget (or the reduced search space) without
+    /// finding the violation — a false negative ("Missed" in Table 2).
+    Missed {
+        /// Transitions explored before giving up.
+        transitions: u64,
+        /// Wall-clock time spent.
+        time: Duration,
+    },
+}
+
+impl BugHuntOutcome {
+    /// True if the bug was found.
+    pub fn found(&self) -> bool {
+        matches!(self, BugHuntOutcome::Found { .. })
+    }
+
+    /// Formats the cell the way Table 2 does: `transitions / time` or
+    /// `Missed`.
+    pub fn cell(&self) -> String {
+        match self {
+            BugHuntOutcome::Found { transitions, time, .. } => {
+                format!("{} / {:.2}s", transitions, time.as_secs_f64())
+            }
+            BugHuntOutcome::Missed { .. } => "Missed".to_string(),
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The bug.
+    pub bug: BugId,
+    /// One outcome per strategy, in [`StrategyKind::ALL`] order
+    /// (PKT-SEQ only, NO-DELAY, FLOW-IR, UNUSUAL).
+    pub outcomes: Vec<(StrategyKind, BugHuntOutcome)>,
+}
+
+/// Hunts one bug with one strategy under a transition budget.
+pub fn hunt_bug(bug: BugId, strategy: StrategyKind, max_transitions: u64) -> BugHuntOutcome {
+    let report = ModelChecker::new(
+        bug_scenario(bug),
+        CheckerConfig::default()
+            .with_strategy(strategy)
+            .with_max_transitions(max_transitions),
+    )
+    .run();
+    match report.first_violation() {
+        Some(v) => BugHuntOutcome::Found {
+            transitions: v.transitions_explored,
+            time: report.stats.duration,
+            property: v.property.clone(),
+        },
+        None => BugHuntOutcome::Missed {
+            transitions: report.stats.transitions,
+            time: report.stats.duration,
+        },
+    }
+}
+
+/// Regenerates Table 2 for the given bugs.
+pub fn table2(bugs: impl IntoIterator<Item = BugId>, max_transitions: u64) -> Vec<Table2Row> {
+    bugs.into_iter()
+        .map(|bug| Table2Row {
+            bug,
+            outcomes: StrategyKind::ALL
+                .iter()
+                .map(|&s| (s, hunt_bug(bug, s, max_transitions)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// One row of the design-choice ablation.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// The configuration label.
+    pub label: String,
+    /// Search statistics under that configuration.
+    pub stats: SearchStats,
+}
+
+/// Regenerates the ablation rows for a given ping count: the canonical flow
+/// table, the coarse `process_pkt` transition, and replay-based state
+/// storage are each toggled independently.
+pub fn ablation(pings: u32, max_transitions: u64) -> Vec<AblationRow> {
+    let base = CheckerConfig::default().with_max_transitions(max_transitions);
+    vec![
+        AblationRow {
+            label: "baseline (canonical tables, coarse process_pkt, full-state storage)".into(),
+            stats: exhaustive(ping_workload(pings, true), base.clone()),
+        },
+        AblationRow {
+            label: "no canonical flow table (NO-SWITCH-REDUCTION)".into(),
+            stats: exhaustive(ping_workload(pings, false), base.clone()),
+        },
+        AblationRow {
+            label: "fine-grained packet processing (one port per transition)".into(),
+            stats: exhaustive(
+                ping_workload(pings, true),
+                CheckerConfig { coarse_packet_processing: false, ..base.clone() },
+            ),
+        },
+        AblationRow {
+            label: "replay-based state storage (trade CPU for memory)".into(),
+            stats: exhaustive(
+                ping_workload(pings, true),
+                base.with_state_storage(StateStorage::Replay),
+            ),
+        },
+    ]
+}
+
+/// Renders search statistics as a compact table cell.
+pub fn stats_cell(stats: &SearchStats) -> String {
+    format!(
+        "{} transitions, {} states, {:.2}s{}",
+        stats.transitions,
+        stats.unique_states,
+        stats.duration.as_secs_f64(),
+        if stats.truncated { " (truncated)" } else { "" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_workload_shape() {
+        let s = ping_workload(2, true);
+        assert_eq!(s.hosts.len(), 2);
+        assert!(s.switch_config.canonical_flow_table);
+        assert!(!ping_workload(2, false).switch_config.canonical_flow_table);
+    }
+
+    #[test]
+    fn table1_rho_is_positive_for_two_pings() {
+        let rows = table1([2], 0);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.nice.transitions > 0);
+        assert!(
+            row.no_reduction.unique_states >= row.nice.unique_states,
+            "canonicalisation must not increase the state count"
+        );
+        assert!(row.rho() >= 0.0);
+    }
+
+    #[test]
+    fn figure6_strategies_reduce_transitions() {
+        let rows = figure6([2], 0);
+        let row = &rows[0];
+        assert!(row.no_delay.transitions <= row.full.transitions);
+        assert!(row.flow_ir.transitions <= row.full.transitions);
+        assert!(row.transition_reduction(&row.no_delay) >= 0.0);
+    }
+
+    #[test]
+    fn comparison_generic_baseline_explores_more() {
+        let rows = comparison([2], 0);
+        let row = &rows[0];
+        assert!(row.generic.transitions >= row.nice.transitions);
+        assert!(row.transition_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn hunt_bug_finds_and_formats() {
+        let outcome = hunt_bug(BugId::BugVIII, StrategyKind::FullDfs, 100_000);
+        assert!(outcome.found());
+        assert!(outcome.cell().contains('/'));
+        let missed = BugHuntOutcome::Missed { transitions: 5, time: Duration::from_millis(1) };
+        assert_eq!(missed.cell(), "Missed");
+    }
+
+    #[test]
+    fn ablation_has_four_rows() {
+        let rows = ablation(2, 0);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.stats.transitions > 0));
+        assert!(stats_cell(&rows[0].stats).contains("transitions"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # nice-controller
+//!
+//! A NOX-like controller platform for NICE controller applications.
+//!
+//! An OpenFlow controller program is "structured as a set of event handlers
+//! that interact with the switches using a standard interface, and these
+//! handlers execute atomically" (Section 2.2.1). This crate provides that
+//! interface:
+//!
+//! * [`app::ControllerApp`] — the handler trait applications implement
+//!   (`packet_in`, `switch_join`, `switch_leave`, `port_stats_in`, ...).
+//!   Handlers receive possibly-symbolic inputs ([`nice_sym::SymPacket`],
+//!   [`nice_sym::SymStats`]) and an execution environment, so *the same
+//!   unmodified application code* runs concretely under the model checker and
+//!   symbolically under the concolic engine.
+//! * [`ops::ControllerOps`] — the NOX API surface the applications use:
+//!   `install_rule`, `delete_rule`, `send_packet_out`, `flood_packet`,
+//!   `request_stats`, `send_barrier`. Calls are collected as OpenFlow
+//!   messages; the model checker delivers them over per-switch FIFO channels,
+//!   which is where the rule-installation races the paper targets come from.
+//! * [`runtime::ControllerRuntime`] — owns the application state, dispatches
+//!   incoming OpenFlow messages to handlers, allocates request ids, and
+//!   exposes the state fingerprint the model checker hashes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod ops;
+pub mod runtime;
+
+pub use app::{ControllerApp, PacketInContext};
+pub use ops::{ControllerOps, MessageSink, RuleSpec};
+pub use runtime::ControllerRuntime;

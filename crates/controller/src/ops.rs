@@ -1,0 +1,287 @@
+//! The controller-to-switch API surface (the NOX operations the evaluated
+//! applications call) and the message sink that records the resulting
+//! OpenFlow messages.
+
+use nice_openflow::{
+    Action, BufferId, FlowModCommand, MatchPattern, OfMessage, Packet, PortId, StatsKind, SwitchId,
+    Timeouts,
+};
+
+/// Everything needed to install one flow rule — the arguments of NOX's
+/// `install_datapath_flow`, i.e. `install_rule` in Figure 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSpec {
+    /// The match pattern.
+    pub pattern: MatchPattern,
+    /// The priority (higher wins).
+    pub priority: u16,
+    /// The action list.
+    pub actions: Vec<Action>,
+    /// Idle/hard timeouts.
+    pub timeouts: Timeouts,
+    /// Opaque cookie recorded on the rule (handy for tracing which handler
+    /// installed it).
+    pub cookie: u64,
+}
+
+impl RuleSpec {
+    /// A permanent rule with default priority 100.
+    pub fn new(pattern: MatchPattern, actions: Vec<Action>) -> Self {
+        RuleSpec { pattern, priority: 100, actions, timeouts: Timeouts::PERMANENT, cookie: 0 }
+    }
+
+    /// Sets the priority (builder style).
+    pub fn with_priority(mut self, priority: u16) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the timeouts (builder style).
+    pub fn with_timeouts(mut self, timeouts: Timeouts) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Sets the cookie (builder style).
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
+    }
+}
+
+/// The operations a controller application can invoke on the platform.
+///
+/// Every call is turned into one OpenFlow message addressed to a switch. The
+/// platform does **not** deliver the message immediately: the model checker
+/// enqueues it on the controller→switch channel, and a separate `process_of`
+/// transition applies it — installing rules is therefore *not atomic* across
+/// switches, exactly the source of the race conditions NICE uncovers.
+pub trait ControllerOps {
+    /// Installs a rule at `switch`.
+    fn install_rule(&mut self, switch: SwitchId, rule: RuleSpec);
+
+    /// Removes all rules at `switch` overlapping `pattern` (non-strict
+    /// delete).
+    fn delete_rule(&mut self, switch: SwitchId, pattern: MatchPattern);
+
+    /// Removes the rule with exactly `pattern` and `priority`.
+    fn delete_rule_strict(&mut self, switch: SwitchId, pattern: MatchPattern, priority: u16);
+
+    /// Tells `switch` what to do with a buffered packet
+    /// (`send_packet_out` in Figure 3 when combined with a buffer id).
+    fn send_packet_out(
+        &mut self,
+        switch: SwitchId,
+        buffer_id: BufferId,
+        in_port: PortId,
+        actions: Vec<Action>,
+    );
+
+    /// Injects a packet carried inline (no switch buffer reference).
+    fn send_packet(&mut self, switch: SwitchId, packet: Packet, in_port: PortId, actions: Vec<Action>);
+
+    /// Convenience: release a buffered packet with a flood action
+    /// (`flood_packet` in Figure 3).
+    fn flood_packet(&mut self, switch: SwitchId, buffer_id: BufferId, in_port: PortId) {
+        self.send_packet_out(switch, buffer_id, in_port, vec![Action::Flood]);
+    }
+
+    /// Requests statistics from `switch`; the reply arrives later as a
+    /// `port_stats_in` / flow-stats handler invocation.
+    fn request_stats(&mut self, switch: SwitchId, kind: StatsKind);
+
+    /// Sends a barrier request to `switch`; the reply arrives later as a
+    /// `barrier_reply` handler invocation.
+    fn send_barrier(&mut self, switch: SwitchId);
+}
+
+/// The default [`ControllerOps`] implementation: records each operation as an
+/// `(switch, message)` pair, in call order.
+#[derive(Debug, Clone, Default)]
+pub struct MessageSink {
+    messages: Vec<(SwitchId, OfMessage)>,
+    next_request_id: u64,
+}
+
+impl MessageSink {
+    /// Creates a sink. `next_request_id` seeds the id allocator for stats and
+    /// barrier requests so that ids stay unique across handler invocations
+    /// (the runtime passes its persistent counter in).
+    pub fn new(next_request_id: u64) -> Self {
+        MessageSink { messages: Vec::new(), next_request_id }
+    }
+
+    /// The recorded messages, in call order.
+    pub fn messages(&self) -> &[(SwitchId, OfMessage)] {
+        &self.messages
+    }
+
+    /// Consumes the sink, returning the recorded messages and the advanced
+    /// request-id counter.
+    pub fn into_parts(self) -> (Vec<(SwitchId, OfMessage)>, u64) {
+        (self.messages, self.next_request_id)
+    }
+
+    /// The id the next stats/barrier request will use.
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request_id
+    }
+
+    fn alloc_request_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+}
+
+impl ControllerOps for MessageSink {
+    fn install_rule(&mut self, switch: SwitchId, rule: RuleSpec) {
+        self.messages.push((
+            switch,
+            OfMessage::FlowMod {
+                command: FlowModCommand::Add,
+                pattern: rule.pattern,
+                priority: rule.priority,
+                actions: rule.actions,
+                timeouts: rule.timeouts,
+                cookie: rule.cookie,
+            },
+        ));
+    }
+
+    fn delete_rule(&mut self, switch: SwitchId, pattern: MatchPattern) {
+        self.messages.push((
+            switch,
+            OfMessage::FlowMod {
+                command: FlowModCommand::Delete,
+                pattern,
+                priority: 0,
+                actions: Vec::new(),
+                timeouts: Timeouts::PERMANENT,
+                cookie: 0,
+            },
+        ));
+    }
+
+    fn delete_rule_strict(&mut self, switch: SwitchId, pattern: MatchPattern, priority: u16) {
+        self.messages.push((
+            switch,
+            OfMessage::FlowMod {
+                command: FlowModCommand::DeleteStrict,
+                pattern,
+                priority,
+                actions: Vec::new(),
+                timeouts: Timeouts::PERMANENT,
+                cookie: 0,
+            },
+        ));
+    }
+
+    fn send_packet_out(
+        &mut self,
+        switch: SwitchId,
+        buffer_id: BufferId,
+        in_port: PortId,
+        actions: Vec<Action>,
+    ) {
+        self.messages.push((
+            switch,
+            OfMessage::PacketOut { buffer_id: Some(buffer_id), packet: None, in_port, actions },
+        ));
+    }
+
+    fn send_packet(&mut self, switch: SwitchId, packet: Packet, in_port: PortId, actions: Vec<Action>) {
+        self.messages.push((
+            switch,
+            OfMessage::PacketOut { buffer_id: None, packet: Some(packet), in_port, actions },
+        ));
+    }
+
+    fn request_stats(&mut self, switch: SwitchId, kind: StatsKind) {
+        let request_id = self.alloc_request_id();
+        self.messages.push((switch, OfMessage::StatsRequest { kind, request_id }));
+    }
+
+    fn send_barrier(&mut self, switch: SwitchId) {
+        let request_id = self.alloc_request_id();
+        self.messages.push((switch, OfMessage::BarrierRequest { request_id }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nice_openflow::{MacAddr, Packet};
+
+    #[test]
+    fn rule_spec_builders() {
+        let spec = RuleSpec::new(MatchPattern::any(), vec![Action::Flood])
+            .with_priority(7)
+            .with_timeouts(Timeouts::SOFT_5)
+            .with_cookie(42);
+        assert_eq!(spec.priority, 7);
+        assert_eq!(spec.timeouts, Timeouts::SOFT_5);
+        assert_eq!(spec.cookie, 42);
+    }
+
+    #[test]
+    fn install_and_delete_record_flow_mods() {
+        let mut sink = MessageSink::new(0);
+        sink.install_rule(SwitchId(1), RuleSpec::new(MatchPattern::any(), vec![Action::Drop]));
+        sink.delete_rule(SwitchId(2), MatchPattern::any());
+        sink.delete_rule_strict(SwitchId(3), MatchPattern::any(), 9);
+        let msgs = sink.messages();
+        assert_eq!(msgs.len(), 3);
+        assert_eq!(msgs[0].0, SwitchId(1));
+        assert!(matches!(msgs[0].1, OfMessage::FlowMod { command: FlowModCommand::Add, .. }));
+        assert!(matches!(msgs[1].1, OfMessage::FlowMod { command: FlowModCommand::Delete, .. }));
+        assert!(matches!(
+            msgs[2].1,
+            OfMessage::FlowMod { command: FlowModCommand::DeleteStrict, priority: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn packet_out_variants() {
+        let mut sink = MessageSink::new(0);
+        sink.send_packet_out(SwitchId(1), BufferId(5), PortId(1), vec![Action::Output(PortId(2))]);
+        sink.flood_packet(SwitchId(1), BufferId(6), PortId(1));
+        let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
+        sink.send_packet(SwitchId(2), pkt, PortId(3), vec![Action::Flood]);
+        let msgs = sink.messages();
+        assert!(matches!(msgs[0].1, OfMessage::PacketOut { buffer_id: Some(BufferId(5)), .. }));
+        match &msgs[1].1 {
+            OfMessage::PacketOut { actions, .. } => assert_eq!(actions, &vec![Action::Flood]),
+            other => panic!("unexpected {other}"),
+        }
+        assert!(matches!(msgs[2].1, OfMessage::PacketOut { buffer_id: None, packet: Some(_), .. }));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_persist() {
+        let mut sink = MessageSink::new(10);
+        sink.request_stats(SwitchId(1), StatsKind::Port);
+        sink.send_barrier(SwitchId(1));
+        let (msgs, next) = sink.into_parts();
+        assert_eq!(next, 12);
+        match (&msgs[0].1, &msgs[1].1) {
+            (
+                OfMessage::StatsRequest { request_id: a, .. },
+                OfMessage::BarrierRequest { request_id: b },
+            ) => {
+                assert_eq!(*a, 10);
+                assert_eq!(*b, 11);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn message_order_is_call_order() {
+        let mut sink = MessageSink::new(0);
+        sink.install_rule(SwitchId(1), RuleSpec::new(MatchPattern::any(), vec![]));
+        sink.send_packet_out(SwitchId(1), BufferId(1), PortId(1), vec![]);
+        let kinds: Vec<&str> = sink.messages().iter().map(|(_, m)| m.kind_name()).collect();
+        assert_eq!(kinds, vec!["flow_mod_add", "packet_out"]);
+    }
+}

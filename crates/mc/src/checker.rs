@@ -1,0 +1,498 @@
+//! The state-space search loop (Figure 5), violation traces and search
+//! statistics, plus a random-walk simulation mode.
+
+use crate::properties::{Event, Property};
+use crate::scenario::{CheckerConfig, Scenario, StateStorage};
+use crate::state::SystemState;
+use crate::strategy::build_strategy;
+use crate::transition::{drain_control_plane, enabled_transitions, execute, DiscoveryMemo, Transition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A property violation together with the trace that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated property.
+    pub property: String,
+    /// The violation message.
+    pub message: String,
+    /// The transitions from the initial state that reproduce the violation,
+    /// in order, rendered as human-readable labels.
+    pub trace: Vec<String>,
+    /// How many transitions had been explored when the violation was found.
+    pub transitions_explored: u64,
+    /// How many unique states had been seen when the violation was found.
+    pub unique_states: u64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation of {}: {}", self.property, self.message)?;
+        writeln!(
+            f,
+            "  found after {} transitions / {} unique states; trace ({} steps):",
+            self.transitions_explored,
+            self.unique_states,
+            self.trace.len()
+        )?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "    {:>3}. {}", i + 1, step)?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate statistics of one search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Unique states encountered (by fingerprint).
+    pub unique_states: u64,
+    /// Terminal states reached (states with no enabled transitions).
+    pub terminal_states: u64,
+    /// Concolic explorations executed (cache misses of the discovery memo).
+    pub symbolic_executions: u64,
+    /// Deepest path explored.
+    pub max_depth: usize,
+    /// True if a budget (transition or depth limit) cut the search short.
+    pub truncated: bool,
+    /// Wall-clock duration of the search.
+    pub duration: Duration,
+}
+
+/// The outcome of a model-checking run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Every violation found (just the first one when
+    /// `stop_at_first_violation` is set).
+    pub violations: Vec<Violation>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl CheckReport {
+    /// True if no property was violated.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The first violation, if any.
+    pub fn first_violation(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} | transitions: {} | unique states: {} | terminal states: {} | time: {:.2?}{}",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.stats.transitions,
+            self.stats.unique_states,
+            self.stats.terminal_states,
+            self.stats.duration,
+            if self.stats.truncated { " (truncated)" } else { "" }
+        )?;
+        for v in &self.violations {
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One frontier entry of the depth-first search.
+struct Node {
+    /// The state (present under [`StateStorage::Full`]).
+    state: Option<SystemState>,
+    /// Property local state matching `state`.
+    properties: Option<Vec<Box<dyn Property>>>,
+    /// The transition sequence from the initial state (always kept: it is the
+    /// violation trace, and under [`StateStorage::Replay`] it is also how the
+    /// state is reconstructed).
+    trace: Vec<Transition>,
+}
+
+/// The NICE model checker.
+pub struct ModelChecker {
+    scenario: Scenario,
+    config: CheckerConfig,
+}
+
+impl ModelChecker {
+    /// Creates a checker for a scenario with the given configuration.
+    pub fn new(scenario: Scenario, config: CheckerConfig) -> Self {
+        ModelChecker { scenario, config }
+    }
+
+    /// The scenario under test.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &CheckerConfig {
+        &self.config
+    }
+
+    /// Runs the search and returns the report.
+    pub fn run(&self) -> CheckReport {
+        let start = Instant::now();
+        let strategy = build_strategy(self.config.strategy);
+        let mut memo = DiscoveryMemo::default();
+        let mut report = CheckReport::default();
+        let mut explored: HashSet<u64> = HashSet::new();
+
+        let initial_state = SystemState::initial(&self.scenario);
+        let initial_properties: Vec<Box<dyn Property>> = self.scenario.properties.clone();
+        explored.insert(initial_state.fingerprint());
+        report.stats.unique_states = 1;
+
+        let mut stack: Vec<Node> = vec![Node {
+            state: Some(initial_state.clone()),
+            properties: Some(initial_properties.clone()),
+            trace: Vec::new(),
+        }];
+
+        'search: while let Some(node) = stack.pop() {
+            report.stats.max_depth = report.stats.max_depth.max(node.trace.len());
+
+            // Materialise the node's state and property state.
+            let (state, properties) = match (node.state, node.properties) {
+                (Some(s), Some(p)) => (s, p),
+                _ => self.replay(&initial_state, &initial_properties, &node.trace, &mut memo),
+            };
+
+            let enabled = enabled_transitions(&state, &self.scenario, &self.config);
+            let enabled = strategy.select(&state, enabled);
+
+            if enabled.is_empty() {
+                report.stats.terminal_states += 1;
+                for property in &properties {
+                    if let Some(message) = property.check_final(&state) {
+                        record_violation(&mut report, property.name(), message, &node.trace, None);
+                        if self.config.stop_at_first_violation {
+                            break 'search;
+                        }
+                    }
+                }
+                continue;
+            }
+
+            if node.trace.len() >= self.config.max_depth {
+                report.stats.truncated = true;
+                continue;
+            }
+
+            for transition in enabled {
+                if self.config.max_transitions > 0
+                    && report.stats.transitions >= self.config.max_transitions
+                {
+                    report.stats.truncated = true;
+                    break 'search;
+                }
+
+                let mut next_state = state.clone();
+                let mut next_properties = properties.clone();
+                let mut events: Vec<Event> = Vec::new();
+                execute(
+                    &mut next_state,
+                    &transition,
+                    &self.scenario,
+                    &self.config,
+                    &mut memo,
+                    &mut events,
+                );
+                if strategy.lock_step_control_plane() {
+                    drain_control_plane(
+                        &mut next_state,
+                        &self.scenario,
+                        &self.config,
+                        &mut memo,
+                        &mut events,
+                    );
+                }
+                report.stats.transitions += 1;
+
+                for event in &events {
+                    for property in next_properties.iter_mut() {
+                        property.on_event(event, &next_state);
+                    }
+                }
+
+                let mut violated = false;
+                for property in &next_properties {
+                    if let Some(message) = property.check(&next_state) {
+                        record_violation(
+                            &mut report,
+                            property.name(),
+                            message,
+                            &node.trace,
+                            Some(&transition),
+                        );
+                        violated = true;
+                        if self.config.stop_at_first_violation {
+                            break 'search;
+                        }
+                    }
+                }
+                if violated {
+                    // Do not explore past a violating state: the trace is the
+                    // shortest continuation through this branch and deeper
+                    // states would just repeat the same violation.
+                    continue;
+                }
+
+                let fingerprint = next_state.fingerprint();
+                if explored.insert(fingerprint) {
+                    report.stats.unique_states += 1;
+                    let mut trace = node.trace.clone();
+                    trace.push(transition);
+                    let node = match self.config.state_storage {
+                        StateStorage::Full => Node {
+                            state: Some(next_state),
+                            properties: Some(next_properties),
+                            trace,
+                        },
+                        StateStorage::Replay => Node { state: None, properties: None, trace },
+                    };
+                    stack.push(node);
+                }
+            }
+        }
+
+        report.stats.symbolic_executions = memo.symbolic_executions;
+        report.stats.duration = start.elapsed();
+        report
+    }
+
+    /// Performs `walks` random walks of at most `max_steps` transitions each
+    /// (the "random walks on system states" simulation mode of Section 1.3)
+    /// and returns a report covering all walks.
+    pub fn run_random_walk(&self, seed: u64, walks: u32, max_steps: usize) -> CheckReport {
+        let start = Instant::now();
+        let strategy = build_strategy(self.config.strategy);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut memo = DiscoveryMemo::default();
+        let mut report = CheckReport::default();
+        let mut seen: HashSet<u64> = HashSet::new();
+
+        'walks: for _ in 0..walks {
+            let mut state = SystemState::initial(&self.scenario);
+            let mut properties = self.scenario.properties.clone();
+            let mut trace: Vec<Transition> = Vec::new();
+            seen.insert(state.fingerprint());
+
+            for _ in 0..max_steps {
+                let enabled = enabled_transitions(&state, &self.scenario, &self.config);
+                let enabled = strategy.select(&state, enabled);
+                if enabled.is_empty() {
+                    report.stats.terminal_states += 1;
+                    for property in &properties {
+                        if let Some(message) = property.check_final(&state) {
+                            record_violation(&mut report, property.name(), message, &trace, None);
+                            if self.config.stop_at_first_violation {
+                                break 'walks;
+                            }
+                        }
+                    }
+                    break;
+                }
+                let choice = rng.gen_range(0..enabled.len());
+                let transition = enabled[choice].clone();
+                let mut events = Vec::new();
+                execute(&mut state, &transition, &self.scenario, &self.config, &mut memo, &mut events);
+                if strategy.lock_step_control_plane() {
+                    drain_control_plane(&mut state, &self.scenario, &self.config, &mut memo, &mut events);
+                }
+                report.stats.transitions += 1;
+                trace.push(transition.clone());
+                report.stats.max_depth = report.stats.max_depth.max(trace.len());
+                if seen.insert(state.fingerprint()) {
+                    report.stats.unique_states += 1;
+                }
+                for event in &events {
+                    for property in properties.iter_mut() {
+                        property.on_event(event, &state);
+                    }
+                }
+                for property in &properties {
+                    if let Some(message) = property.check(&state) {
+                        record_violation(
+                            &mut report,
+                            property.name(),
+                            message,
+                            &trace[..trace.len() - 1],
+                            Some(&transition),
+                        );
+                        if self.config.stop_at_first_violation {
+                            break 'walks;
+                        }
+                    }
+                }
+            }
+        }
+
+        report.stats.symbolic_executions = memo.symbolic_executions;
+        report.stats.duration = start.elapsed();
+        report
+    }
+
+    /// Rebuilds a state (and its property state) by replaying a transition
+    /// sequence from the initial state — the memory-saving state restoration
+    /// of Section 6.
+    fn replay(
+        &self,
+        initial_state: &SystemState,
+        initial_properties: &[Box<dyn Property>],
+        trace: &[Transition],
+        memo: &mut DiscoveryMemo,
+    ) -> (SystemState, Vec<Box<dyn Property>>) {
+        let strategy = build_strategy(self.config.strategy);
+        let mut state = initial_state.clone();
+        let mut properties: Vec<Box<dyn Property>> = initial_properties.to_vec();
+        for transition in trace {
+            let mut events = Vec::new();
+            execute(&mut state, transition, &self.scenario, &self.config, memo, &mut events);
+            if strategy.lock_step_control_plane() {
+                drain_control_plane(&mut state, &self.scenario, &self.config, memo, &mut events);
+            }
+            for event in &events {
+                for property in properties.iter_mut() {
+                    property.on_event(event, &state);
+                }
+            }
+        }
+        (state, properties)
+    }
+}
+
+fn record_violation(
+    report: &mut CheckReport,
+    property: &str,
+    message: String,
+    trace: &[Transition],
+    last: Option<&Transition>,
+) {
+    let mut labels: Vec<String> = trace.iter().map(|t| t.to_string()).collect();
+    if let Some(t) = last {
+        labels.push(t.to_string());
+    }
+    report.violations.push(Violation {
+        property: property.to_string(),
+        message,
+        trace: labels,
+        transitions_explored: report.stats.transitions,
+        unique_states: report.stats.unique_states,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::StrategyKind;
+    use crate::testutil;
+
+    #[test]
+    fn hub_ping_scenario_passes_default_properties() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let checker = ModelChecker::new(scenario, CheckerConfig::default());
+        let report = checker.run();
+        assert!(report.passed(), "unexpected violation: {report}");
+        assert!(report.stats.transitions > 0);
+        assert!(report.stats.unique_states > 1);
+        assert!(report.stats.terminal_states > 0);
+        assert!(!report.stats.truncated);
+    }
+
+    #[test]
+    fn forgetful_app_violates_no_forgotten_packets() {
+        let scenario = testutil::ping_scenario_with_app(Box::new(testutil::ForgetfulApp), 1);
+        let checker = ModelChecker::new(scenario, CheckerConfig::default());
+        let report = checker.run();
+        assert!(!report.passed());
+        let violation = report.first_violation().unwrap();
+        assert_eq!(violation.property, "NoForgottenPackets");
+        assert!(!violation.trace.is_empty());
+        assert!(violation.to_string().contains("NoForgottenPackets"));
+    }
+
+    #[test]
+    fn exhaustive_and_replay_storage_agree() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let full = ModelChecker::new(scenario.clone(), CheckerConfig::default()).run();
+        let replay = ModelChecker::new(
+            scenario,
+            CheckerConfig::default().with_state_storage(StateStorage::Replay),
+        )
+        .run();
+        assert_eq!(full.passed(), replay.passed());
+        assert_eq!(full.stats.transitions, replay.stats.transitions);
+        assert_eq!(full.stats.unique_states, replay.stats.unique_states);
+    }
+
+    #[test]
+    fn strategies_reduce_or_preserve_the_state_space() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let full = ModelChecker::new(scenario.clone(), CheckerConfig::default()).run();
+        for kind in [StrategyKind::NoDelay, StrategyKind::FlowIr, StrategyKind::Unusual] {
+            let report = ModelChecker::new(
+                scenario.clone(),
+                CheckerConfig::default().with_strategy(kind),
+            )
+            .run();
+            assert!(report.passed(), "{kind:?} found a spurious violation: {report}");
+            assert!(
+                report.stats.transitions <= full.stats.transitions,
+                "{kind:?} explored more transitions ({}) than the full search ({})",
+                report.stats.transitions,
+                full.stats.transitions
+            );
+        }
+    }
+
+    #[test]
+    fn transition_budget_truncates_search() {
+        let scenario = testutil::hub_ping_scenario(3);
+        let report =
+            ModelChecker::new(scenario, CheckerConfig::default().with_max_transitions(5)).run();
+        assert!(report.stats.truncated);
+        assert!(report.stats.transitions <= 5);
+    }
+
+    #[test]
+    fn random_walk_mode_runs_and_reports() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let checker = ModelChecker::new(scenario, CheckerConfig::default());
+        let report = checker.run_random_walk(7, 3, 50);
+        assert!(report.passed(), "hub scenario has no violations to find: {report}");
+        assert!(report.stats.transitions > 0);
+        // Deterministic for a fixed seed.
+        let again = checker.run_random_walk(7, 3, 50);
+        assert_eq!(report.stats.transitions, again.stats.transitions);
+        assert_eq!(report.stats.unique_states, again.stats.unique_states);
+    }
+
+    #[test]
+    fn discovery_scenario_explores_symbolically() {
+        let scenario = testutil::discovery_scenario(Box::new(testutil::HubApp::default()), 1);
+        let checker = ModelChecker::new(scenario, CheckerConfig::default());
+        let report = checker.run();
+        assert!(report.passed(), "{report}");
+        assert!(report.stats.symbolic_executions >= 1, "discover_packets must have run");
+        assert!(report.stats.transitions > 0);
+    }
+
+    #[test]
+    fn report_display_summarises() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let report = ModelChecker::new(scenario, CheckerConfig::default()).run();
+        let text = report.to_string();
+        assert!(text.contains("PASS"));
+        assert!(text.contains("transitions"));
+    }
+}

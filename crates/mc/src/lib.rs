@@ -1,0 +1,43 @@
+//! # nice-mc
+//!
+//! The NICE model checker: explicit-state search over the whole system —
+//! the controller program, the simplified OpenFlow switches, and the end
+//! hosts — combined with symbolic execution of the controller's event
+//! handlers (the `discover_packets` / `discover_stats` transitions of
+//! Figure 5) and the OpenFlow-specific search strategies of Section 4.
+//!
+//! The crate is organised as:
+//!
+//! * [`scenario`] — what to check: topology, controller application, host
+//!   models, how clients choose packets (scripted or symbolically
+//!   discovered), and the checker configuration (strategy, bounds, state
+//!   storage, switch-model options).
+//! * [`state`] — the [`state::SystemState`]: every component plus the FIFO
+//!   channels between them, with a canonical 64-bit fingerprint.
+//! * [`transition`] — the system transitions and their semantics.
+//! * [`strategy`] — NICE-MC full search, NO-DELAY, FLOW-IR and UNUSUAL.
+//! * [`properties`] — the correctness-property library of Section 5.2 plus
+//!   the trait for application-specific properties.
+//! * [`checker`] — the depth-first search loop of Figure 5, violation
+//!   traces, search statistics, and a random-walk simulation mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod properties;
+pub mod scenario;
+pub mod state;
+pub mod strategy;
+pub mod testutil;
+pub mod transition;
+
+pub use checker::{CheckReport, ModelChecker, SearchStats, Violation};
+pub use properties::{
+    DirectPaths, Event, FlowAffinity, NoBlackHoles, NoForgottenPackets, NoForwardingLoops,
+    Property, StrictDirectPaths,
+};
+pub use scenario::{CheckerConfig, Scenario, SendPolicy, StateStorage, StrategyKind};
+pub use state::SystemState;
+pub use strategy::{FlowIr, FullDfs, NoDelay, SearchStrategy, Unusual};
+pub use transition::Transition;

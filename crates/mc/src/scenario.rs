@@ -1,0 +1,343 @@
+//! What to check and how to search: the [`Scenario`] (system under test) and
+//! the [`CheckerConfig`] (search configuration).
+
+use crate::properties::Property;
+use nice_controller::ControllerApp;
+use nice_hosts::HostModel;
+use nice_openflow::{FaultModel, HostId, Packet, SwitchConfig, Topology};
+use nice_sym::{ExploreConfig, PacketDomains, StatsDomains};
+use std::collections::BTreeMap;
+
+/// How clients choose the packets they send.
+#[derive(Debug, Clone)]
+pub enum SendPolicy {
+    /// Each host sends a fixed sequence of packets, in order. This is how the
+    /// Section 7 performance workload drives the system (symbolic execution
+    /// turned off): host A sends layer-2 pings, host B echoes.
+    Scripted(BTreeMap<HostId, Vec<Packet>>),
+    /// The packets each host can send are discovered by symbolically
+    /// executing the controller's `packet_in` handler in the current
+    /// controller state (the `discover_packets` transition of Figure 5).
+    Discover,
+}
+
+impl SendPolicy {
+    /// Convenience constructor for a scripted policy.
+    pub fn scripted(entries: impl IntoIterator<Item = (HostId, Vec<Packet>)>) -> Self {
+        SendPolicy::Scripted(entries.into_iter().collect())
+    }
+
+    /// True if this policy uses symbolic discovery.
+    pub fn is_discover(&self) -> bool {
+        matches!(self, SendPolicy::Discover)
+    }
+}
+
+/// The system under test: topology, controller application, host models,
+/// send policy and the correctness properties to check.
+pub struct Scenario {
+    /// A short name used in reports.
+    pub name: String,
+    /// The network topology.
+    pub topology: Topology,
+    /// The controller application (cloned into the initial state).
+    pub app: Box<dyn ControllerApp>,
+    /// The end-host models.
+    pub hosts: Vec<Box<dyn HostModel>>,
+    /// How clients pick the packets they send.
+    pub send_policy: SendPolicy,
+    /// Switch-model options (canonical flow table, buffer capacity).
+    pub switch_config: SwitchConfig,
+    /// Fault model applied to data-plane packet channels (the OpenFlow
+    /// control channel is always reliable, per Section 2.2.2).
+    pub packet_faults: FaultModel,
+    /// Domains for symbolic packet fields; defaults to
+    /// [`PacketDomains::from_topology`] when `None`.
+    pub packet_domains: Option<PacketDomains>,
+    /// Domains for symbolic statistics counters.
+    pub stats_domains: StatsDomains,
+    /// The correctness properties to check.
+    pub properties: Vec<Box<dyn Property>>,
+}
+
+impl Clone for Scenario {
+    fn clone(&self) -> Self {
+        Scenario {
+            name: self.name.clone(),
+            topology: self.topology.clone(),
+            app: self.app.clone_app(),
+            hosts: self.hosts.iter().map(|h| h.clone_host()).collect(),
+            send_policy: self.send_policy.clone(),
+            switch_config: self.switch_config,
+            packet_faults: self.packet_faults,
+            packet_domains: self.packet_domains.clone(),
+            stats_domains: self.stats_domains.clone(),
+            properties: self.properties.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("app", &self.app.name())
+            .field("hosts", &self.hosts.len())
+            .field("send_policy", &self.send_policy.is_discover())
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Creates a scenario with default switch configuration, reliable
+    /// channels, and no properties.
+    pub fn new(
+        name: impl Into<String>,
+        topology: Topology,
+        app: Box<dyn ControllerApp>,
+        hosts: Vec<Box<dyn HostModel>>,
+        send_policy: SendPolicy,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            topology,
+            app,
+            hosts,
+            send_policy,
+            switch_config: SwitchConfig::default(),
+            packet_faults: FaultModel::RELIABLE,
+            packet_domains: None,
+            stats_domains: StatsDomains::default(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Adds a correctness property (builder style).
+    pub fn with_property(mut self, property: Box<dyn Property>) -> Self {
+        self.properties.push(property);
+        self
+    }
+
+    /// Adds several correctness properties (builder style).
+    pub fn with_properties(mut self, properties: Vec<Box<dyn Property>>) -> Self {
+        self.properties.extend(properties);
+        self
+    }
+
+    /// Overrides the switch configuration (builder style). Passing
+    /// `canonical_flow_table: false` reproduces the NO-SWITCH-REDUCTION
+    /// baseline of Table 1.
+    pub fn with_switch_config(mut self, config: SwitchConfig) -> Self {
+        self.switch_config = config;
+        self
+    }
+
+    /// Overrides the symbolic packet domains (builder style).
+    pub fn with_packet_domains(mut self, domains: PacketDomains) -> Self {
+        self.packet_domains = Some(domains);
+        self
+    }
+
+    /// Overrides the symbolic statistics domains (builder style).
+    pub fn with_stats_domains(mut self, domains: StatsDomains) -> Self {
+        self.stats_domains = domains;
+        self
+    }
+
+    /// Enables a fault model on the data-plane packet channels (builder
+    /// style).
+    pub fn with_packet_faults(mut self, faults: FaultModel) -> Self {
+        self.packet_faults = faults;
+        self
+    }
+
+    /// The effective symbolic packet domains.
+    pub fn effective_packet_domains(&self) -> PacketDomains {
+        self.packet_domains
+            .clone()
+            .unwrap_or_else(|| PacketDomains::from_topology(&self.topology))
+    }
+}
+
+/// Which search strategy drives the exploration (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// NICE-MC: exhaustive depth-first search over all enabled transitions.
+    FullDfs,
+    /// NO-DELAY: controller↔switch communication is treated as atomic.
+    NoDelay,
+    /// FLOW-IR: only one relative ordering is explored between packets of
+    /// independent flows (requires the application's `is_same_flow`).
+    FlowIr,
+    /// UNUSUAL: control messages are delivered in unusual (reverse) order to
+    /// expose race conditions.
+    Unusual,
+}
+
+impl StrategyKind {
+    /// All strategies, in the order Table 2 reports them.
+    pub const ALL: [StrategyKind; 4] =
+        [StrategyKind::FullDfs, StrategyKind::NoDelay, StrategyKind::FlowIr, StrategyKind::Unusual];
+
+    /// The name used in reports (matches the paper's terminology).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::FullDfs => "PKT-SEQ",
+            StrategyKind::NoDelay => "NO-DELAY",
+            StrategyKind::FlowIr => "FLOW-IR",
+            StrategyKind::Unusual => "UNUSUAL",
+        }
+    }
+}
+
+/// How states on the search frontier are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateStorage {
+    /// Keep a full clone of each frontier state (fast, more memory).
+    Full,
+    /// Keep only the transition sequence and rebuild states by replaying it
+    /// from the initial state — the approach the paper's prototype takes to
+    /// trade computation for memory (Section 6).
+    Replay,
+}
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct CheckerConfig {
+    /// The search strategy.
+    pub strategy: StrategyKind,
+    /// Stop after exploring this many transitions (0 = unlimited).
+    pub max_transitions: u64,
+    /// Do not explore beyond this depth (transitions from the initial state).
+    pub max_depth: usize,
+    /// Stop at the first property violation (the paper's default workflow) or
+    /// keep searching to collect every violation.
+    pub stop_at_first_violation: bool,
+    /// Process all of a switch's busy ingress ports in one `process_pkt`
+    /// transition (the paper's simplification). Disabling it yields the
+    /// fine-grained interleaving granularity of generic model checkers, used
+    /// for the Section 7 comparison.
+    pub coarse_packet_processing: bool,
+    /// Explore rule-expiry (timeout) transitions.
+    pub explore_rule_expiry: bool,
+    /// How frontier states are stored.
+    pub state_storage: StateStorage,
+    /// Limits on symbolic path exploration.
+    pub explore: ExploreConfig,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            strategy: StrategyKind::FullDfs,
+            max_transitions: 2_000_000,
+            max_depth: 400,
+            stop_at_first_violation: true,
+            coarse_packet_processing: true,
+            explore_rule_expiry: false,
+            state_storage: StateStorage::Full,
+            explore: ExploreConfig::default(),
+        }
+    }
+}
+
+impl CheckerConfig {
+    /// The configuration used for the generic-model-checker baseline of the
+    /// Section 7 comparison: no coarse packet processing (finest interleaving
+    /// granularity). Combine with a scenario whose switches disable the
+    /// canonical flow table to remove all domain-specific reductions.
+    pub fn generic_baseline() -> Self {
+        CheckerConfig { coarse_packet_processing: false, ..Default::default() }
+    }
+
+    /// Sets the strategy (builder style).
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the transition budget (builder style).
+    pub fn with_max_transitions(mut self, max: u64) -> Self {
+        self.max_transitions = max;
+        self
+    }
+
+    /// Sets whether to stop at the first violation (builder style).
+    pub fn with_stop_at_first(mut self, stop: bool) -> Self {
+        self.stop_at_first_violation = stop;
+        self
+    }
+
+    /// Sets the state-storage mode (builder style).
+    pub fn with_state_storage(mut self, storage: StateStorage) -> Self {
+        self.state_storage = storage;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use nice_openflow::MacAddr;
+
+    #[test]
+    fn send_policy_constructors() {
+        let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
+        let policy = SendPolicy::scripted([(HostId(1), vec![pkt])]);
+        assert!(!policy.is_discover());
+        assert!(SendPolicy::Discover.is_discover());
+    }
+
+    #[test]
+    fn scenario_builders_compose() {
+        let scenario = testutil::hub_ping_scenario(2)
+            .with_switch_config(SwitchConfig { canonical_flow_table: false, buffer_capacity: 8 })
+            .with_packet_faults(FaultModel::RELIABLE)
+            .with_stats_domains(StatsDomains::around_threshold(100));
+        assert!(!scenario.switch_config.canonical_flow_table);
+        assert_eq!(scenario.switch_config.buffer_capacity, 8);
+        let cloned = scenario.clone();
+        assert_eq!(cloned.name, scenario.name);
+        assert_eq!(cloned.hosts.len(), scenario.hosts.len());
+        assert!(format!("{scenario:?}").contains("hub"));
+    }
+
+    #[test]
+    fn effective_packet_domains_derive_from_topology_by_default() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let domains = scenario.effective_packet_domains();
+        assert!(domains.macs.contains(&MacAddr::for_host(1).value()));
+        let overridden = scenario.with_packet_domains(
+            nice_sym::PacketDomains::from_topology(&Topology::single_switch(1)).with_ports(vec![9]),
+        );
+        assert_eq!(overridden.effective_packet_domains().ports, vec![9]);
+    }
+
+    #[test]
+    fn strategy_names_match_the_paper() {
+        assert_eq!(StrategyKind::FullDfs.name(), "PKT-SEQ");
+        assert_eq!(StrategyKind::NoDelay.name(), "NO-DELAY");
+        assert_eq!(StrategyKind::FlowIr.name(), "FLOW-IR");
+        assert_eq!(StrategyKind::Unusual.name(), "UNUSUAL");
+        assert_eq!(StrategyKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn checker_config_defaults_and_builders() {
+        let config = CheckerConfig::default();
+        assert!(config.coarse_packet_processing);
+        assert!(config.stop_at_first_violation);
+        assert_eq!(config.strategy, StrategyKind::FullDfs);
+        let tuned = CheckerConfig::default()
+            .with_strategy(StrategyKind::Unusual)
+            .with_max_transitions(10)
+            .with_stop_at_first(false)
+            .with_state_storage(StateStorage::Replay);
+        assert_eq!(tuned.strategy, StrategyKind::Unusual);
+        assert_eq!(tuned.max_transitions, 10);
+        assert!(!tuned.stop_at_first_violation);
+        assert_eq!(tuned.state_storage, StateStorage::Replay);
+        assert!(!CheckerConfig::generic_baseline().coarse_packet_processing);
+    }
+}

@@ -1,0 +1,301 @@
+//! First-in first-out communication channels with an optional fault model.
+//!
+//! Section 2.2.1 of the paper models a distributed system as components that
+//! communicate over FIFO message channels; Section 2.2.2 adds that *packet*
+//! channels have an optionally-enabled fault model that can drop, duplicate
+//! or reorder packets, or fail the link, while the OpenFlow channel between a
+//! switch and the controller is reliable and in-order.
+//!
+//! The channel itself does not decide *when* faults happen — it only reports
+//! which faulty transitions are currently enabled; the model checker chooses
+//! among them like any other transition, so every fault interleaving is
+//! explored systematically rather than sampled.
+
+use crate::fingerprint::{Fingerprint, Fnv64};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Which fault classes are enabled on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultModel {
+    /// Messages may be silently dropped.
+    pub allow_drop: bool,
+    /// Messages may be duplicated.
+    pub allow_duplicate: bool,
+    /// Adjacent messages may be reordered.
+    pub allow_reorder: bool,
+    /// The link itself may fail (the channel stops delivering).
+    pub allow_link_failure: bool,
+}
+
+impl FaultModel {
+    /// The reliable, in-order model used for the OpenFlow control channel and
+    /// (by default, Section 5.2 "we disable optional packet drops and
+    /// duplication") for packet channels too.
+    pub const RELIABLE: FaultModel = FaultModel {
+        allow_drop: false,
+        allow_duplicate: false,
+        allow_reorder: false,
+        allow_link_failure: false,
+    };
+
+    /// A lossy model enabling every fault class.
+    pub const LOSSY: FaultModel = FaultModel {
+        allow_drop: true,
+        allow_duplicate: true,
+        allow_reorder: true,
+        allow_link_failure: true,
+    };
+
+    /// True if at least one fault class is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.allow_drop || self.allow_duplicate || self.allow_reorder || self.allow_link_failure
+    }
+}
+
+/// A fault transition that is currently possible on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelFault {
+    /// Drop the message at the head of the queue.
+    DropHead,
+    /// Duplicate the message at the head of the queue.
+    DuplicateHead,
+    /// Swap the first two messages.
+    ReorderHead,
+    /// Fail the link: all queued and future messages are discarded.
+    FailLink,
+}
+
+/// A FIFO channel carrying messages of type `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FifoChannel<T> {
+    queue: VecDeque<T>,
+    faults: FaultModel,
+    failed: bool,
+}
+
+impl<T> Default for FifoChannel<T> {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+impl<T> FifoChannel<T> {
+    /// Creates an empty, reliable channel.
+    pub fn reliable() -> Self {
+        FifoChannel { queue: VecDeque::new(), faults: FaultModel::RELIABLE, failed: false }
+    }
+
+    /// Creates an empty channel with the given fault model.
+    pub fn with_faults(faults: FaultModel) -> Self {
+        FifoChannel { queue: VecDeque::new(), faults, failed: false }
+    }
+
+    /// The configured fault model.
+    pub fn fault_model(&self) -> FaultModel {
+        self.faults
+    }
+
+    /// True if the link has failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues a message. Messages sent on a failed link are discarded,
+    /// mirroring a down physical link.
+    pub fn push(&mut self, msg: T) {
+        if !self.failed {
+            self.queue.push_back(msg);
+        }
+    }
+
+    /// Dequeues the message at the head of the queue.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks at the head of the queue.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Iterates over queued messages from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter()
+    }
+
+    /// Lists the fault transitions currently enabled, given the fault model
+    /// and queue contents. The model checker schedules these alongside the
+    /// ordinary deliver transitions.
+    pub fn enabled_faults(&self) -> Vec<ChannelFault> {
+        let mut out = Vec::new();
+        if self.failed {
+            return out;
+        }
+        if self.faults.allow_drop && !self.queue.is_empty() {
+            out.push(ChannelFault::DropHead);
+        }
+        if self.faults.allow_duplicate && !self.queue.is_empty() {
+            out.push(ChannelFault::DuplicateHead);
+        }
+        if self.faults.allow_reorder && self.queue.len() >= 2 {
+            out.push(ChannelFault::ReorderHead);
+        }
+        if self.faults.allow_link_failure {
+            out.push(ChannelFault::FailLink);
+        }
+        out
+    }
+
+    /// Applies a fault transition. Panics if the fault is not currently
+    /// enabled — the model checker only applies faults it obtained from
+    /// [`FifoChannel::enabled_faults`].
+    pub fn apply_fault(&mut self, fault: ChannelFault)
+    where
+        T: Clone,
+    {
+        match fault {
+            ChannelFault::DropHead => {
+                assert!(self.faults.allow_drop, "drop fault not enabled");
+                self.queue.pop_front();
+            }
+            ChannelFault::DuplicateHead => {
+                assert!(self.faults.allow_duplicate, "duplicate fault not enabled");
+                if let Some(head) = self.queue.front().cloned() {
+                    self.queue.push_front(head);
+                }
+            }
+            ChannelFault::ReorderHead => {
+                assert!(self.faults.allow_reorder, "reorder fault not enabled");
+                if self.queue.len() >= 2 {
+                    self.queue.swap(0, 1);
+                }
+            }
+            ChannelFault::FailLink => {
+                assert!(self.faults.allow_link_failure, "link failure not enabled");
+                self.failed = true;
+                self.queue.clear();
+            }
+        }
+    }
+}
+
+impl<T: Fingerprint> Fingerprint for FifoChannel<T> {
+    fn fingerprint(&self, hasher: &mut Fnv64) {
+        hasher.write_bool(self.failed);
+        hasher.write_usize(self.queue.len());
+        for m in &self.queue {
+            m.fingerprint(hasher);
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for FifoChannel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.failed {
+            return write!(f, "<failed link>");
+        }
+        write!(f, "[{} queued]", self.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint_of;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut ch: FifoChannel<u32> = FifoChannel::reliable();
+        assert!(ch.is_empty());
+        ch.push(1);
+        ch.push(2);
+        ch.push(3);
+        assert_eq!(ch.len(), 3);
+        assert_eq!(ch.peek(), Some(&1));
+        assert_eq!(ch.pop(), Some(1));
+        assert_eq!(ch.pop(), Some(2));
+        assert_eq!(ch.pop(), Some(3));
+        assert_eq!(ch.pop(), None);
+    }
+
+    #[test]
+    fn reliable_channel_has_no_fault_transitions() {
+        let mut ch: FifoChannel<u32> = FifoChannel::reliable();
+        ch.push(1);
+        ch.push(2);
+        assert!(ch.enabled_faults().is_empty());
+        assert!(!ch.fault_model().any_enabled());
+    }
+
+    #[test]
+    fn lossy_channel_exposes_faults_dependent_on_queue() {
+        let mut ch: FifoChannel<u32> = FifoChannel::with_faults(FaultModel::LOSSY);
+        // Empty queue: only link failure is possible.
+        assert_eq!(ch.enabled_faults(), vec![ChannelFault::FailLink]);
+        ch.push(1);
+        let faults = ch.enabled_faults();
+        assert!(faults.contains(&ChannelFault::DropHead));
+        assert!(faults.contains(&ChannelFault::DuplicateHead));
+        assert!(!faults.contains(&ChannelFault::ReorderHead));
+        ch.push(2);
+        assert!(ch.enabled_faults().contains(&ChannelFault::ReorderHead));
+    }
+
+    #[test]
+    fn drop_duplicate_reorder_semantics() {
+        let mut ch: FifoChannel<u32> = FifoChannel::with_faults(FaultModel::LOSSY);
+        ch.push(1);
+        ch.push(2);
+        ch.apply_fault(ChannelFault::ReorderHead);
+        assert_eq!(ch.iter().copied().collect::<Vec<_>>(), vec![2, 1]);
+        ch.apply_fault(ChannelFault::DuplicateHead);
+        assert_eq!(ch.iter().copied().collect::<Vec<_>>(), vec![2, 2, 1]);
+        ch.apply_fault(ChannelFault::DropHead);
+        assert_eq!(ch.iter().copied().collect::<Vec<_>>(), vec![2, 1]);
+    }
+
+    #[test]
+    fn link_failure_discards_everything() {
+        let mut ch: FifoChannel<u32> = FifoChannel::with_faults(FaultModel::LOSSY);
+        ch.push(1);
+        ch.apply_fault(ChannelFault::FailLink);
+        assert!(ch.is_failed());
+        assert!(ch.is_empty());
+        ch.push(7);
+        assert!(ch.is_empty(), "a failed link silently discards new messages");
+        assert!(ch.enabled_faults().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop fault not enabled")]
+    fn applying_disabled_fault_panics() {
+        let mut ch: FifoChannel<u32> = FifoChannel::reliable();
+        ch.push(1);
+        ch.apply_fault(ChannelFault::DropHead);
+    }
+
+    #[test]
+    fn fingerprint_covers_contents_and_failure() {
+        let mut a: FifoChannel<u32> = FifoChannel::reliable();
+        let mut b: FifoChannel<u32> = FifoChannel::reliable();
+        a.push(1);
+        b.push(2);
+        assert_ne!(fingerprint_of(&a), fingerprint_of(&b));
+        let mut c: FifoChannel<u32> = FifoChannel::with_faults(FaultModel::LOSSY);
+        c.push(1);
+        let before = fingerprint_of(&c);
+        c.apply_fault(ChannelFault::FailLink);
+        assert_ne!(before, fingerprint_of(&c));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the OpenFlow substrate: flow-table
+//! canonicalisation, lookup soundness and prefix-match algebra.
+
+use nice_openflow::matchfields::PrefixMatch;
+use nice_openflow::{
+    fingerprint_of, Action, EthType, FlowRule, FlowTable, MacAddr, MatchPattern, NwAddr, Packet,
+    PortId, TcpFlags,
+};
+use proptest::prelude::*;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    prop_oneof![
+        (1u32..5).prop_map(MacAddr::for_host),
+        Just(MacAddr::BROADCAST),
+    ]
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        arb_mac(),
+        arb_mac(),
+        0u32..4,
+        0u32..4,
+        prop_oneof![Just(80u16), Just(1000u16), Just(0u16)],
+        prop_oneof![Just(80u16), Just(1000u16), Just(0u16)],
+        any::<bool>(),
+    )
+        .prop_map(|(src_mac, dst_mac, src_ip, dst_ip, sport, dport, syn)| Packet {
+            id: nice_openflow::PacketId(1),
+            src_mac,
+            dst_mac,
+            eth_type: EthType::Ipv4,
+            src_ip: NwAddr::for_host(src_ip),
+            dst_ip: NwAddr::for_host(dst_ip),
+            nw_proto: nice_openflow::IpProto::Tcp,
+            src_port: sport,
+            dst_port: dport,
+            tcp_flags: if syn { TcpFlags::SYN } else { TcpFlags::ACK },
+            arp_op: 0,
+            payload: 0,
+        })
+}
+
+fn arb_port() -> impl Strategy<Value = PortId> {
+    (1u16..4).prop_map(PortId)
+}
+
+fn arb_rule() -> impl Strategy<Value = FlowRule> {
+    (arb_packet(), arb_port(), 1u16..4, 1u16..4).prop_map(|(pkt, in_port, prio, out)| {
+        FlowRule::new(
+            MatchPattern::l2_flow(&pkt, in_port),
+            prio * 10,
+            vec![Action::Output(PortId(out))],
+        )
+    })
+}
+
+proptest! {
+    /// Canonical flow tables are insertion-order independent: any permutation
+    /// of the same rule set produces the same fingerprint (the Section 2.2.2
+    /// state-merging argument). Rules sharing a `(pattern, priority)` key are
+    /// filtered out first, because OpenFlow ADD semantics make the *last*
+    /// such rule win, which is legitimately order dependent.
+    #[test]
+    fn canonical_table_is_order_independent(rules in prop::collection::vec(arb_rule(), 0..6)) {
+        let mut unique: Vec<FlowRule> = Vec::new();
+        for r in rules {
+            if !unique.iter().any(|u| u.pattern == r.pattern && u.priority == r.priority) {
+                unique.push(r);
+            }
+        }
+        let mut forward = FlowTable::new();
+        for r in &unique {
+            forward.add_rule(r.clone());
+        }
+        let mut backward = FlowTable::new();
+        for r in unique.iter().rev() {
+            backward.add_rule(r.clone());
+        }
+        prop_assert_eq!(fingerprint_of(&forward), fingerprint_of(&backward));
+        prop_assert_eq!(forward.len(), backward.len());
+    }
+
+    /// Lookup soundness: whatever rule wins the lookup actually matches the
+    /// packet, and no other rule with a strictly higher priority matches.
+    #[test]
+    fn lookup_returns_a_highest_priority_matching_rule(
+        rules in prop::collection::vec(arb_rule(), 0..8),
+        pkt in arb_packet(),
+        in_port in arb_port(),
+    ) {
+        let mut table = FlowTable::new();
+        for r in &rules {
+            table.add_rule(r.clone());
+        }
+        match table.lookup(&pkt, in_port) {
+            nice_openflow::flowtable::TableLookup::Match { rule_index, .. } => {
+                let winner = table.rule(rule_index).unwrap();
+                prop_assert!(winner.pattern.matches(&pkt, in_port));
+                for r in table.rules() {
+                    if r.pattern.matches(&pkt, in_port) {
+                        prop_assert!(r.priority <= winner.priority);
+                    }
+                }
+            }
+            nice_openflow::flowtable::TableLookup::Miss => {
+                for r in table.rules() {
+                    prop_assert!(!r.pattern.matches(&pkt, in_port));
+                }
+            }
+        }
+    }
+
+    /// Counters only ever grow, by exactly one packet per processed packet.
+    #[test]
+    fn counters_are_monotonic(
+        rule in arb_rule(),
+        packets in prop::collection::vec((arb_packet(), arb_port()), 1..10),
+    ) {
+        let mut table = FlowTable::new();
+        table.add_rule(rule);
+        let mut last_total = 0u64;
+        for (pkt, port) in packets {
+            table.process(&pkt, port);
+            let total: u64 = table.flow_stats().iter().map(|s| s.packets).sum();
+            prop_assert!(total >= last_total);
+            prop_assert!(total <= last_total + 1);
+            last_total = total;
+        }
+    }
+
+    /// Prefix-match algebra: subsumption implies overlap, and an exact match
+    /// is subsumed by every prefix of itself.
+    #[test]
+    fn prefix_subsumption_implies_overlap(addr in any::<u32>(), len_a in 0u8..=32, len_b in 0u8..=32) {
+        let a = PrefixMatch::prefix(NwAddr(addr), len_a);
+        let b = PrefixMatch::prefix(NwAddr(addr), len_b);
+        if a.subsumes(&b) {
+            prop_assert!(a.overlaps(&b));
+            prop_assert!(len_a <= len_b);
+        }
+        let exact = PrefixMatch::exact(NwAddr(addr));
+        prop_assert!(a.subsumes(&exact));
+        prop_assert!(a.matches(NwAddr(addr)) || len_a == 0 || a.prefix.in_prefix(NwAddr(addr), len_a));
+    }
+
+    /// The wildcard pattern matches every generated packet; the microflow
+    /// pattern of a packet matches exactly that packet on that port.
+    #[test]
+    fn wildcard_and_microflow_extremes(pkt in arb_packet(), port in arb_port(), other in arb_packet()) {
+        prop_assert!(MatchPattern::any().matches(&pkt, port));
+        let micro = MatchPattern::microflow(&pkt, port);
+        prop_assert!(micro.matches(&pkt, port));
+        if other != pkt {
+            // A different packet can only match if every modelled field agrees.
+            if micro.matches(&other, port) {
+                prop_assert_eq!(pkt.src_mac, other.src_mac);
+                prop_assert_eq!(pkt.dst_mac, other.dst_mac);
+                prop_assert_eq!(pkt.src_ip, other.src_ip);
+                prop_assert_eq!(pkt.dst_ip, other.dst_ip);
+                prop_assert_eq!(pkt.src_port, other.src_port);
+                prop_assert_eq!(pkt.dst_port, other.dst_port);
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Symbolic expression and constraint ASTs.
+//!
+//! Expressions are integer-valued (all modelled header fields fit in a
+//! `u64`); constraints are boolean formulas over them. Expressions carry no
+//! interior mutability and are freely cloneable, so paths and constraints can
+//! be stored, negated and replayed.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies one symbolic variable (e.g. "the destination MAC address of
+/// the packet being discovered for client 1").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The finite candidate domain of a symbolic variable.
+///
+/// This encodes the paper's "domain knowledge" optimisation (Section 3.2):
+/// header fields are constrained to the addresses that exist in the modelled
+/// topology, plus a designated *fresh* value representing "any address not
+/// known to the system" so that unknown-destination code paths stay
+/// reachable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    candidates: Vec<u64>,
+}
+
+impl Domain {
+    /// Creates a domain from candidate values (deduplicated, order
+    /// preserved — the first candidate is the default concrete seed used by
+    /// the concolic engine).
+    pub fn new(candidates: impl IntoIterator<Item = u64>) -> Self {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for c in candidates {
+            if seen.insert(c) {
+                out.push(c);
+            }
+        }
+        assert!(!out.is_empty(), "a symbolic variable needs at least one candidate value");
+        Domain { candidates: out }
+    }
+
+    /// A single-value (effectively concrete) domain.
+    pub fn singleton(v: u64) -> Self {
+        Domain::new([v])
+    }
+
+    /// The candidate values.
+    pub fn candidates(&self) -> &[u64] {
+        &self.candidates
+    }
+
+    /// The default seed value for the concolic engine.
+    pub fn seed(&self) -> u64 {
+        self.candidates[0]
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True if only one candidate exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if `v` is a member of the domain.
+    pub fn contains(&self, v: u64) -> bool {
+        self.candidates.contains(&v)
+    }
+}
+
+/// An integer-valued symbolic expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A symbolic variable.
+    Var(VarId),
+    /// A constant.
+    Const(u64),
+    /// Bitwise AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Bitwise OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Bitwise XOR.
+    Xor(Box<Expr>, Box<Expr>),
+    /// Addition (wrapping).
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction (wrapping).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Logical shift right by a constant.
+    Shr(Box<Expr>, u32),
+    /// Logical shift left by a constant.
+    Shl(Box<Expr>, u32),
+}
+
+impl Expr {
+    /// Evaluates the expression under `lookup`, which resolves variables.
+    /// Returns `None` if any referenced variable is unresolved.
+    pub fn eval_with(&self, lookup: &dyn Fn(VarId) -> Option<u64>) -> Option<u64> {
+        match self {
+            Expr::Var(v) => lookup(*v),
+            Expr::Const(c) => Some(*c),
+            Expr::And(a, b) => Some(a.eval_with(lookup)? & b.eval_with(lookup)?),
+            Expr::Or(a, b) => Some(a.eval_with(lookup)? | b.eval_with(lookup)?),
+            Expr::Xor(a, b) => Some(a.eval_with(lookup)? ^ b.eval_with(lookup)?),
+            Expr::Add(a, b) => Some(a.eval_with(lookup)?.wrapping_add(b.eval_with(lookup)?)),
+            Expr::Sub(a, b) => Some(a.eval_with(lookup)?.wrapping_sub(b.eval_with(lookup)?)),
+            Expr::Shr(a, n) => Some(a.eval_with(lookup)?.checked_shr(*n).unwrap_or(0)),
+            Expr::Shl(a, n) => Some(a.eval_with(lookup)?.checked_shl(*n).unwrap_or(0)),
+        }
+    }
+
+    /// Collects the variables referenced by this expression into `out`.
+    pub fn collect_vars(&self, out: &mut VarSet) {
+        match self {
+            Expr::Var(v) => {
+                out.insert(*v);
+            }
+            Expr::Const(_) => {}
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) | Expr::Add(a, b) | Expr::Sub(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Shr(a, _) | Expr::Shl(a, _) => a.collect_vars(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Const(c) => write!(f, "{c:#x}"),
+            Expr::And(a, b) => write!(f, "({a} & {b})"),
+            Expr::Or(a, b) => write!(f, "({a} | {b})"),
+            Expr::Xor(a, b) => write!(f, "({a} ^ {b})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Shr(a, n) => write!(f, "({a} >> {n})"),
+            Expr::Shl(a, n) => write!(f, "({a} << {n})"),
+        }
+    }
+}
+
+/// A boolean constraint over symbolic expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Equality.
+    Eq(Expr, Expr),
+    /// Inequality.
+    Ne(Expr, Expr),
+    /// Unsigned less-than.
+    Lt(Expr, Expr),
+    /// Unsigned less-or-equal.
+    Le(Expr, Expr),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// The negated constraint (kept shallow: `Not` nodes cancel).
+    pub fn negate(&self) -> BoolExpr {
+        match self {
+            BoolExpr::True => BoolExpr::False,
+            BoolExpr::False => BoolExpr::True,
+            BoolExpr::Eq(a, b) => BoolExpr::Ne(a.clone(), b.clone()),
+            BoolExpr::Ne(a, b) => BoolExpr::Eq(a.clone(), b.clone()),
+            BoolExpr::Not(inner) => (**inner).clone(),
+            other => BoolExpr::Not(Box::new(other.clone())),
+        }
+    }
+
+    /// Evaluates the constraint under `lookup`. Returns `None` if a
+    /// referenced variable is unresolved (used for constraint propagation
+    /// with partial assignments).
+    pub fn eval_with(&self, lookup: &dyn Fn(VarId) -> Option<u64>) -> Option<bool> {
+        match self {
+            BoolExpr::True => Some(true),
+            BoolExpr::False => Some(false),
+            BoolExpr::Eq(a, b) => Some(a.eval_with(lookup)? == b.eval_with(lookup)?),
+            BoolExpr::Ne(a, b) => Some(a.eval_with(lookup)? != b.eval_with(lookup)?),
+            BoolExpr::Lt(a, b) => Some(a.eval_with(lookup)? < b.eval_with(lookup)?),
+            BoolExpr::Le(a, b) => Some(a.eval_with(lookup)? <= b.eval_with(lookup)?),
+            BoolExpr::And(a, b) => {
+                // Short-circuit where possible even with partial assignments.
+                match (a.eval_with(lookup), b.eval_with(lookup)) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                }
+            }
+            BoolExpr::Or(a, b) => match (a.eval_with(lookup), b.eval_with(lookup)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            BoolExpr::Not(inner) => inner.eval_with(lookup).map(|b| !b),
+        }
+    }
+
+    /// Collects the variables referenced by this constraint.
+    pub fn collect_vars(&self, out: &mut VarSet) {
+        match self {
+            BoolExpr::True | BoolExpr::False => {}
+            BoolExpr::Eq(a, b) | BoolExpr::Ne(a, b) | BoolExpr::Lt(a, b) | BoolExpr::Le(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            BoolExpr::Not(inner) => inner.collect_vars(out),
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::True => write!(f, "true"),
+            BoolExpr::False => write!(f, "false"),
+            BoolExpr::Eq(a, b) => write!(f, "{a} == {b}"),
+            BoolExpr::Ne(a, b) => write!(f, "{a} != {b}"),
+            BoolExpr::Lt(a, b) => write!(f, "{a} < {b}"),
+            BoolExpr::Le(a, b) => write!(f, "{a} <= {b}"),
+            BoolExpr::And(a, b) => write!(f, "({a}) && ({b})"),
+            BoolExpr::Or(a, b) => write!(f, "({a}) || ({b})"),
+            BoolExpr::Not(inner) => write!(f, "!({inner})"),
+        }
+    }
+}
+
+/// A set of variable ids.
+pub type VarSet = BTreeSet<VarId>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup_none(_: VarId) -> Option<u64> {
+        None
+    }
+
+    #[test]
+    fn domain_dedups_and_keeps_order() {
+        let d = Domain::new([5, 3, 5, 7, 3]);
+        assert_eq!(d.candidates(), &[5, 3, 7]);
+        assert_eq!(d.seed(), 5);
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(7));
+        assert!(!d.contains(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_domain_rejected() {
+        Domain::new([]);
+    }
+
+    #[test]
+    fn expr_eval_constants() {
+        let e = Expr::Add(Box::new(Expr::Const(40)), Box::new(Expr::Const(2)));
+        assert_eq!(e.eval_with(&lookup_none), Some(42));
+        let e = Expr::And(Box::new(Expr::Const(0xff)), Box::new(Expr::Const(0x0f)));
+        assert_eq!(e.eval_with(&lookup_none), Some(0x0f));
+        let e = Expr::Shr(Box::new(Expr::Const(0x100)), 8);
+        assert_eq!(e.eval_with(&lookup_none), Some(1));
+        let e = Expr::Shl(Box::new(Expr::Const(1)), 4);
+        assert_eq!(e.eval_with(&lookup_none), Some(16));
+    }
+
+    #[test]
+    fn expr_eval_with_vars() {
+        let lookup = |v: VarId| if v == VarId(1) { Some(10u64) } else { None };
+        let e = Expr::Add(Box::new(Expr::Var(VarId(1))), Box::new(Expr::Const(1)));
+        assert_eq!(e.eval_with(&lookup), Some(11));
+        let e = Expr::Add(Box::new(Expr::Var(VarId(2))), Box::new(Expr::Const(1)));
+        assert_eq!(e.eval_with(&lookup), None);
+    }
+
+    #[test]
+    fn bool_eval_and_negate() {
+        let a = BoolExpr::Eq(Expr::Const(1), Expr::Const(1));
+        assert_eq!(a.eval_with(&lookup_none), Some(true));
+        assert_eq!(a.negate().eval_with(&lookup_none), Some(false));
+        let lt = BoolExpr::Lt(Expr::Const(1), Expr::Const(2));
+        assert_eq!(lt.eval_with(&lookup_none), Some(true));
+        assert_eq!(lt.negate().eval_with(&lookup_none), Some(false));
+        // Double negation cancels structurally.
+        let nn = lt.negate().negate();
+        assert_eq!(nn, lt);
+    }
+
+    #[test]
+    fn bool_short_circuit_with_partial_assignment() {
+        let unknown = BoolExpr::Eq(Expr::Var(VarId(9)), Expr::Const(1));
+        let f = BoolExpr::And(Box::new(BoolExpr::False), Box::new(unknown.clone()));
+        assert_eq!(f.eval_with(&lookup_none), Some(false));
+        let t = BoolExpr::Or(Box::new(BoolExpr::True), Box::new(unknown.clone()));
+        assert_eq!(t.eval_with(&lookup_none), Some(true));
+        let u = BoolExpr::And(Box::new(BoolExpr::True), Box::new(unknown));
+        assert_eq!(u.eval_with(&lookup_none), None);
+    }
+
+    #[test]
+    fn collect_vars_finds_all() {
+        let e = BoolExpr::And(
+            Box::new(BoolExpr::Eq(Expr::Var(VarId(1)), Expr::Const(0))),
+            Box::new(BoolExpr::Lt(
+                Expr::Add(Box::new(Expr::Var(VarId(2))), Box::new(Expr::Var(VarId(3)))),
+                Expr::Const(10),
+            )),
+        );
+        let mut vars = VarSet::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars.into_iter().collect::<Vec<_>>(), vec![VarId(1), VarId(2), VarId(3)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = BoolExpr::Eq(
+            Expr::And(Box::new(Expr::Var(VarId(0))), Box::new(Expr::Const(1))),
+            Expr::Const(0),
+        );
+        assert_eq!(e.to_string(), "(v0 & 0x1) == 0x0");
+    }
+}

@@ -1,0 +1,56 @@
+//! # nice-sym
+//!
+//! Symbolic (concolic) execution support for NICE.
+//!
+//! Section 3 of the paper: rather than enumerating all possible packets, NICE
+//! symbolically executes the controller's event handlers to find *equivalence
+//! classes* of packets — ranges of header-field values that exercise the same
+//! code path — and injects one representative ("relevant") packet per class.
+//!
+//! The original prototype instruments Python byte-code and queries the STP
+//! solver. This crate reproduces the same mechanism as a library:
+//!
+//! * [`value::SymValue`] / [`value::SymBool`] — values that are either
+//!   concrete integers or symbolic expressions over lazily-created variables
+//!   (one per packet header field, Section 3.2 "symbolic packets").
+//! * [`env::Env`] — the execution environment handlers branch through. Under
+//!   [`env::ConcreteEnv`] (used by the model checker) a branch simply
+//!   evaluates; under [`env::SymExecEnv`] (used by the concolic engine) the
+//!   branch outcome is taken from the current concrete input and the branch
+//!   condition is recorded as a path constraint — exactly what the paper's
+//!   instrumented branches do.
+//! * [`solver`] — a finite-domain constraint solver standing in for STP. The
+//!   paper already restricts header fields to "the MAC and IP addresses used
+//!   by the hosts and switches in the system model" (domain knowledge), so a
+//!   propagating backtracking search over those candidate sets decides the
+//!   same queries.
+//! * [`explore::PathExplorer`] — the generational (DART-style) concolic
+//!   search that repeatedly negates the last unexplored branch of a path,
+//!   asks the solver for a new input, and re-executes, until every feasible
+//!   path of the handler has been covered.
+//! * [`symmap::SymMap`] — the dictionary stub of Section 6: a map that, when
+//!   indexed with a symbolic key, exposes the equality constraints between
+//!   the key and the entries it may alias.
+//! * [`packet::SymPacket`] / [`stats::SymStats`] — the symbolic inputs handed
+//!   to `packet_in` and statistics handlers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod explore;
+pub mod expr;
+pub mod packet;
+pub mod solver;
+pub mod stats;
+pub mod symmap;
+pub mod value;
+
+pub use env::{ConcreteEnv, Env, SymExecEnv};
+pub use explore::{ExploreConfig, ExploreOutcome, PathExplorer, PathResult};
+pub use expr::{BoolExpr, Domain, Expr, VarId, VarSet};
+pub use packet::{PacketDomains, SymPacket, SymPacketVars};
+pub use solver::{Assignment, SolveResult, Solver};
+pub use stats::{StatsDomains, SymStats};
+pub use symmap::SymMap;
+pub use value::{SymBool, SymValue};

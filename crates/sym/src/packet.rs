@@ -1,0 +1,415 @@
+//! Symbolic packets.
+//!
+//! Section 3.2: *"a symbolic packet is a group of symbolic integer variables
+//! that each represents a header field"*, kept as individual lazily-created
+//! variables (rather than an array of symbolic bytes) to keep the solver
+//! load low, with byte- and bit-level access still available, and with the
+//! candidate values constrained by domain knowledge taken from the input
+//! topology.
+//!
+//! A [`SymPacket`] can be built from a concrete [`Packet`] (all fields
+//! concrete — what the model checker passes to handlers) or declared fully
+//! symbolic against a [`Solver`] (what `discover_packets` passes). The
+//! [`SymPacketVars`] handle maps a solver model back to a concrete [`Packet`].
+
+use crate::expr::Domain;
+use crate::solver::{Assignment, Solver};
+use crate::value::{SymBool, SymValue};
+use nice_openflow::{EthType, IpProto, MacAddr, NwAddr, Packet, PacketId, TcpFlags, Topology};
+
+/// Candidate values for each symbolic header field, derived from the
+/// topology (the paper's "domain knowledge") plus designated fresh values so
+/// that "unknown address" code paths remain reachable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketDomains {
+    /// Candidate MAC addresses (hosts, broadcast, one fresh unicast).
+    pub macs: Vec<u64>,
+    /// Candidate IPv4 addresses (hosts, one fresh).
+    pub ips: Vec<u64>,
+    /// Candidate EtherTypes.
+    pub eth_types: Vec<u64>,
+    /// Candidate IP protocol numbers.
+    pub nw_protos: Vec<u64>,
+    /// Candidate transport ports.
+    pub ports: Vec<u64>,
+    /// Candidate TCP flag bytes.
+    pub tcp_flags: Vec<u64>,
+    /// Candidate ARP opcodes.
+    pub arp_ops: Vec<u64>,
+    /// Candidate payload tags.
+    pub payloads: Vec<u64>,
+}
+
+impl PacketDomains {
+    /// A MAC address that no modelled host owns: lets symbolic execution
+    /// reach "destination unknown → flood" style code paths.
+    pub const FRESH_MAC: u64 = 0x0200_0000_00fe;
+    /// An IPv4 address no modelled host owns.
+    pub const FRESH_IP: u64 = 0x0a00_00fe;
+
+    /// Builds domains from a topology. The defaults favour layer-2
+    /// applications (the pyswitch workload of Section 7): IPv4 + ARP +
+    /// layer-2 ping EtherTypes, TCP, a client and a server port.
+    pub fn from_topology(topology: &Topology) -> Self {
+        let mut macs: Vec<u64> = topology.known_macs().iter().map(|m| m.value()).collect();
+        macs.push(Self::FRESH_MAC);
+        let mut ips: Vec<u64> = topology.known_ips().iter().map(|i| i.value() as u64).collect();
+        ips.push(Self::FRESH_IP);
+        PacketDomains {
+            macs,
+            ips,
+            eth_types: vec![
+                EthType::L2Ping.value() as u64,
+                EthType::Ipv4.value() as u64,
+                EthType::Arp.value() as u64,
+            ],
+            nw_protos: vec![IpProto::Tcp.value() as u64, IpProto::Udp.value() as u64],
+            ports: vec![80, 1000],
+            tcp_flags: vec![TcpFlags::SYN.0 as u64, TcpFlags::ACK.0 as u64, 0],
+            arp_ops: vec![0, 1, 2],
+            payloads: vec![0],
+        }
+    }
+
+    /// Restricts the EtherType candidates (builder style).
+    pub fn with_eth_types(mut self, eth_types: Vec<u64>) -> Self {
+        assert!(!eth_types.is_empty());
+        self.eth_types = eth_types;
+        self
+    }
+
+    /// Restricts the transport-port candidates (builder style).
+    pub fn with_ports(mut self, ports: Vec<u64>) -> Self {
+        assert!(!ports.is_empty());
+        self.ports = ports;
+        self
+    }
+
+    /// Restricts the payload-tag candidates (builder style).
+    pub fn with_payloads(mut self, payloads: Vec<u64>) -> Self {
+        assert!(!payloads.is_empty());
+        self.payloads = payloads;
+        self
+    }
+
+    /// Total number of concrete packets this domain describes — the size of
+    /// the space symbolic execution avoids enumerating.
+    pub fn cartesian_size(&self) -> u128 {
+        [
+            self.macs.len(),
+            self.macs.len(),
+            self.eth_types.len(),
+            self.ips.len(),
+            self.ips.len(),
+            self.nw_protos.len(),
+            self.ports.len(),
+            self.ports.len(),
+            self.tcp_flags.len(),
+            self.arp_ops.len(),
+            self.payloads.len(),
+        ]
+        .iter()
+        .map(|&n| n as u128)
+        .product()
+    }
+}
+
+/// The solver variables backing one fully-symbolic packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymPacketVars {
+    src_mac: crate::expr::VarId,
+    dst_mac: crate::expr::VarId,
+    eth_type: crate::expr::VarId,
+    src_ip: crate::expr::VarId,
+    dst_ip: crate::expr::VarId,
+    nw_proto: crate::expr::VarId,
+    src_port: crate::expr::VarId,
+    dst_port: crate::expr::VarId,
+    tcp_flags: crate::expr::VarId,
+    arp_op: crate::expr::VarId,
+    payload: crate::expr::VarId,
+}
+
+impl SymPacketVars {
+    /// Reconstructs a concrete packet from a solver model. `id` is the
+    /// provenance id assigned to the injected packet.
+    pub fn packet_from(&self, assignment: &Assignment, id: u64) -> Packet {
+        let get = |v| assignment.get(v).expect("model must be total over packet variables");
+        Packet {
+            id: PacketId(id),
+            src_mac: MacAddr(get(self.src_mac)),
+            dst_mac: MacAddr(get(self.dst_mac)),
+            eth_type: EthType::from_value(get(self.eth_type) as u16),
+            src_ip: NwAddr(get(self.src_ip) as u32),
+            dst_ip: NwAddr(get(self.dst_ip) as u32),
+            nw_proto: IpProto::from_value(get(self.nw_proto) as u8),
+            src_port: get(self.src_port) as u16,
+            dst_port: get(self.dst_port) as u16,
+            tcp_flags: TcpFlags(get(self.tcp_flags) as u8),
+            arp_op: get(self.arp_op) as u8,
+            payload: get(self.payload) as u32,
+        }
+    }
+}
+
+/// A packet whose header fields may be symbolic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymPacket {
+    /// Source MAC address.
+    pub src_mac: SymValue,
+    /// Destination MAC address.
+    pub dst_mac: SymValue,
+    /// EtherType.
+    pub eth_type: SymValue,
+    /// IPv4 source address.
+    pub src_ip: SymValue,
+    /// IPv4 destination address.
+    pub dst_ip: SymValue,
+    /// IP protocol.
+    pub nw_proto: SymValue,
+    /// Transport source port.
+    pub src_port: SymValue,
+    /// Transport destination port.
+    pub dst_port: SymValue,
+    /// TCP flags byte.
+    pub tcp_flags: SymValue,
+    /// ARP opcode.
+    pub arp_op: SymValue,
+    /// Abstract payload tag.
+    pub payload: SymValue,
+    /// The concrete packet this symbolic packet was lifted from, if any
+    /// (present under model checking, absent under `discover_packets`).
+    concrete_origin: Option<Packet>,
+}
+
+impl SymPacket {
+    /// Lifts a concrete packet: every field is concrete.
+    pub fn from_concrete(pkt: &Packet) -> Self {
+        SymPacket {
+            src_mac: SymValue::concrete(pkt.src_mac.value()),
+            dst_mac: SymValue::concrete(pkt.dst_mac.value()),
+            eth_type: SymValue::concrete(pkt.eth_type.value() as u64),
+            src_ip: SymValue::concrete(pkt.src_ip.value() as u64),
+            dst_ip: SymValue::concrete(pkt.dst_ip.value() as u64),
+            nw_proto: SymValue::concrete(pkt.nw_proto.value() as u64),
+            src_port: SymValue::concrete(pkt.src_port as u64),
+            dst_port: SymValue::concrete(pkt.dst_port as u64),
+            tcp_flags: SymValue::concrete(pkt.tcp_flags.0 as u64),
+            arp_op: SymValue::concrete(pkt.arp_op as u64),
+            payload: SymValue::concrete(pkt.payload as u64),
+            concrete_origin: Some(*pkt),
+        }
+    }
+
+    /// Declares a fully-symbolic packet against `solver`, one variable per
+    /// header field with the candidate domains of `domains`.
+    pub fn symbolic(solver: &mut Solver, domains: &PacketDomains) -> (SymPacket, SymPacketVars) {
+        let vars = SymPacketVars {
+            src_mac: solver.fresh_var(Domain::new(domains.macs.iter().copied())),
+            dst_mac: solver.fresh_var(Domain::new(domains.macs.iter().copied())),
+            eth_type: solver.fresh_var(Domain::new(domains.eth_types.iter().copied())),
+            src_ip: solver.fresh_var(Domain::new(domains.ips.iter().copied())),
+            dst_ip: solver.fresh_var(Domain::new(domains.ips.iter().copied())),
+            nw_proto: solver.fresh_var(Domain::new(domains.nw_protos.iter().copied())),
+            src_port: solver.fresh_var(Domain::new(domains.ports.iter().copied())),
+            dst_port: solver.fresh_var(Domain::new(domains.ports.iter().copied())),
+            tcp_flags: solver.fresh_var(Domain::new(domains.tcp_flags.iter().copied())),
+            arp_op: solver.fresh_var(Domain::new(domains.arp_ops.iter().copied())),
+            payload: solver.fresh_var(Domain::new(domains.payloads.iter().copied())),
+        };
+        let pkt = SymPacket {
+            src_mac: SymValue::var(vars.src_mac),
+            dst_mac: SymValue::var(vars.dst_mac),
+            eth_type: SymValue::var(vars.eth_type),
+            src_ip: SymValue::var(vars.src_ip),
+            dst_ip: SymValue::var(vars.dst_ip),
+            nw_proto: SymValue::var(vars.nw_proto),
+            src_port: SymValue::var(vars.src_port),
+            dst_port: SymValue::var(vars.dst_port),
+            tcp_flags: SymValue::var(vars.tcp_flags),
+            arp_op: SymValue::var(vars.arp_op),
+            payload: SymValue::var(vars.payload),
+            concrete_origin: None,
+        };
+        (pkt, vars)
+    }
+
+    /// The concrete packet this symbolic packet was lifted from, if any.
+    pub fn concrete_origin(&self) -> Option<&Packet> {
+        self.concrete_origin.as_ref()
+    }
+
+    /// True if every field is concrete.
+    pub fn is_concrete(&self) -> bool {
+        self.concrete_origin.is_some()
+            || [
+                &self.src_mac,
+                &self.dst_mac,
+                &self.eth_type,
+                &self.src_ip,
+                &self.dst_ip,
+                &self.nw_proto,
+                &self.src_port,
+                &self.dst_port,
+                &self.tcp_flags,
+                &self.arp_op,
+                &self.payload,
+            ]
+            .iter()
+            .all(|v| v.is_concrete())
+    }
+
+    // ----- Convenience predicates used by the modelled applications -----
+
+    /// `pkt.src[0] & 1` — the group/broadcast bit of the source MAC
+    /// (Figure 3, line 4).
+    pub fn src_mac_is_group(&self) -> SymBool {
+        self.src_mac.extract_byte(0, 6).bit_and(&SymValue::concrete(1)).eq_const(1)
+    }
+
+    /// `pkt.dst[0] & 1` — the group/broadcast bit of the destination MAC
+    /// (Figure 3, line 5).
+    pub fn dst_mac_is_group(&self) -> SymBool {
+        self.dst_mac.extract_byte(0, 6).bit_and(&SymValue::concrete(1)).eq_const(1)
+    }
+
+    /// True if the packet is an ARP frame.
+    pub fn is_arp(&self) -> SymBool {
+        self.eth_type.eq_const(EthType::Arp.value() as u64)
+    }
+
+    /// True if the packet is an IPv4 frame.
+    pub fn is_ipv4(&self) -> SymBool {
+        self.eth_type.eq_const(EthType::Ipv4.value() as u64)
+    }
+
+    /// True if the packet is TCP over IPv4.
+    pub fn is_tcp(&self) -> SymBool {
+        self.is_ipv4().and(&self.nw_proto.eq_const(IpProto::Tcp.value() as u64))
+    }
+
+    /// True if the TCP SYN bit is set.
+    pub fn is_syn(&self) -> SymBool {
+        self.tcp_flags
+            .bit_and(&SymValue::concrete(TcpFlags::SYN.0 as u64))
+            .eq_const(TcpFlags::SYN.0 as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{ConcreteEnv, Env};
+    use crate::explore::PathExplorer;
+    use nice_openflow::Topology;
+
+    fn topo() -> Topology {
+        Topology::linear_two_switches()
+    }
+
+    #[test]
+    fn domains_include_topology_addresses_and_fresh_values() {
+        let d = PacketDomains::from_topology(&topo());
+        assert!(d.macs.contains(&MacAddr::for_host(1).value()));
+        assert!(d.macs.contains(&MacAddr::BROADCAST.value()));
+        assert!(d.macs.contains(&PacketDomains::FRESH_MAC));
+        assert!(d.ips.contains(&(NwAddr::for_host(1).value() as u64)));
+        assert!(d.ips.contains(&PacketDomains::FRESH_IP));
+        assert!(d.cartesian_size() > 1000);
+    }
+
+    #[test]
+    fn domain_builders_replace_candidates() {
+        let d = PacketDomains::from_topology(&topo())
+            .with_eth_types(vec![EthType::Ipv4.value() as u64])
+            .with_ports(vec![80])
+            .with_payloads(vec![1, 2]);
+        assert_eq!(d.eth_types.len(), 1);
+        assert_eq!(d.ports, vec![80]);
+        assert_eq!(d.payloads, vec![1, 2]);
+    }
+
+    #[test]
+    fn concrete_lift_preserves_fields() {
+        let pkt = Packet::tcp(
+            3,
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            NwAddr::for_host(1),
+            NwAddr::for_host(2),
+            1000,
+            80,
+            TcpFlags::SYN,
+            7,
+        );
+        let sp = SymPacket::from_concrete(&pkt);
+        assert!(sp.is_concrete());
+        assert_eq!(sp.concrete_origin(), Some(&pkt));
+        let mut env = ConcreteEnv::new();
+        assert_eq!(env.concretize(&sp.src_mac), pkt.src_mac.value());
+        assert_eq!(env.concretize(&sp.dst_port), 80);
+        assert!(env.branch(&sp.is_tcp()));
+        assert!(env.branch(&sp.is_syn()));
+        assert!(!env.branch(&sp.src_mac_is_group()));
+    }
+
+    #[test]
+    fn broadcast_packet_sets_group_bit() {
+        let pkt = Packet::arp_request(1, MacAddr::for_host(1), NwAddr::for_host(1), NwAddr::for_host(2));
+        let sp = SymPacket::from_concrete(&pkt);
+        let mut env = ConcreteEnv::new();
+        assert!(env.branch(&sp.dst_mac_is_group()));
+        assert!(env.branch(&sp.is_arp()));
+        assert!(!env.branch(&sp.is_ipv4()));
+    }
+
+    #[test]
+    fn symbolic_packet_roundtrips_through_solver_model() {
+        let mut solver = Solver::new();
+        let domains = PacketDomains::from_topology(&topo());
+        let (sp, vars) = SymPacket::symbolic(&mut solver, &domains);
+        assert!(!sp.is_concrete());
+        // The seed model concretises to a packet drawn from the domains.
+        let model = solver.seed_assignment();
+        let pkt = vars.packet_from(&model, 42);
+        assert_eq!(pkt.id.0, 42);
+        assert!(domains.macs.contains(&pkt.src_mac.value()));
+        assert!(domains.eth_types.contains(&(pkt.eth_type.value() as u64)));
+        assert!(domains.ports.contains(&(pkt.dst_port as u64)));
+    }
+
+    #[test]
+    fn symbolic_packet_drives_path_discovery() {
+        // A miniature pyswitch decision: broadcast-source check then known-
+        // destination check must yield three classes over the MAC domain.
+        let mut solver = Solver::new();
+        let domains = PacketDomains::from_topology(&topo());
+        let (sp, vars) = SymPacket::symbolic(&mut solver, &domains);
+        let known_dst = MacAddr::for_host(2).value();
+
+        let explorer = PathExplorer::default();
+        let outcome = explorer.explore(&mut solver, |env| {
+            if env.branch(&sp.src_mac_is_group()) {
+                return;
+            }
+            if env.branch(&sp.dst_mac.eq_const(known_dst)) {
+                return;
+            }
+        });
+        assert_eq!(outcome.paths.len(), 3);
+        // The representatives include a broadcast-source packet and a packet
+        // towards the known destination.
+        let packets: Vec<Packet> = outcome
+            .representative_inputs()
+            .enumerate()
+            .map(|(i, a)| vars.packet_from(a, i as u64))
+            .collect();
+        assert!(packets.iter().any(|p| p.src_mac.is_group()));
+        assert!(packets
+            .iter()
+            .any(|p| !p.src_mac.is_group() && p.dst_mac.value() == known_dst));
+        assert!(packets
+            .iter()
+            .any(|p| !p.src_mac.is_group() && p.dst_mac.value() != known_dst));
+    }
+}

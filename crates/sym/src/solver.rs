@@ -1,0 +1,353 @@
+//! A finite-domain constraint solver.
+//!
+//! This is the repository's stand-in for the STP bit-vector solver used by
+//! the NICE prototype. Because NICE constrains packet-header variables to the
+//! addresses that occur in the modelled topology (plus designated "fresh"
+//! values), every variable has a small finite candidate domain, and a
+//! backtracking search with constraint propagation decides satisfiability of
+//! the path constraints produced by concolic execution.
+//!
+//! The solver is deterministic: variables are assigned in ascending id order
+//! and candidates are tried in domain order, so the "model" returned for a
+//! satisfiable query is stable across runs, which keeps discovered relevant
+//! packets (and therefore the whole state-space search) reproducible.
+
+use crate::expr::{BoolExpr, Domain, VarId, VarSet};
+use std::collections::BTreeMap;
+
+/// A (possibly partial) assignment of concrete values to variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Assignment {
+    values: BTreeMap<VarId, u64>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Assignment::default()
+    }
+
+    /// Builds an assignment from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VarId, u64)>) -> Self {
+        Assignment { values: pairs.into_iter().collect() }
+    }
+
+    /// Sets the value of a variable.
+    pub fn set(&mut self, var: VarId, value: u64) {
+        self.values.insert(var, value);
+    }
+
+    /// Removes a variable's value.
+    pub fn unset(&mut self, var: VarId) {
+        self.values.remove(&var);
+    }
+
+    /// Gets the value of a variable, if assigned.
+    pub fn get(&self, var: VarId) -> Option<u64> {
+        self.values.get(&var).copied()
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, u64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Evaluates a constraint under this assignment. `None` means the
+    /// constraint references unassigned variables.
+    pub fn eval(&self, constraint: &BoolExpr) -> Option<bool> {
+        constraint.eval_with(&|v| self.get(v))
+    }
+}
+
+/// The result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// The constraints are satisfiable; a model is provided.
+    Sat(Assignment),
+    /// The constraints are unsatisfiable over the given domains.
+    Unsat,
+}
+
+impl SolveResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SolveResult::Sat(a) => Some(a),
+            SolveResult::Unsat => None,
+        }
+    }
+}
+
+/// The finite-domain solver.
+///
+/// A solver owns the variable domains; satisfiability queries are made
+/// against sets of constraints. The number of solver invocations is counted
+/// so experiments can report solver load.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    domains: BTreeMap<VarId, Domain>,
+    next_var: u32,
+    queries: u64,
+}
+
+impl Solver {
+    /// Creates a solver with no variables.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Declares a fresh variable with the given domain and returns its id.
+    pub fn fresh_var(&mut self, domain: Domain) -> VarId {
+        let id = VarId(self.next_var);
+        self.next_var += 1;
+        self.domains.insert(id, domain);
+        id
+    }
+
+    /// The domain of a variable.
+    pub fn domain(&self, var: VarId) -> Option<&Domain> {
+        self.domains.get(&var)
+    }
+
+    /// Number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Number of satisfiability queries answered so far.
+    pub fn query_count(&self) -> u64 {
+        self.queries
+    }
+
+    /// The default seed assignment: every declared variable takes the first
+    /// candidate of its domain. This is the initial concrete input of the
+    /// concolic search.
+    pub fn seed_assignment(&self) -> Assignment {
+        Assignment::from_pairs(self.domains.iter().map(|(&v, d)| (v, d.seed())))
+    }
+
+    /// Decides whether `constraints` are satisfiable, restricting every
+    /// variable to its declared domain. Variables that appear in the
+    /// constraints but were never declared are treated as having failed the
+    /// query (this is a programming error in the caller, surfaced loudly in
+    /// debug builds).
+    pub fn solve(&mut self, constraints: &[BoolExpr]) -> SolveResult {
+        self.queries += 1;
+
+        // Collect the variables that actually occur; unconstrained variables
+        // can keep their seed value and do not participate in the search.
+        let mut vars = VarSet::new();
+        for c in constraints {
+            c.collect_vars(&mut vars);
+        }
+        let vars: Vec<VarId> = vars.into_iter().collect();
+        for v in &vars {
+            debug_assert!(self.domains.contains_key(v), "constraint references undeclared {v}");
+            if !self.domains.contains_key(v) {
+                return SolveResult::Unsat;
+            }
+        }
+
+        let mut assignment = Assignment::new();
+        if self.backtrack(&vars, 0, constraints, &mut assignment) {
+            // Fill in unconstrained variables with their seeds so the model is
+            // total over the declared variables.
+            let mut model = self.seed_assignment();
+            for (v, val) in assignment.iter() {
+                model.set(v, val);
+            }
+            SolveResult::Sat(model)
+        } else {
+            SolveResult::Unsat
+        }
+    }
+
+    /// Convenience wrapper: solve and return the model or `None`.
+    pub fn solve_model(&mut self, constraints: &[BoolExpr]) -> Option<Assignment> {
+        match self.solve(constraints) {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    fn backtrack(
+        &self,
+        vars: &[VarId],
+        index: usize,
+        constraints: &[BoolExpr],
+        assignment: &mut Assignment,
+    ) -> bool {
+        // Prune: any constraint already fully evaluable must hold.
+        for c in constraints {
+            if assignment.eval(c) == Some(false) {
+                return false;
+            }
+        }
+        if index == vars.len() {
+            // All variables assigned; every constraint must now evaluate true.
+            return constraints.iter().all(|c| assignment.eval(c) == Some(true));
+        }
+        let var = vars[index];
+        let domain = match self.domains.get(&var) {
+            Some(d) => d.clone(),
+            None => return false,
+        };
+        for &candidate in domain.candidates() {
+            assignment.set(var, candidate);
+            if self.backtrack(vars, index + 1, constraints, assignment) {
+                return true;
+            }
+        }
+        assignment.unset(var);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn eq(v: VarId, c: u64) -> BoolExpr {
+        BoolExpr::Eq(Expr::Var(v), Expr::Const(c))
+    }
+
+    fn ne(v: VarId, c: u64) -> BoolExpr {
+        BoolExpr::Ne(Expr::Var(v), Expr::Const(c))
+    }
+
+    #[test]
+    fn empty_query_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve(&[]).is_sat());
+        assert_eq!(s.query_count(), 1);
+    }
+
+    #[test]
+    fn single_variable_equality() {
+        let mut s = Solver::new();
+        let v = s.fresh_var(Domain::new([1, 2, 3]));
+        match s.solve(&[eq(v, 2)]) {
+            SolveResult::Sat(m) => assert_eq!(m.get(v), Some(2)),
+            SolveResult::Unsat => panic!("expected sat"),
+        }
+        assert!(!s.solve(&[eq(v, 9)]).is_sat());
+    }
+
+    #[test]
+    fn conflicting_constraints_are_unsat() {
+        let mut s = Solver::new();
+        let v = s.fresh_var(Domain::new([1, 2]));
+        assert!(!s.solve(&[eq(v, 1), eq(v, 2)]).is_sat());
+        assert!(s.solve(&[ne(v, 1)]).is_sat());
+        assert!(!s.solve(&[ne(v, 1), ne(v, 2)]).is_sat());
+    }
+
+    #[test]
+    fn multi_variable_interaction() {
+        let mut s = Solver::new();
+        let a = s.fresh_var(Domain::new([1, 2, 3]));
+        let b = s.fresh_var(Domain::new([1, 2, 3]));
+        // a == b and a != 1 and b != 3 forces a == b == 2.
+        let cons = vec![
+            BoolExpr::Eq(Expr::Var(a), Expr::Var(b)),
+            ne(a, 1),
+            ne(b, 3),
+        ];
+        let model = s.solve_model(&cons).expect("sat");
+        assert_eq!(model.get(a), Some(2));
+        assert_eq!(model.get(b), Some(2));
+    }
+
+    #[test]
+    fn bit_extraction_constraints() {
+        // Model the pyswitch broadcast test: (mac >> 40) & 1 == 0 for a
+        // unicast address, over a domain of one unicast and the broadcast MAC.
+        let mut s = Solver::new();
+        let unicast = 0x0200_0000_0001u64;
+        let broadcast = 0xffff_ffff_ffffu64;
+        let mac = s.fresh_var(Domain::new([broadcast, unicast]));
+        let first_octet_lsb = Expr::And(
+            Box::new(Expr::Shr(Box::new(Expr::Var(mac)), 40)),
+            Box::new(Expr::Const(1)),
+        );
+        let is_unicast = BoolExpr::Eq(first_octet_lsb.clone(), Expr::Const(0));
+        let model = s.solve_model(&[is_unicast.clone()]).expect("sat");
+        assert_eq!(model.get(mac), Some(unicast));
+        let model = s.solve_model(&[is_unicast.negate()]).expect("sat");
+        assert_eq!(model.get(mac), Some(broadcast));
+    }
+
+    #[test]
+    fn model_is_total_and_deterministic() {
+        let mut s = Solver::new();
+        let a = s.fresh_var(Domain::new([5, 6]));
+        let b = s.fresh_var(Domain::new([7, 8]));
+        let m1 = s.solve_model(&[eq(a, 6)]).unwrap();
+        let m2 = s.solve_model(&[eq(a, 6)]).unwrap();
+        assert_eq!(m1, m2);
+        // Unconstrained variable keeps its seed (first candidate).
+        assert_eq!(m1.get(b), Some(7));
+    }
+
+    #[test]
+    fn seed_assignment_uses_first_candidates() {
+        let mut s = Solver::new();
+        let a = s.fresh_var(Domain::new([10, 20]));
+        let b = s.fresh_var(Domain::new([30]));
+        let seed = s.seed_assignment();
+        assert_eq!(seed.get(a), Some(10));
+        assert_eq!(seed.get(b), Some(30));
+        assert_eq!(seed.len(), 2);
+    }
+
+    #[test]
+    fn domain_and_var_count_accessors() {
+        let mut s = Solver::new();
+        let a = s.fresh_var(Domain::new([1]));
+        assert_eq!(s.var_count(), 1);
+        assert_eq!(s.domain(a).unwrap().candidates(), &[1]);
+        assert!(s.domain(VarId(99)).is_none());
+    }
+
+    #[test]
+    fn disjunctions_and_comparisons() {
+        let mut s = Solver::new();
+        let a = s.fresh_var(Domain::new([1, 5, 10]));
+        let c = BoolExpr::Or(
+            Box::new(BoolExpr::Lt(Expr::Var(a), Expr::Const(2))),
+            Box::new(BoolExpr::Le(Expr::Const(10), Expr::Var(a))),
+        );
+        // Negation forces the middle candidate.
+        let model = s.solve_model(&[c.negate()]).unwrap();
+        assert_eq!(model.get(a), Some(5));
+    }
+
+    #[test]
+    fn assignment_eval_partial() {
+        let mut a = Assignment::new();
+        let c = eq(VarId(0), 4);
+        assert_eq!(a.eval(&c), None);
+        a.set(VarId(0), 4);
+        assert_eq!(a.eval(&c), Some(true));
+        a.set(VarId(0), 5);
+        assert_eq!(a.eval(&c), Some(false));
+        a.unset(VarId(0));
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Symbolic traffic statistics.
+//!
+//! The `discover_stats` transition of Figure 5 symbolically executes the
+//! controller's statistics handler "with symbolic integers as arguments", so
+//! that every feasible path of the handler (e.g. the load threshold
+//! comparison in the energy-aware traffic-engineering application) is
+//! exercised by a representative statistics reply.
+
+use crate::expr::{Domain, VarId};
+use crate::solver::{Assignment, Solver};
+use crate::value::SymValue;
+use nice_openflow::{PortId, PortStatsEntry};
+
+/// Candidate values for symbolic byte counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsDomains {
+    /// Candidate total-byte levels per port. The defaults straddle a typical
+    /// utilisation threshold so both the "low load" and "high load" branches
+    /// of a statistics handler are reachable.
+    pub byte_levels: Vec<u64>,
+}
+
+impl Default for StatsDomains {
+    fn default() -> Self {
+        StatsDomains { byte_levels: vec![0, 1_000, 1_000_000] }
+    }
+}
+
+impl StatsDomains {
+    /// Builds domains that straddle the given threshold: one value well
+    /// below, one just below, one just above.
+    pub fn around_threshold(threshold: u64) -> Self {
+        StatsDomains {
+            byte_levels: vec![0, threshold.saturating_sub(1), threshold.saturating_add(1)],
+        }
+    }
+}
+
+/// Per-port statistics whose byte counters may be symbolic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymStats {
+    ports: Vec<PortId>,
+    tx_bytes: Vec<SymValue>,
+    vars: Vec<Option<VarId>>,
+}
+
+impl SymStats {
+    /// Lifts concrete statistics (used by the model checker when delivering a
+    /// real stats reply to the handler).
+    pub fn from_concrete(entries: &[PortStatsEntry]) -> Self {
+        SymStats {
+            ports: entries.iter().map(|e| e.port).collect(),
+            tx_bytes: entries
+                .iter()
+                .map(|e| SymValue::concrete(e.total_bytes()))
+                .collect(),
+            vars: vec![None; entries.len()],
+        }
+    }
+
+    /// Declares symbolic statistics for the given ports.
+    pub fn symbolic(solver: &mut Solver, ports: &[PortId], domains: &StatsDomains) -> Self {
+        let mut tx_bytes = Vec::with_capacity(ports.len());
+        let mut vars = Vec::with_capacity(ports.len());
+        for _ in ports {
+            let var = solver.fresh_var(Domain::new(domains.byte_levels.iter().copied()));
+            tx_bytes.push(SymValue::var(var));
+            vars.push(Some(var));
+        }
+        SymStats { ports: ports.to_vec(), tx_bytes, vars }
+    }
+
+    /// The ports covered by this reply.
+    pub fn ports(&self) -> &[PortId] {
+        &self.ports
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// True if the reply has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// The (possibly symbolic) total byte counter of the `i`-th entry.
+    pub fn total_bytes(&self, i: usize) -> &SymValue {
+        &self.tx_bytes[i]
+    }
+
+    /// The (possibly symbolic) total byte counter for a port.
+    pub fn total_bytes_for(&self, port: PortId) -> Option<&SymValue> {
+        self.ports.iter().position(|&p| p == port).map(|i| &self.tx_bytes[i])
+    }
+
+    /// The maximum byte counter across all entries (symbolic max built from
+    /// pairwise comparisons is left to the handler; this helper is only valid
+    /// on concrete stats).
+    pub fn concrete_max_bytes(&self) -> Option<u64> {
+        self.tx_bytes.iter().map(|v| v.as_concrete()).collect::<Option<Vec<_>>>().map(|v| {
+            v.into_iter().max().unwrap_or(0)
+        })
+    }
+
+    /// Reconstructs concrete statistics from a solver model.
+    pub fn concretize(&self, assignment: &Assignment) -> Vec<PortStatsEntry> {
+        self.ports
+            .iter()
+            .zip(&self.tx_bytes)
+            .map(|(&port, bytes)| {
+                let total = match bytes.as_concrete() {
+                    Some(v) => v,
+                    None => bytes
+                        .to_expr()
+                        .eval_with(&|v| assignment.get(v))
+                        .expect("model must cover statistics variables"),
+                };
+                PortStatsEntry {
+                    port,
+                    rx_packets: 0,
+                    tx_packets: 0,
+                    rx_bytes: 0,
+                    tx_bytes: total,
+                }
+            })
+            .collect()
+    }
+
+    /// True if any counter is symbolic.
+    pub fn is_symbolic(&self) -> bool {
+        self.vars.iter().any(|v| v.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Env;
+    use crate::explore::PathExplorer;
+
+    #[test]
+    fn concrete_lift_keeps_totals() {
+        let entries = vec![
+            PortStatsEntry { port: PortId(1), rx_bytes: 10, tx_bytes: 5, rx_packets: 0, tx_packets: 0 },
+            PortStatsEntry { port: PortId(2), rx_bytes: 0, tx_bytes: 100, rx_packets: 0, tx_packets: 0 },
+        ];
+        let stats = SymStats::from_concrete(&entries);
+        assert_eq!(stats.len(), 2);
+        assert!(!stats.is_symbolic());
+        assert_eq!(stats.total_bytes(0).as_concrete(), Some(15));
+        assert_eq!(stats.total_bytes_for(PortId(2)).unwrap().as_concrete(), Some(100));
+        assert!(stats.total_bytes_for(PortId(9)).is_none());
+        assert_eq!(stats.concrete_max_bytes(), Some(100));
+    }
+
+    #[test]
+    fn stats_domains_straddle_threshold() {
+        let d = StatsDomains::around_threshold(500);
+        assert_eq!(d.byte_levels, vec![0, 499, 501]);
+    }
+
+    #[test]
+    fn symbolic_stats_explore_threshold_branches() {
+        let mut solver = Solver::new();
+        let domains = StatsDomains::around_threshold(1_000);
+        let stats = SymStats::symbolic(&mut solver, &[PortId(1)], &domains);
+        assert!(stats.is_symbolic());
+        assert!(!stats.is_empty());
+
+        let explorer = PathExplorer::default();
+        let outcome = explorer.explore(&mut solver, |env| {
+            let load = stats.total_bytes(0);
+            // A handler branching on load > threshold.
+            env.branch(&SymValue::concrete(1_000).lt(load));
+        });
+        assert_eq!(outcome.paths.len(), 2, "high-load and low-load classes");
+
+        // Each representative concretises to statistics on the expected side
+        // of the threshold.
+        let mut highs = 0;
+        let mut lows = 0;
+        for a in outcome.representative_inputs() {
+            let concrete = stats.concretize(a);
+            if concrete[0].total_bytes() > 1_000 {
+                highs += 1;
+            } else {
+                lows += 1;
+            }
+        }
+        assert_eq!((highs, lows), (1, 1));
+    }
+
+    #[test]
+    fn concretize_on_concrete_stats_is_identity() {
+        let entries = vec![PortStatsEntry {
+            port: PortId(3),
+            rx_bytes: 1,
+            tx_bytes: 2,
+            rx_packets: 0,
+            tx_packets: 0,
+        }];
+        let stats = SymStats::from_concrete(&entries);
+        let out = stats.concretize(&Assignment::new());
+        assert_eq!(out[0].port, PortId(3));
+        assert_eq!(out[0].total_bytes(), 3);
+    }
+}

@@ -1,0 +1,358 @@
+//! Symbolic values: the data type controller handlers compute with.
+//!
+//! A [`SymValue`] is either a concrete `u64` or a symbolic [`Expr`]. The
+//! paper implements these as a "symbolic integer" Python class that "tracks
+//! assignments, changes and comparisons to its value while behaving like a
+//! normal integer" (Section 6); here the same role is played by an enum with
+//! operator methods. Comparisons produce [`SymBool`]s, which handlers turn
+//! into control flow by calling [`crate::env::Env::branch`].
+
+use crate::expr::{BoolExpr, Expr, VarId};
+use std::fmt;
+
+/// An integer value that may be symbolic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymValue {
+    /// A known concrete value.
+    Concrete(u64),
+    /// A symbolic expression.
+    Symbolic(Expr),
+}
+
+impl SymValue {
+    /// A concrete value.
+    pub fn concrete(v: u64) -> Self {
+        SymValue::Concrete(v)
+    }
+
+    /// A fresh reference to a symbolic variable.
+    pub fn var(v: VarId) -> Self {
+        SymValue::Symbolic(Expr::Var(v))
+    }
+
+    /// True if this value is concrete.
+    pub fn is_concrete(&self) -> bool {
+        matches!(self, SymValue::Concrete(_))
+    }
+
+    /// The concrete value, if known.
+    pub fn as_concrete(&self) -> Option<u64> {
+        match self {
+            SymValue::Concrete(v) => Some(*v),
+            SymValue::Symbolic(_) => None,
+        }
+    }
+
+    /// The value as an expression (constants become `Expr::Const`).
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            SymValue::Concrete(v) => Expr::Const(*v),
+            SymValue::Symbolic(e) => e.clone(),
+        }
+    }
+
+    fn binop(
+        &self,
+        other: &SymValue,
+        concrete: impl Fn(u64, u64) -> u64,
+        symbolic: impl Fn(Expr, Expr) -> Expr,
+    ) -> SymValue {
+        match (self, other) {
+            (SymValue::Concrete(a), SymValue::Concrete(b)) => SymValue::Concrete(concrete(*a, *b)),
+            _ => SymValue::Symbolic(symbolic(self.to_expr(), other.to_expr())),
+        }
+    }
+
+    /// Bitwise AND.
+    pub fn bit_and(&self, other: &SymValue) -> SymValue {
+        self.binop(other, |a, b| a & b, |a, b| Expr::And(Box::new(a), Box::new(b)))
+    }
+
+    /// Bitwise OR.
+    pub fn bit_or(&self, other: &SymValue) -> SymValue {
+        self.binop(other, |a, b| a | b, |a, b| Expr::Or(Box::new(a), Box::new(b)))
+    }
+
+    /// Bitwise XOR.
+    pub fn bit_xor(&self, other: &SymValue) -> SymValue {
+        self.binop(other, |a, b| a ^ b, |a, b| Expr::Xor(Box::new(a), Box::new(b)))
+    }
+
+    /// Wrapping addition.
+    pub fn add(&self, other: &SymValue) -> SymValue {
+        self.binop(
+            other,
+            |a, b| a.wrapping_add(b),
+            |a, b| Expr::Add(Box::new(a), Box::new(b)),
+        )
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&self, other: &SymValue) -> SymValue {
+        self.binop(
+            other,
+            |a, b| a.wrapping_sub(b),
+            |a, b| Expr::Sub(Box::new(a), Box::new(b)),
+        )
+    }
+
+    /// Logical shift right by a constant amount.
+    pub fn shr(&self, n: u32) -> SymValue {
+        match self {
+            SymValue::Concrete(v) => SymValue::Concrete(v.checked_shr(n).unwrap_or(0)),
+            SymValue::Symbolic(e) => SymValue::Symbolic(Expr::Shr(Box::new(e.clone()), n)),
+        }
+    }
+
+    /// Logical shift left by a constant amount.
+    pub fn shl(&self, n: u32) -> SymValue {
+        match self {
+            SymValue::Concrete(v) => SymValue::Concrete(v.checked_shl(n).unwrap_or(0)),
+            SymValue::Symbolic(e) => SymValue::Symbolic(Expr::Shl(Box::new(e.clone()), n)),
+        }
+    }
+
+    /// Extracts byte `index` counting from the most significant byte of a
+    /// value that is `width_bytes` wide. `extract_byte(0, 6)` of a MAC
+    /// address is the `pkt.src[0]` access in Figure 3.
+    pub fn extract_byte(&self, index: u32, width_bytes: u32) -> SymValue {
+        assert!(index < width_bytes, "byte index out of range");
+        let shift = (width_bytes - 1 - index) * 8;
+        self.shr(shift).bit_and(&SymValue::concrete(0xff))
+    }
+
+    fn cmp_op(
+        &self,
+        other: &SymValue,
+        concrete: impl Fn(u64, u64) -> bool,
+        symbolic: impl Fn(Expr, Expr) -> BoolExpr,
+    ) -> SymBool {
+        match (self, other) {
+            (SymValue::Concrete(a), SymValue::Concrete(b)) => SymBool::concrete(concrete(*a, *b)),
+            _ => SymBool::Symbolic(symbolic(self.to_expr(), other.to_expr())),
+        }
+    }
+
+    /// Equality comparison.
+    pub fn eq(&self, other: &SymValue) -> SymBool {
+        self.cmp_op(other, |a, b| a == b, BoolExpr::Eq)
+    }
+
+    /// Inequality comparison.
+    pub fn ne(&self, other: &SymValue) -> SymBool {
+        self.cmp_op(other, |a, b| a != b, BoolExpr::Ne)
+    }
+
+    /// Unsigned less-than comparison.
+    pub fn lt(&self, other: &SymValue) -> SymBool {
+        self.cmp_op(other, |a, b| a < b, BoolExpr::Lt)
+    }
+
+    /// Unsigned less-or-equal comparison.
+    pub fn le(&self, other: &SymValue) -> SymBool {
+        self.cmp_op(other, |a, b| a <= b, BoolExpr::Le)
+    }
+
+    /// Unsigned greater-than comparison.
+    pub fn gt(&self, other: &SymValue) -> SymBool {
+        other.lt(self)
+    }
+
+    /// Unsigned greater-or-equal comparison.
+    pub fn ge(&self, other: &SymValue) -> SymBool {
+        other.le(self)
+    }
+
+    /// Equality with a concrete constant.
+    pub fn eq_const(&self, c: u64) -> SymBool {
+        self.eq(&SymValue::concrete(c))
+    }
+}
+
+impl From<u64> for SymValue {
+    fn from(v: u64) -> Self {
+        SymValue::Concrete(v)
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymValue::Concrete(v) => write!(f, "{v:#x}"),
+            SymValue::Symbolic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A boolean value that may be symbolic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymBool {
+    /// A known boolean.
+    Concrete(bool),
+    /// A symbolic condition.
+    Symbolic(BoolExpr),
+}
+
+impl SymBool {
+    /// A concrete boolean.
+    pub fn concrete(b: bool) -> Self {
+        SymBool::Concrete(b)
+    }
+
+    /// True if the value is concrete.
+    pub fn is_concrete(&self) -> bool {
+        matches!(self, SymBool::Concrete(_))
+    }
+
+    /// The concrete value, if known.
+    pub fn as_concrete(&self) -> Option<bool> {
+        match self {
+            SymBool::Concrete(b) => Some(*b),
+            SymBool::Symbolic(_) => None,
+        }
+    }
+
+    /// The value as a constraint (concrete booleans become `True`/`False`).
+    pub fn to_expr(&self) -> BoolExpr {
+        match self {
+            SymBool::Concrete(true) => BoolExpr::True,
+            SymBool::Concrete(false) => BoolExpr::False,
+            SymBool::Symbolic(e) => e.clone(),
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(&self) -> SymBool {
+        match self {
+            SymBool::Concrete(b) => SymBool::Concrete(!b),
+            SymBool::Symbolic(e) => SymBool::Symbolic(e.negate()),
+        }
+    }
+
+    /// Logical conjunction.
+    pub fn and(&self, other: &SymBool) -> SymBool {
+        match (self, other) {
+            (SymBool::Concrete(false), _) | (_, SymBool::Concrete(false)) => SymBool::Concrete(false),
+            (SymBool::Concrete(true), b) => b.clone(),
+            (a, SymBool::Concrete(true)) => a.clone(),
+            (a, b) => SymBool::Symbolic(BoolExpr::And(Box::new(a.to_expr()), Box::new(b.to_expr()))),
+        }
+    }
+
+    /// Logical disjunction.
+    pub fn or(&self, other: &SymBool) -> SymBool {
+        match (self, other) {
+            (SymBool::Concrete(true), _) | (_, SymBool::Concrete(true)) => SymBool::Concrete(true),
+            (SymBool::Concrete(false), b) => b.clone(),
+            (a, SymBool::Concrete(false)) => a.clone(),
+            (a, b) => SymBool::Symbolic(BoolExpr::Or(Box::new(a.to_expr()), Box::new(b.to_expr()))),
+        }
+    }
+}
+
+impl From<bool> for SymBool {
+    fn from(b: bool) -> Self {
+        SymBool::Concrete(b)
+    }
+}
+
+impl fmt::Display for SymBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymBool::Concrete(b) => write!(f, "{b}"),
+            SymBool::Symbolic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_arithmetic_stays_concrete() {
+        let a = SymValue::concrete(0x0200_0000_0001);
+        let b = SymValue::concrete(1);
+        assert_eq!(a.bit_and(&b).as_concrete(), Some(1));
+        assert_eq!(a.add(&b).as_concrete(), Some(0x0200_0000_0002));
+        assert_eq!(a.sub(&b).as_concrete(), Some(0x0200_0000_0000));
+        assert_eq!(SymValue::concrete(0b1010).bit_or(&SymValue::concrete(0b0101)).as_concrete(), Some(0b1111));
+        assert_eq!(SymValue::concrete(0b1100).bit_xor(&SymValue::concrete(0b1010)).as_concrete(), Some(0b0110));
+        assert_eq!(SymValue::concrete(0x100).shr(8).as_concrete(), Some(1));
+        assert_eq!(SymValue::concrete(1).shl(8).as_concrete(), Some(0x100));
+    }
+
+    #[test]
+    fn symbolic_operations_build_expressions() {
+        let v = SymValue::var(VarId(0));
+        let r = v.bit_and(&SymValue::concrete(1));
+        assert!(!r.is_concrete());
+        assert_eq!(r.to_expr(), Expr::And(Box::new(Expr::Var(VarId(0))), Box::new(Expr::Const(1))));
+        assert!(v.eq(&SymValue::concrete(3)).as_concrete().is_none());
+    }
+
+    #[test]
+    fn comparisons_on_concrete_values() {
+        let a = SymValue::concrete(3);
+        let b = SymValue::concrete(5);
+        assert_eq!(a.eq(&b).as_concrete(), Some(false));
+        assert_eq!(a.ne(&b).as_concrete(), Some(true));
+        assert_eq!(a.lt(&b).as_concrete(), Some(true));
+        assert_eq!(a.le(&a).as_concrete(), Some(true));
+        assert_eq!(b.gt(&a).as_concrete(), Some(true));
+        assert_eq!(b.ge(&b).as_concrete(), Some(true));
+        assert_eq!(a.eq_const(3).as_concrete(), Some(true));
+    }
+
+    #[test]
+    fn extract_byte_mirrors_indexing() {
+        // The first octet of a MAC address determines broadcast-ness.
+        let mac = SymValue::concrete(MacLike::BROADCAST);
+        assert_eq!(mac.extract_byte(0, 6).as_concrete(), Some(0xff));
+        let unicast = SymValue::concrete(0x0200_0000_0005);
+        assert_eq!(unicast.extract_byte(0, 6).as_concrete(), Some(0x02));
+        assert_eq!(unicast.extract_byte(5, 6).as_concrete(), Some(0x05));
+    }
+
+    struct MacLike;
+    impl MacLike {
+        const BROADCAST: u64 = 0xffff_ffff_ffff;
+    }
+
+    #[test]
+    #[should_panic(expected = "byte index out of range")]
+    fn extract_byte_bounds_checked() {
+        SymValue::concrete(0).extract_byte(6, 6);
+    }
+
+    #[test]
+    fn bool_logic_short_circuits() {
+        let t = SymBool::concrete(true);
+        let f = SymBool::concrete(false);
+        let sym = SymBool::Symbolic(BoolExpr::Eq(Expr::Var(VarId(0)), Expr::Const(1)));
+        assert_eq!(t.and(&f).as_concrete(), Some(false));
+        assert_eq!(t.or(&f).as_concrete(), Some(true));
+        assert_eq!(f.and(&sym).as_concrete(), Some(false));
+        assert_eq!(t.or(&sym).as_concrete(), Some(true));
+        // true && sym simplifies to sym itself.
+        assert_eq!(t.and(&sym), sym);
+        assert_eq!(f.or(&sym), sym);
+        assert_eq!(t.not().as_concrete(), Some(false));
+        assert!(sym.not().as_concrete().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SymValue::from(7u64).as_concrete(), Some(7));
+        assert_eq!(SymBool::from(true).as_concrete(), Some(true));
+        assert_eq!(SymBool::concrete(true).to_expr(), BoolExpr::True);
+        assert_eq!(SymBool::concrete(false).to_expr(), BoolExpr::False);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SymValue::concrete(255).to_string(), "0xff");
+        assert_eq!(SymValue::var(VarId(3)).to_string(), "v3");
+        assert_eq!(SymBool::concrete(true).to_string(), "true");
+    }
+}
