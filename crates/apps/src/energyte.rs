@@ -23,9 +23,7 @@ use crate::util::dst_match;
 use nice_controller::{ControllerApp, ControllerOps, PacketInContext, RuleSpec};
 use nice_mc::properties::{Event, Property};
 use nice_mc::state::SystemState;
-use nice_openflow::{
-    Action, Fingerprint, Fnv64, MacAddr, PortId, StatsKind, SwitchId,
-};
+use nice_openflow::{Action, Fingerprint, Fnv64, MacAddr, PortId, StatsKind, SwitchId};
 use nice_sym::{Env, SymPacket, SymStats, SymValue};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -41,7 +39,10 @@ impl PathSpec {
     /// The output port this path uses at `switch`, if the switch is on the
     /// path.
     pub fn port_at(&self, switch: SwitchId) -> Option<PortId> {
-        self.hops.iter().find(|(s, _)| *s == switch).map(|(_, p)| *p)
+        self.hops
+            .iter()
+            .find(|(s, _)| *s == switch)
+            .map(|(_, p)| *p)
     }
 
     /// The switches on this path.
@@ -91,7 +92,9 @@ impl EnergyTeConfig {
             let mac = MacAddr::for_host(host).value();
             always_on.insert(
                 mac,
-                PathSpec { hops: vec![(SwitchId(1), PortId(2)), (SwitchId(2), egress_port)] },
+                PathSpec {
+                    hops: vec![(SwitchId(1), PortId(2)), (SwitchId(2), egress_port)],
+                },
             );
             on_demand.insert(
                 mac,
@@ -213,8 +216,16 @@ impl EnergyTeApp {
         // this destination through this switch.
         let dst = env.concretize(&packet.dst_mac);
         for on_demand in [false, true] {
-            if let Some(port) = self.current_path(dst, on_demand).and_then(|p| p.port_at(ctx.switch)) {
-                ops.send_packet_out(ctx.switch, ctx.buffer_id, ctx.in_port, vec![Action::Output(port)]);
+            if let Some(port) = self
+                .current_path(dst, on_demand)
+                .and_then(|p| p.port_at(ctx.switch))
+            {
+                ops.send_packet_out(
+                    ctx.switch,
+                    ctx.buffer_id,
+                    ctx.in_port,
+                    vec![Action::Output(port)],
+                );
                 return;
             }
         }
@@ -254,7 +265,11 @@ impl ControllerApp for EnergyTeApp {
             false
         };
         self.flows_routed += 1;
-        self.decisions.push(RoutingDecision { dst_mac: dst, used_on_demand: use_on_demand, high_load: self.high_load });
+        self.decisions.push(RoutingDecision {
+            dst_mac: dst,
+            used_on_demand: use_on_demand,
+            high_load: self.high_load,
+        });
 
         let path = match self.current_path(dst, use_on_demand) {
             Some(path) => path.clone(),
@@ -275,7 +290,12 @@ impl ControllerApp for EnergyTeApp {
             // The fix for BUG-VIII: release the triggering packet along the
             // first hop.
             let first_hop = path.hops[0].1;
-            ops.send_packet_out(ctx.switch, ctx.buffer_id, ctx.in_port, vec![Action::Output(first_hop)]);
+            ops.send_packet_out(
+                ctx.switch,
+                ctx.buffer_id,
+                ctx.in_port,
+                vec![Action::Output(first_hop)],
+            );
         }
     }
 
@@ -435,7 +455,9 @@ mod tests {
 
     #[test]
     fn low_load_uses_always_on_path() {
-        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(EnergyTeConfig::triangle_default())));
+        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(
+            EnergyTeConfig::triangle_default(),
+        )));
         let out = rt.handle_message(&packet_in(1, 1, 2, 1));
         // Two hops on the always-on path + packet_out.
         assert_eq!(out.len(), 3);
@@ -450,15 +472,23 @@ mod tests {
 
     #[test]
     fn high_load_splits_flows_between_tables() {
-        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(EnergyTeConfig::triangle_default())));
+        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(
+            EnergyTeConfig::triangle_default(),
+        )));
         rt.handle_message(&stats_reply(10_000));
         rt.handle_message(&packet_in(1, 1, 2, 1));
         rt.handle_message(&packet_in(1, 1, 3, 2));
         let app: &EnergyTeApp = rt.app_as().unwrap();
         assert!(app.high_load());
         let on_demand: Vec<bool> = app.decisions().iter().map(|d| d.used_on_demand).collect();
-        assert_eq!(on_demand, vec![false, true], "flows alternate between the two tables");
-        assert!(UseCorrectRoutingTable::new().name().contains("RoutingTable"));
+        assert_eq!(
+            on_demand,
+            vec![false, true],
+            "flows alternate between the two tables"
+        );
+        assert!(UseCorrectRoutingTable::new()
+            .name()
+            .contains("RoutingTable"));
     }
 
     #[test]
@@ -480,14 +510,18 @@ mod tests {
         let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(config)));
         let out = rt.handle_message(&packet_in(1, 1, 2, 1));
         assert_eq!(out.len(), 2, "rules only, no packet_out");
-        assert!(out.iter().all(|(_, m)| matches!(m, OfMessage::FlowMod { .. })));
+        assert!(out
+            .iter()
+            .all(|(_, m)| matches!(m, OfMessage::FlowMod { .. })));
     }
 
     #[test]
     fn intermediate_switch_packets_are_forwarded_when_fixed_and_ignored_when_buggy() {
         // Fixed behaviour: packet at switch 2 towards host 2 is released out
         // of the egress port.
-        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(EnergyTeConfig::triangle_default())));
+        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(
+            EnergyTeConfig::triangle_default(),
+        )));
         let out = rt.handle_message(&packet_in(2, 2, 2, 1));
         assert_eq!(out.len(), 1);
         assert!(matches!(&out[0].1, OfMessage::PacketOut { actions, .. }
@@ -513,7 +547,9 @@ mod tests {
         let out = rt.handle_message(&packet_in(3, 1, 2, 1));
         assert!(out.is_empty());
         // Without the bug it is forwarded along the on-demand path hop.
-        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(EnergyTeConfig::triangle_default())));
+        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(
+            EnergyTeConfig::triangle_default(),
+        )));
         rt.handle_message(&stats_reply(10_000));
         rt.handle_message(&stats_reply(0));
         let out = rt.handle_message(&packet_in(3, 1, 2, 1));
@@ -522,11 +558,19 @@ mod tests {
 
     #[test]
     fn switch_join_requests_stats_only_for_monitored_switch() {
-        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(EnergyTeConfig::triangle_default())));
-        let out = rt.handle_message(&OfMessage::SwitchJoin { switch: SwitchId(1), ports: vec![PortId(1)] });
+        let mut rt = ControllerRuntime::new(Box::new(EnergyTeApp::new(
+            EnergyTeConfig::triangle_default(),
+        )));
+        let out = rt.handle_message(&OfMessage::SwitchJoin {
+            switch: SwitchId(1),
+            ports: vec![PortId(1)],
+        });
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].1, OfMessage::StatsRequest { .. }));
-        let out = rt.handle_message(&OfMessage::SwitchJoin { switch: SwitchId(3), ports: vec![PortId(1)] });
+        let out = rt.handle_message(&OfMessage::SwitchJoin {
+            switch: SwitchId(3),
+            ports: vec![PortId(1)],
+        });
         assert!(out.is_empty());
     }
 

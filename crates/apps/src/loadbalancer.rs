@@ -26,9 +26,7 @@
 
 use crate::util::{connection_key, tcp_microflow_match};
 use nice_controller::{ControllerApp, ControllerOps, PacketInContext, RuleSpec};
-use nice_openflow::{
-    Action, Fingerprint, Fnv64, MacAddr, NwAddr, Packet, PacketInReason, PortId,
-};
+use nice_openflow::{Action, Fingerprint, Fnv64, MacAddr, NwAddr, Packet, PacketInReason, PortId};
 use nice_sym::{Env, SymMap, SymPacket};
 
 /// One server replica.
@@ -77,8 +75,16 @@ impl LoadBalancerConfig {
             vmac: MacAddr(0x0200_0000_0100),
             client_port: PortId(1),
             replicas: vec![
-                Replica { mac: MacAddr::for_host(2), ip: NwAddr::for_host(2), port: PortId(2) },
-                Replica { mac: MacAddr::for_host(3), ip: NwAddr::for_host(3), port: PortId(3) },
+                Replica {
+                    mac: MacAddr::for_host(2),
+                    ip: NwAddr::for_host(2),
+                    port: PortId(2),
+                },
+                Replica {
+                    mac: MacAddr::for_host(3),
+                    ip: NwAddr::for_host(3),
+                    port: PortId(3),
+                },
             ],
             reconfigure_after: 0,
             bug_forget_packet_out: false,
@@ -150,8 +156,19 @@ impl LoadBalancerApp {
             // Answer on behalf of the VIP.
             let requester_mac = MacAddr(env.concretize(&packet.src_mac));
             let requester_ip = NwAddr(env.concretize(&packet.src_ip) as u32);
-            let reply = Packet::arp_reply(0, self.config.vmac, self.config.vip, requester_mac, requester_ip);
-            ops.send_packet(ctx.switch, reply, ctx.in_port, vec![Action::Output(ctx.in_port)]);
+            let reply = Packet::arp_reply(
+                0,
+                self.config.vmac,
+                self.config.vip,
+                requester_mac,
+                requester_ip,
+            );
+            ops.send_packet(
+                ctx.switch,
+                reply,
+                ctx.in_port,
+                vec![Action::Output(ctx.in_port)],
+            );
             if !self.config.bug_forget_arp_buffer {
                 // Discard the buffered request (the fix for BUG-VI): an empty
                 // action list tells the switch to drop it.
@@ -208,9 +225,12 @@ impl LoadBalancerApp {
 
         ops.install_rule(
             ctx.switch,
-            RuleSpec::new(tcp_microflow_match(env, packet), vec![Action::Output(replica.port)])
-                .with_priority(200)
-                .with_cookie(10 + replica_index as u64),
+            RuleSpec::new(
+                tcp_microflow_match(env, packet),
+                vec![Action::Output(replica.port)],
+            )
+            .with_priority(200)
+            .with_cookie(10 + replica_index as u64),
         );
         if !self.config.bug_forget_packet_out {
             // The fix for BUG-IV: also release the triggering packet.
@@ -240,7 +260,9 @@ impl ControllerApp for LoadBalancerApp {
             self.handle_arp(ops, env, ctx, packet);
             return;
         }
-        let tcp_to_vip = packet.is_tcp().and(&packet.dst_ip.eq_const(self.config.vip.value() as u64));
+        let tcp_to_vip = packet
+            .is_tcp()
+            .and(&packet.dst_ip.eq_const(self.config.vip.value() as u64));
         if env.branch(&tcp_to_vip) {
             self.handle_tcp_to_vip(ops, env, ctx, packet);
             return;
@@ -335,7 +357,11 @@ mod tests {
         assert!(matches!(out[0].1, OfMessage::FlowMod { .. }));
         match &out[1].1 {
             OfMessage::PacketOut { actions, .. } => {
-                assert_eq!(actions, &vec![Action::Output(PortId(2))], "policy 0 → replica on port 2");
+                assert_eq!(
+                    actions,
+                    &vec![Action::Output(PortId(2))],
+                    "policy 0 → replica on port 2"
+                );
             }
             other => panic!("unexpected {other}"),
         }
@@ -361,7 +387,10 @@ mod tests {
         let out = rt.handle_message(&arp_packet_in(1));
         assert_eq!(out.len(), 2);
         match &out[0].1 {
-            OfMessage::PacketOut { packet: Some(reply), .. } => {
+            OfMessage::PacketOut {
+                packet: Some(reply),
+                ..
+            } => {
                 assert_eq!(reply.arp_op, 2);
                 assert_eq!(reply.src_ip, vip());
                 assert_eq!(reply.dst_mac, MacAddr::for_host(1));
@@ -369,7 +398,11 @@ mod tests {
             other => panic!("unexpected {other}"),
         }
         match &out[1].1 {
-            OfMessage::PacketOut { buffer_id: Some(_), actions, .. } => {
+            OfMessage::PacketOut {
+                buffer_id: Some(_),
+                actions,
+                ..
+            } => {
                 assert!(actions.is_empty(), "the buffered request is dropped");
             }
             other => panic!("unexpected {other}"),
@@ -382,7 +415,11 @@ mod tests {
         config.bug_forget_arp_buffer = true;
         let mut rt = ControllerRuntime::new(Box::new(LoadBalancerApp::new(config)));
         let out = rt.handle_message(&arp_packet_in(1));
-        assert_eq!(out.len(), 1, "the reply is sent but the buffer is never released");
+        assert_eq!(
+            out.len(),
+            1,
+            "the reply is sent but the buffer is never released"
+        );
     }
 
     #[test]
@@ -391,7 +428,11 @@ mod tests {
         config.bug_ignore_unexpected_reason = true;
         let mut rt = ControllerRuntime::new(Box::new(LoadBalancerApp::new(config)));
         // First packet: steady state, handled normally.
-        assert_eq!(rt.handle_message(&tcp_packet_in(1000, TcpFlags::SYN, 1)).len(), 2);
+        assert_eq!(
+            rt.handle_message(&tcp_packet_in(1000, TcpFlags::SYN, 1))
+                .len(),
+            2
+        );
         // Second packet starts the transition and is then ignored because its
         // reason code is NO_MATCH.
         let out = rt.handle_message(&tcp_packet_in(1000, TcpFlags::ACK, 2));
@@ -472,7 +513,10 @@ mod tests {
         other_conn.src_port = 2000;
         assert!(app.is_same_flow(&syn, &syn));
         assert!(app.is_same_flow(&data, &data));
-        assert!(!app.is_same_flow(&syn, &data), "a SYN starts an independent flow");
+        assert!(
+            !app.is_same_flow(&syn, &data),
+            "a SYN starts an independent flow"
+        );
         assert!(!app.is_same_flow(&syn, &other_conn));
     }
 }

@@ -57,7 +57,10 @@ pub struct PySwitchApp {
 impl PySwitchApp {
     /// Creates the application in the given variant.
     pub fn new(variant: PySwitchVariant) -> Self {
-        PySwitchApp { variant, tables: BTreeMap::new() }
+        PySwitchApp {
+            variant,
+            tables: BTreeMap::new(),
+        }
     }
 
     /// The variant in use.
@@ -214,9 +217,7 @@ impl ControllerApp for PySwitchApp {
 mod tests {
     use super::*;
     use nice_controller::ControllerRuntime;
-    use nice_openflow::{
-        BufferId, MacAddr, OfMessage, Packet, PacketInReason,
-    };
+    use nice_openflow::{BufferId, MacAddr, OfMessage, Packet, PacketInReason};
 
     fn packet_in(src: u32, dst: u32, switch: u32, port: u16, buffer: u64) -> OfMessage {
         OfMessage::PacketIn {
@@ -267,13 +268,17 @@ mod tests {
             .iter()
             .filter(|(_, m)| matches!(m, OfMessage::FlowMod { .. }))
             .count();
-        assert_eq!(flow_mods, 1, "BUG-II: only the handled direction gets a rule");
+        assert_eq!(
+            flow_mods, 1,
+            "BUG-II: only the handled direction gets a rule"
+        );
     }
 
     #[test]
     fn fixed_variant_installs_reverse_rule_first() {
-        let mut rt =
-            ControllerRuntime::new(Box::new(PySwitchApp::new(PySwitchVariant::FixedTwoWayInstall)));
+        let mut rt = ControllerRuntime::new(Box::new(PySwitchApp::new(
+            PySwitchVariant::FixedTwoWayInstall,
+        )));
         rt.handle_message(&packet_in(1, 2, 1, 1, 1));
         let out = rt.handle_message(&packet_in(2, 1, 1, 2, 2));
         assert_eq!(out.len(), 3);
@@ -285,8 +290,9 @@ mod tests {
 
     #[test]
     fn naive_variant_installs_reverse_rule_after_release() {
-        let mut rt =
-            ControllerRuntime::new(Box::new(PySwitchApp::new(PySwitchVariant::NaiveTwoWayInstall)));
+        let mut rt = ControllerRuntime::new(Box::new(PySwitchApp::new(
+            PySwitchVariant::NaiveTwoWayInstall,
+        )));
         rt.handle_message(&packet_in(1, 2, 1, 1, 1));
         let out = rt.handle_message(&packet_in(2, 1, 1, 2, 2));
         assert_eq!(out.len(), 3);
@@ -328,7 +334,9 @@ mod tests {
     fn switch_leave_forgets_state() {
         let mut rt = ControllerRuntime::new(Box::new(PySwitchApp::new(PySwitchVariant::Original)));
         rt.handle_message(&packet_in(1, 2, 1, 1, 1));
-        rt.handle_message(&OfMessage::SwitchLeave { switch: SwitchId(1) });
+        rt.handle_message(&OfMessage::SwitchLeave {
+            switch: SwitchId(1),
+        });
         let app: &PySwitchApp = rt.app_as().unwrap();
         assert_eq!(app.learned_entries(SwitchId(1)), 0);
     }
@@ -339,13 +347,22 @@ mod tests {
         let a = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
         let b = Packet::l2_ping(2, MacAddr::for_host(2), MacAddr::for_host(1), 0);
         let c = Packet::l2_ping(3, MacAddr::for_host(1), MacAddr::for_host(3), 0);
-        assert!(app.is_same_flow(&a, &b), "both directions of a pair are one flow");
-        assert!(!app.is_same_flow(&a, &c), "different destinations are independent");
+        assert!(
+            app.is_same_flow(&a, &b),
+            "both directions of a pair are one flow"
+        );
+        assert!(
+            !app.is_same_flow(&a, &c),
+            "different destinations are independent"
+        );
     }
 
     #[test]
     fn variant_names_differ() {
-        assert_eq!(PySwitchApp::new(PySwitchVariant::Original).name(), "pyswitch");
+        assert_eq!(
+            PySwitchApp::new(PySwitchVariant::Original).name(),
+            "pyswitch"
+        );
         assert_eq!(
             PySwitchApp::new(PySwitchVariant::FixedTwoWayInstall).name(),
             "pyswitch-fixed"

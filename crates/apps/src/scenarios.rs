@@ -9,7 +9,9 @@ use crate::energyte::{EnergyTeApp, EnergyTeConfig, UseCorrectRoutingTable};
 use crate::loadbalancer::{LoadBalancerApp, LoadBalancerConfig};
 use crate::pyswitch::{PySwitchApp, PySwitchVariant};
 use nice_hosts::{ClientHost, HostModel, MobileHost, SendBudget, ServerHost};
-use nice_mc::properties::{FlowAffinity, NoBlackHoles, NoForgottenPackets, NoForwardingLoops, Property, StrictDirectPaths};
+use nice_mc::properties::{
+    FlowAffinity, NoBlackHoles, NoForgottenPackets, NoForwardingLoops, Property, StrictDirectPaths,
+};
 use nice_mc::{Scenario, SendPolicy};
 use nice_openflow::{EthType, HostId, Location, MacAddr, NwAddr, Packet, PortId, Topology};
 use nice_sym::{PacketDomains, StatsDomains};
@@ -119,7 +121,10 @@ fn l2_domains(topology: &Topology) -> PacketDomains {
 fn lb_domains(topology: &Topology) -> PacketDomains {
     let vip = load_balancer_vip();
     let mut domains = PacketDomains::from_topology(topology)
-        .with_eth_types(vec![EthType::Ipv4.value() as u64, EthType::Arp.value() as u64])
+        .with_eth_types(vec![
+            EthType::Ipv4.value() as u64,
+            EthType::Arp.value() as u64,
+        ])
         .with_ports(vec![1000, 80])
         .with_payloads(vec![0]);
     domains.ips.push(vip.value() as u64);
@@ -140,19 +145,31 @@ fn pyswitch_scenario(
 
     let b: Box<dyn HostModel> = if mobile_b {
         // The mobile host can move to the spare port of its own switch.
-        let targets = vec![Location { switch: host_b.location.switch, port: PortId(3) }];
+        let targets = vec![Location {
+            switch: host_b.location.switch,
+            port: PortId(3),
+        }];
         Box::new(MobileHost::new(host_b, SendBudget::SILENT, targets).with_echo())
     } else {
         Box::new(ClientHost::new(host_b, SendBudget::SILENT).with_echo())
     };
     let hosts: Vec<Box<dyn HostModel>> = vec![
-        Box::new(ClientHost::new(host_a, SendBudget::sends_with_burst(sends, 1))),
+        Box::new(ClientHost::new(
+            host_a,
+            SendBudget::sends_with_burst(sends, 1),
+        )),
         b,
     ];
 
-    Scenario::new(name, topology, Box::new(PySwitchApp::new(variant)), hosts, SendPolicy::Discover)
-        .with_packet_domains(domains)
-        .with_property(property)
+    Scenario::new(
+        name,
+        topology,
+        Box::new(PySwitchApp::new(variant)),
+        hosts,
+        SendPolicy::Discover,
+    )
+    .with_packet_domains(domains)
+    .with_property(property)
 }
 
 fn load_balancer_scenario(
@@ -169,14 +186,23 @@ fn load_balancer_scenario(
     let domains = lb_domains(&topology);
 
     let hosts: Vec<Box<dyn HostModel>> = vec![
-        Box::new(ClientHost::new(client, SendBudget::sends_with_burst(sends, 2))),
+        Box::new(ClientHost::new(
+            client,
+            SendBudget::sends_with_burst(sends, 2),
+        )),
         Box::new(ServerHost::new(replica1).with_virtual_ip(vip)),
         Box::new(ServerHost::new(replica2).with_virtual_ip(vip)),
     ];
 
-    Scenario::new(name, topology, Box::new(LoadBalancerApp::new(config)), hosts, SendPolicy::Discover)
-        .with_packet_domains(domains)
-        .with_property(property)
+    Scenario::new(
+        name,
+        topology,
+        Box::new(LoadBalancerApp::new(config)),
+        hosts,
+        SendPolicy::Discover,
+    )
+    .with_packet_domains(domains)
+    .with_property(property)
 }
 
 fn energy_te_scenario(
@@ -194,7 +220,12 @@ fn energy_te_scenario(
         .iter()
         .enumerate()
         .map(|(i, (src, dst))| {
-            Packet::l2_ping(i as u64 + 1, MacAddr::for_host(*src), MacAddr::for_host(*dst), i as u32)
+            Packet::l2_ping(
+                i as u64 + 1,
+                MacAddr::for_host(*src),
+                MacAddr::for_host(*dst),
+                i as u32,
+            )
         })
         .collect();
     let sends = script.len() as u32;
@@ -396,7 +427,10 @@ mod tests {
         )
         .run();
         assert!(!report.passed(), "BUG-IV must be detected: {report}");
-        assert_eq!(report.first_violation().unwrap().property, "NoForgottenPackets");
+        assert_eq!(
+            report.first_violation().unwrap().property,
+            "NoForgottenPackets"
+        );
     }
 
     #[test]
@@ -413,7 +447,10 @@ mod tests {
             CheckerConfig::default().with_max_transitions(50_000),
         )
         .run();
-        assert!(fixed.passed(), "the fixed TE app must not violate NoForgottenPackets: {fixed}");
+        assert!(
+            fixed.passed(),
+            "the fixed TE app must not violate NoForgottenPackets: {fixed}"
+        );
     }
 
     #[test]
@@ -424,6 +461,9 @@ mod tests {
         )
         .run();
         assert!(!report.passed(), "BUG-III must be detected: {report}");
-        assert_eq!(report.first_violation().unwrap().property, "NoForwardingLoops");
+        assert_eq!(
+            report.first_violation().unwrap().property,
+            "NoForwardingLoops"
+        );
     }
 }

@@ -1,9 +1,9 @@
 //! Small helpers shared by the applications: building concrete match
 //! patterns from (possibly symbolic) packets.
 
-use nice_openflow::{EthType, MacAddr, MatchPattern, NwAddr, PortId};
 use nice_openflow::matchfields::PrefixMatch;
 use nice_openflow::IpProto;
+use nice_openflow::{EthType, MacAddr, MatchPattern, NwAddr, PortId};
 use nice_sym::{Env, SymPacket};
 
 /// Builds the layer-2 match of Figure 3 line 11 (`DL_SRC`, `DL_DST`,
@@ -22,7 +22,11 @@ pub fn l2_match(env: &mut dyn Env, packet: &SymPacket, in_port: PortId) -> Match
 /// Builds the reverse-direction layer-2 match (for the StrictDirectPaths fix
 /// of BUG-II): source and destination swapped, matching on the port the
 /// reply traffic will arrive on.
-pub fn l2_match_reverse(env: &mut dyn Env, packet: &SymPacket, reverse_in_port: PortId) -> MatchPattern {
+pub fn l2_match_reverse(
+    env: &mut dyn Env,
+    packet: &SymPacket,
+    reverse_in_port: PortId,
+) -> MatchPattern {
     MatchPattern {
         in_port: Some(reverse_in_port),
         dl_src: Some(MacAddr(env.concretize(&packet.dst_mac))),
@@ -38,8 +42,12 @@ pub fn tcp_microflow_match(env: &mut dyn Env, packet: &SymPacket) -> MatchPatter
     MatchPattern {
         dl_type: Some(EthType::Ipv4),
         nw_proto: Some(IpProto::Tcp),
-        nw_src: Some(PrefixMatch::exact(NwAddr(env.concretize(&packet.src_ip) as u32))),
-        nw_dst: Some(PrefixMatch::exact(NwAddr(env.concretize(&packet.dst_ip) as u32))),
+        nw_src: Some(PrefixMatch::exact(NwAddr(
+            env.concretize(&packet.src_ip) as u32
+        ))),
+        nw_dst: Some(PrefixMatch::exact(NwAddr(
+            env.concretize(&packet.dst_ip) as u32
+        ))),
         tp_src: Some(env.concretize(&packet.src_port) as u16),
         tp_dst: Some(env.concretize(&packet.dst_port) as u16),
         ..MatchPattern::default()
@@ -128,6 +136,9 @@ mod tests {
         other.src_port = 1001;
         let b = SymPacket::from_concrete(&other);
         let mut env = ConcreteEnv::new();
-        assert_ne!(env.concretize(&connection_key(&a)), env.concretize(&connection_key(&b)));
+        assert_ne!(
+            env.concretize(&connection_key(&a)),
+            env.concretize(&connection_key(&b))
+        );
     }
 }

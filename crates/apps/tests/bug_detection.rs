@@ -19,7 +19,13 @@ fn detect(bug: BugId, strategy: StrategyKind, budget: u64) -> Option<String> {
 #[test]
 fn cheap_bugs_are_detected_with_the_expected_property() {
     // The quick-to-find bugs (small traces in Table 2).
-    for bug in [BugId::BugIII, BugId::BugIV, BugId::BugVI, BugId::BugVIII, BugId::BugIX] {
+    for bug in [
+        BugId::BugIII,
+        BugId::BugIV,
+        BugId::BugVI,
+        BugId::BugVIII,
+        BugId::BugIX,
+    ] {
         let property = detect(bug, StrategyKind::FullDfs, 200_000)
             .unwrap_or_else(|| panic!("{bug:?} was not detected"));
         assert_eq!(property, bug.property_name(), "{bug:?}");
@@ -36,7 +42,8 @@ fn bug_ii_violates_strict_direct_paths() {
 fn bug_v_and_vii_are_found_in_the_load_balancer() {
     let property = detect(BugId::BugV, StrategyKind::FullDfs, 500_000).expect("BUG-V not found");
     assert_eq!(property, "NoForgottenPackets");
-    let property = detect(BugId::BugVII, StrategyKind::FullDfs, 500_000).expect("BUG-VII not found");
+    let property =
+        detect(BugId::BugVII, StrategyKind::FullDfs, 500_000).expect("BUG-VII not found");
     assert_eq!(property, "FlowAffinity");
 }
 
@@ -65,7 +72,13 @@ fn no_delay_misses_the_rule_installation_race() {
 
 #[test]
 fn fixed_variants_pass() {
-    for bug in [BugId::BugII, BugId::BugIV, BugId::BugVI, BugId::BugVIII, BugId::BugX] {
+    for bug in [
+        BugId::BugII,
+        BugId::BugIV,
+        BugId::BugVI,
+        BugId::BugVIII,
+        BugId::BugX,
+    ] {
         let scenario = fixed_scenario(bug).expect("fixed scenario exists");
         let report = ModelChecker::new(
             scenario,

@@ -23,7 +23,10 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| {
             exhaustive(
                 ping_workload(2, true),
-                CheckerConfig { coarse_packet_processing: false, ..CheckerConfig::default() },
+                CheckerConfig {
+                    coarse_packet_processing: false,
+                    ..CheckerConfig::default()
+                },
             )
         })
     });

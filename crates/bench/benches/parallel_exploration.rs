@@ -1,0 +1,68 @@
+//! Criterion bench for the exploration-engine optimisations, on the
+//! pyswitch FullDfs chain-ping workload and the load-balancer scenario:
+//!
+//! * `sequential_seed` — one worker, frontier states deep-cloned eagerly and
+//!   every fingerprint recomputed from scratch: the cost profile of the
+//!   engine before copy-on-write states landed,
+//! * `cow_snapshot` — one worker with copy-on-write snapshots and cached
+//!   component digests (the default engine),
+//! * `checkpoint_replay` — one worker, checkpointed replay storage
+//!   (snapshot every 8 transitions, replay the suffix), and
+//! * `parallel_4` — four workers over the shared work-sharing frontier.
+//!
+//! The acceptance target for this work was ≥ 2x states/sec for `parallel_4`
+//! over `sequential_seed` on the pyswitch scenario.
+//! `cargo run --release -p nice-bench --bin parallel` prints states/sec and
+//! speedups directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nice_bench::{chain_ping_workload, exhaustive, load_balancer_workload};
+use nice_mc::{CheckerConfig, Scenario};
+
+const CHAIN_SWITCHES: u32 = 5;
+const PINGS: u32 = 2;
+
+fn bench_engines(c: &mut Criterion, group_name: &str, scenario: impl Fn() -> Scenario) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_function("sequential_seed", |b| {
+        b.iter(|| {
+            exhaustive(
+                scenario(),
+                CheckerConfig {
+                    force_deep_clone: true,
+                    ..CheckerConfig::default()
+                },
+            )
+        })
+    });
+    group.bench_function("cow_snapshot", |b| {
+        b.iter(|| exhaustive(scenario(), CheckerConfig::default()))
+    });
+    group.bench_function("checkpoint_replay", |b| {
+        b.iter(|| {
+            exhaustive(
+                scenario(),
+                CheckerConfig::default().with_checkpoint_interval(8),
+            )
+        })
+    });
+    group.bench_function("parallel_4", |b| {
+        b.iter(|| exhaustive(scenario(), CheckerConfig::default().with_workers(4)))
+    });
+    group.finish();
+}
+
+fn bench_parallel_exploration(c: &mut Criterion) {
+    bench_engines(c, "parallel_exploration/pyswitch_chain", || {
+        chain_ping_workload(CHAIN_SWITCHES, PINGS)
+    });
+    bench_engines(
+        c,
+        "parallel_exploration/load_balancer",
+        load_balancer_workload,
+    );
+}
+
+criterion_group!(benches, bench_parallel_exploration);
+criterion_main!(benches);

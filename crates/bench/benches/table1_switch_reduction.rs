@@ -12,9 +12,11 @@ fn bench_table1(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("nice_mc", pings), &pings, |b, &n| {
             b.iter(|| exhaustive(ping_workload(n, true), CheckerConfig::default()))
         });
-        group.bench_with_input(BenchmarkId::new("no_switch_reduction", pings), &pings, |b, &n| {
-            b.iter(|| exhaustive(ping_workload(n, false), CheckerConfig::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("no_switch_reduction", pings),
+            &pings,
+            |b, &n| b.iter(|| exhaustive(ping_workload(n, false), CheckerConfig::default())),
+        );
     }
     group.finish();
 }

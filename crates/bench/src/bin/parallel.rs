@@ -1,0 +1,73 @@
+//! States/sec comparison of the exploration engines on the pyswitch FullDfs
+//! chain-ping workload and the load-balancer workload: the pre-COW
+//! sequential baseline (eager deep clones), copy-on-write snapshots,
+//! checkpointed replay, and the parallel engine.
+//!
+//! Usage: `parallel [switches] [pings] [workers]`
+
+use nice_bench::{chain_ping_workload, exhaustive, load_balancer_workload};
+use nice_mc::{CheckerConfig, Scenario, SearchStats};
+
+fn states_per_sec(stats: &SearchStats) -> f64 {
+    stats.unique_states as f64 / stats.duration.as_secs_f64()
+}
+
+fn engine_configs(workers: usize) -> Vec<(String, CheckerConfig)> {
+    vec![
+        (
+            "sequential-seed (deep clone)".into(),
+            CheckerConfig {
+                force_deep_clone: true,
+                ..CheckerConfig::default()
+            },
+        ),
+        ("cow-snapshot".into(), CheckerConfig::default()),
+        (
+            "checkpoint-replay (K=8)".into(),
+            CheckerConfig::default().with_checkpoint_interval(8),
+        ),
+        (
+            format!("parallel ({workers} workers)"),
+            CheckerConfig::default().with_workers(workers),
+        ),
+    ]
+}
+
+fn run(label: &str, scenario: impl Fn() -> Scenario, workers: usize) {
+    println!("{label}");
+    println!(
+        "{:<32} {:>12} {:>12} {:>12} {:>14}",
+        "engine", "states", "transitions", "time", "states/sec"
+    );
+    println!("{}", "-".repeat(86));
+    let mut baseline: Option<f64> = None;
+    for (name, config) in engine_configs(workers) {
+        let stats = exhaustive(scenario(), config);
+        let rate = states_per_sec(&stats);
+        let speedup = baseline.map(|b| rate / b).unwrap_or(1.0);
+        baseline.get_or_insert(rate);
+        println!(
+            "{:<32} {:>12} {:>12} {:>11.2?} {:>11.0} ({speedup:.2}x)",
+            name, stats.unique_states, stats.transitions, stats.duration, rate
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let switches: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let pings: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let workers: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    run(
+        &format!("pyswitch FullDfs chain workload, {switches} switches, {pings} pings"),
+        || chain_ping_workload(switches, pings),
+        workers,
+    );
+    run(
+        "load balancer (BUG-V scenario), FullDfs",
+        load_balancer_workload,
+        workers,
+    );
+}

@@ -28,7 +28,5 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "rho = (Unique(NO-SWITCH-REDUCTION) - Unique(NICE-MC)) / Unique(NO-SWITCH-REDUCTION)"
-    );
+    println!("rho = (Unique(NO-SWITCH-REDUCTION) - Unique(NICE-MC)) / Unique(NO-SWITCH-REDUCTION)");
 }

@@ -28,7 +28,7 @@ use nice_hosts::{ClientHost, HostModel, SendBudget};
 use nice_mc::{
     CheckerConfig, ModelChecker, Scenario, SearchStats, SendPolicy, StateStorage, StrategyKind,
 };
-use nice_openflow::{HostId, Packet, SwitchConfig, Topology};
+use nice_openflow::{HostId, Packet, PortId, SwitchConfig, SwitchId, Topology};
 use std::time::Duration;
 
 /// The layer-2 ping workload of Section 7: host A sends `pings` pings to
@@ -59,10 +59,60 @@ pub fn ping_workload(pings: u32, canonical_switch_model: bool) -> Scenario {
     })
 }
 
+/// The ping workload stretched over a chain of `switches` switches: host A
+/// at one end of the chain, the echoing host B at the other, pyswitch
+/// learning MACs along the way. Used by the exploration-engine benches —
+/// the larger the system, the more a full state clone costs and the more
+/// copy-on-write snapshots win.
+pub fn chain_ping_workload(switches: u32, pings: u32) -> Scenario {
+    assert!(switches >= 2, "a chain needs at least two switches");
+    // Port plan per switch: 1 = host (ends only), 2 = towards the next
+    // switch, 3 = towards the previous switch.
+    let mut builder = Topology::builder();
+    for s in 1..=switches {
+        builder = builder.switch(SwitchId(s), &[1, 2, 3]);
+    }
+    builder = builder.host(HostId(1), SwitchId(1), PortId(1)).host(
+        HostId(2),
+        SwitchId(switches),
+        PortId(1),
+    );
+    for s in 1..switches {
+        builder = builder.link(SwitchId(s), PortId(2), SwitchId(s + 1), PortId(3));
+    }
+    let topology = builder.build();
+
+    let host_a = *topology.host(HostId(1)).unwrap();
+    let host_b = *topology.host(HostId(2)).unwrap();
+    let hosts: Vec<Box<dyn HostModel>> = vec![
+        Box::new(ClientHost::new(host_a, SendBudget::sends(pings))),
+        Box::new(ClientHost::new(host_b, SendBudget::SILENT).with_echo()),
+    ];
+    let script: Vec<Packet> = (0..pings)
+        .map(|i| Packet::l2_ping(i as u64 + 1, host_a.mac, host_b.mac, i))
+        .collect();
+    Scenario::new(
+        format!("chain{switches}-ping-{pings}"),
+        topology,
+        Box::new(PySwitchApp::new(PySwitchVariant::Original)),
+        hosts,
+        SendPolicy::scripted([(HostId(1), script)]),
+    )
+}
+
+/// The load-balancer bug-hunt scenario (BUG-V) explored exhaustively — the
+/// second workload the exploration-engine benches must demonstrate wins on.
+pub fn load_balancer_workload() -> Scenario {
+    bug_scenario(BugId::BugV)
+}
+
 /// Runs an exhaustive search (no property checking, no early stop) and
 /// returns the search statistics.
 pub fn exhaustive(scenario: Scenario, config: CheckerConfig) -> SearchStats {
-    let config = CheckerConfig { stop_at_first_violation: false, ..config };
+    let config = CheckerConfig {
+        stop_at_first_violation: false,
+        ..config
+    };
     ModelChecker::new(scenario, config).run().stats
 }
 
@@ -188,7 +238,10 @@ impl ComparisonRow {
 }
 
 /// Regenerates the generic-model-checker comparison.
-pub fn comparison(pings: impl IntoIterator<Item = u32>, max_transitions: u64) -> Vec<ComparisonRow> {
+pub fn comparison(
+    pings: impl IntoIterator<Item = u32>,
+    max_transitions: u64,
+) -> Vec<ComparisonRow> {
     pings
         .into_iter()
         .map(|n| ComparisonRow {
@@ -237,7 +290,9 @@ impl BugHuntOutcome {
     /// `Missed`.
     pub fn cell(&self) -> String {
         match self {
-            BugHuntOutcome::Found { transitions, time, .. } => {
+            BugHuntOutcome::Found {
+                transitions, time, ..
+            } => {
                 format!("{} / {:.2}s", transitions, time.as_secs_f64())
             }
             BugHuntOutcome::Missed { .. } => "Missed".to_string(),
@@ -317,7 +372,10 @@ pub fn ablation(pings: u32, max_transitions: u64) -> Vec<AblationRow> {
             label: "fine-grained packet processing (one port per transition)".into(),
             stats: exhaustive(
                 ping_workload(pings, true),
-                CheckerConfig { coarse_packet_processing: false, ..base.clone() },
+                CheckerConfig {
+                    coarse_packet_processing: false,
+                    ..base.clone()
+                },
             ),
         },
         AblationRow {
@@ -388,7 +446,10 @@ mod tests {
         let outcome = hunt_bug(BugId::BugVIII, StrategyKind::FullDfs, 100_000);
         assert!(outcome.found());
         assert!(outcome.cell().contains('/'));
-        let missed = BugHuntOutcome::Missed { transitions: 5, time: Duration::from_millis(1) };
+        let missed = BugHuntOutcome::Missed {
+            transitions: 5,
+            time: Duration::from_millis(1),
+        };
         assert_eq!(missed.cell(), "Missed");
     }
 

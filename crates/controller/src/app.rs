@@ -35,7 +35,12 @@ pub struct PacketInContext {
 }
 
 /// A controller application (the system under test).
-pub trait ControllerApp {
+///
+/// `Send + Sync` is required because system states (which own a clone of the
+/// application) migrate between the worker threads of the parallel search.
+/// Applications are plain data — the bound is satisfied automatically unless
+/// an implementation reaches for `Rc`/`RefCell`.
+pub trait ControllerApp: Send + Sync {
     /// A short name used in traces and reports.
     fn name(&self) -> &str;
 
@@ -65,7 +70,8 @@ pub trait ControllerApp {
     }
 
     /// Handles a barrier reply.
-    fn barrier_reply(&mut self, _ops: &mut dyn ControllerOps, _switch: SwitchId, _request_id: u64) {}
+    fn barrier_reply(&mut self, _ops: &mut dyn ControllerOps, _switch: SwitchId, _request_id: u64) {
+    }
 
     /// Handles a port status change (link up/down).
     fn port_status(

@@ -27,7 +27,13 @@ pub struct RuleSpec {
 impl RuleSpec {
     /// A permanent rule with default priority 100.
     pub fn new(pattern: MatchPattern, actions: Vec<Action>) -> Self {
-        RuleSpec { pattern, priority: 100, actions, timeouts: Timeouts::PERMANENT, cookie: 0 }
+        RuleSpec {
+            pattern,
+            priority: 100,
+            actions,
+            timeouts: Timeouts::PERMANENT,
+            cookie: 0,
+        }
     }
 
     /// Sets the priority (builder style).
@@ -78,7 +84,13 @@ pub trait ControllerOps {
     );
 
     /// Injects a packet carried inline (no switch buffer reference).
-    fn send_packet(&mut self, switch: SwitchId, packet: Packet, in_port: PortId, actions: Vec<Action>);
+    fn send_packet(
+        &mut self,
+        switch: SwitchId,
+        packet: Packet,
+        in_port: PortId,
+        actions: Vec<Action>,
+    );
 
     /// Convenience: release a buffered packet with a flood action
     /// (`flood_packet` in Figure 3).
@@ -108,7 +120,10 @@ impl MessageSink {
     /// barrier requests so that ids stay unique across handler invocations
     /// (the runtime passes its persistent counter in).
     pub fn new(next_request_id: u64) -> Self {
-        MessageSink { messages: Vec::new(), next_request_id }
+        MessageSink {
+            messages: Vec::new(),
+            next_request_id,
+        }
     }
 
     /// The recorded messages, in call order.
@@ -186,25 +201,43 @@ impl ControllerOps for MessageSink {
     ) {
         self.messages.push((
             switch,
-            OfMessage::PacketOut { buffer_id: Some(buffer_id), packet: None, in_port, actions },
+            OfMessage::PacketOut {
+                buffer_id: Some(buffer_id),
+                packet: None,
+                in_port,
+                actions,
+            },
         ));
     }
 
-    fn send_packet(&mut self, switch: SwitchId, packet: Packet, in_port: PortId, actions: Vec<Action>) {
+    fn send_packet(
+        &mut self,
+        switch: SwitchId,
+        packet: Packet,
+        in_port: PortId,
+        actions: Vec<Action>,
+    ) {
         self.messages.push((
             switch,
-            OfMessage::PacketOut { buffer_id: None, packet: Some(packet), in_port, actions },
+            OfMessage::PacketOut {
+                buffer_id: None,
+                packet: Some(packet),
+                in_port,
+                actions,
+            },
         ));
     }
 
     fn request_stats(&mut self, switch: SwitchId, kind: StatsKind) {
         let request_id = self.alloc_request_id();
-        self.messages.push((switch, OfMessage::StatsRequest { kind, request_id }));
+        self.messages
+            .push((switch, OfMessage::StatsRequest { kind, request_id }));
     }
 
     fn send_barrier(&mut self, switch: SwitchId) {
         let request_id = self.alloc_request_id();
-        self.messages.push((switch, OfMessage::BarrierRequest { request_id }));
+        self.messages
+            .push((switch, OfMessage::BarrierRequest { request_id }));
     }
 }
 
@@ -227,34 +260,71 @@ mod tests {
     #[test]
     fn install_and_delete_record_flow_mods() {
         let mut sink = MessageSink::new(0);
-        sink.install_rule(SwitchId(1), RuleSpec::new(MatchPattern::any(), vec![Action::Drop]));
+        sink.install_rule(
+            SwitchId(1),
+            RuleSpec::new(MatchPattern::any(), vec![Action::Drop]),
+        );
         sink.delete_rule(SwitchId(2), MatchPattern::any());
         sink.delete_rule_strict(SwitchId(3), MatchPattern::any(), 9);
         let msgs = sink.messages();
         assert_eq!(msgs.len(), 3);
         assert_eq!(msgs[0].0, SwitchId(1));
-        assert!(matches!(msgs[0].1, OfMessage::FlowMod { command: FlowModCommand::Add, .. }));
-        assert!(matches!(msgs[1].1, OfMessage::FlowMod { command: FlowModCommand::Delete, .. }));
+        assert!(matches!(
+            msgs[0].1,
+            OfMessage::FlowMod {
+                command: FlowModCommand::Add,
+                ..
+            }
+        ));
+        assert!(matches!(
+            msgs[1].1,
+            OfMessage::FlowMod {
+                command: FlowModCommand::Delete,
+                ..
+            }
+        ));
         assert!(matches!(
             msgs[2].1,
-            OfMessage::FlowMod { command: FlowModCommand::DeleteStrict, priority: 9, .. }
+            OfMessage::FlowMod {
+                command: FlowModCommand::DeleteStrict,
+                priority: 9,
+                ..
+            }
         ));
     }
 
     #[test]
     fn packet_out_variants() {
         let mut sink = MessageSink::new(0);
-        sink.send_packet_out(SwitchId(1), BufferId(5), PortId(1), vec![Action::Output(PortId(2))]);
+        sink.send_packet_out(
+            SwitchId(1),
+            BufferId(5),
+            PortId(1),
+            vec![Action::Output(PortId(2))],
+        );
         sink.flood_packet(SwitchId(1), BufferId(6), PortId(1));
         let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
         sink.send_packet(SwitchId(2), pkt, PortId(3), vec![Action::Flood]);
         let msgs = sink.messages();
-        assert!(matches!(msgs[0].1, OfMessage::PacketOut { buffer_id: Some(BufferId(5)), .. }));
+        assert!(matches!(
+            msgs[0].1,
+            OfMessage::PacketOut {
+                buffer_id: Some(BufferId(5)),
+                ..
+            }
+        ));
         match &msgs[1].1 {
             OfMessage::PacketOut { actions, .. } => assert_eq!(actions, &vec![Action::Flood]),
             other => panic!("unexpected {other}"),
         }
-        assert!(matches!(msgs[2].1, OfMessage::PacketOut { buffer_id: None, packet: Some(_), .. }));
+        assert!(matches!(
+            msgs[2].1,
+            OfMessage::PacketOut {
+                buffer_id: None,
+                packet: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]

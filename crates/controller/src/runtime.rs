@@ -46,7 +46,11 @@ impl std::fmt::Debug for ControllerRuntime {
 impl ControllerRuntime {
     /// Creates a runtime around an application.
     pub fn new(app: Box<dyn ControllerApp>) -> Self {
-        ControllerRuntime { app, next_request_id: 1, handled_events: 0 }
+        ControllerRuntime {
+            app,
+            next_request_id: 1,
+            handled_events: 0,
+        }
     }
 
     /// The application's name.
@@ -125,7 +129,13 @@ impl ControllerRuntime {
 
     fn dispatch(&mut self, msg: &OfMessage, sink: &mut MessageSink, env: &mut dyn Env) {
         match msg {
-            OfMessage::PacketIn { switch, in_port, packet, buffer_id, reason } => {
+            OfMessage::PacketIn {
+                switch,
+                in_port,
+                packet,
+                buffer_id,
+                reason,
+            } => {
                 let ctx = PacketInContext {
                     switch: *switch,
                     in_port: *in_port,
@@ -141,7 +151,9 @@ impl ControllerRuntime {
             OfMessage::SwitchLeave { switch } => {
                 self.app.switch_leave(sink, *switch);
             }
-            OfMessage::PortStatsReply { switch, entries, .. } => {
+            OfMessage::PortStatsReply {
+                switch, entries, ..
+            } => {
                 let stats = SymStats::from_concrete(entries);
                 self.app.port_stats_in(sink, env, *switch, &stats);
             }
@@ -155,7 +167,11 @@ impl ControllerRuntime {
             OfMessage::BarrierReply { switch, request_id } => {
                 self.app.barrier_reply(sink, *switch, *request_id);
             }
-            OfMessage::PortStatus { switch, port, link_up } => {
+            OfMessage::PortStatus {
+                switch,
+                port,
+                link_up,
+            } => {
                 self.app.port_status(sink, *switch, *port, *link_up);
             }
             other => {
@@ -225,10 +241,18 @@ mod tests {
             _packet: &SymPacket,
         ) {
             self.packet_ins += 1;
-            ops.install_rule(ctx.switch, RuleSpec::new(MatchPattern::any(), vec![Action::Flood]));
+            ops.install_rule(
+                ctx.switch,
+                RuleSpec::new(MatchPattern::any(), vec![Action::Flood]),
+            );
             ops.request_stats(ctx.switch, StatsKind::Port);
         }
-        fn switch_join(&mut self, _ops: &mut dyn ControllerOps, _switch: SwitchId, _ports: &[PortId]) {
+        fn switch_join(
+            &mut self,
+            _ops: &mut dyn ControllerOps,
+            _switch: SwitchId,
+            _ports: &[PortId],
+        ) {
             self.joins += 1;
         }
         fn switch_leave(&mut self, _ops: &mut dyn ControllerOps, _switch: SwitchId) {
@@ -243,7 +267,12 @@ mod tests {
         ) {
             self.stats += 1;
         }
-        fn barrier_reply(&mut self, _ops: &mut dyn ControllerOps, _switch: SwitchId, _request_id: u64) {
+        fn barrier_reply(
+            &mut self,
+            _ops: &mut dyn ControllerOps,
+            _switch: SwitchId,
+            _request_id: u64,
+        ) {
             self.barriers += 1;
         }
         fn port_status(
@@ -292,8 +321,13 @@ mod tests {
 
         let out = rt.handle_message(&packet_in_msg());
         assert_eq!(out.len(), 2, "install + stats request");
-        rt.handle_message(&OfMessage::SwitchJoin { switch: SwitchId(1), ports: vec![PortId(1)] });
-        rt.handle_message(&OfMessage::SwitchLeave { switch: SwitchId(1) });
+        rt.handle_message(&OfMessage::SwitchJoin {
+            switch: SwitchId(1),
+            ports: vec![PortId(1)],
+        });
+        rt.handle_message(&OfMessage::SwitchLeave {
+            switch: SwitchId(1),
+        });
         rt.handle_message(&OfMessage::PortStatsReply {
             switch: SwitchId(1),
             request_id: 1,
@@ -304,8 +338,15 @@ mod tests {
             request_id: 2,
             entries: vec![],
         });
-        rt.handle_message(&OfMessage::BarrierReply { switch: SwitchId(1), request_id: 3 });
-        rt.handle_message(&OfMessage::PortStatus { switch: SwitchId(1), port: PortId(1), link_up: false });
+        rt.handle_message(&OfMessage::BarrierReply {
+            switch: SwitchId(1),
+            request_id: 3,
+        });
+        rt.handle_message(&OfMessage::PortStatus {
+            switch: SwitchId(1),
+            port: PortId(1),
+            link_up: false,
+        });
         assert_eq!(rt.handled_events(), 7);
     }
 

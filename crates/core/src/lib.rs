@@ -64,7 +64,10 @@ impl Nice {
     /// Creates a checker for `scenario` with the default configuration
     /// (exhaustive PKT-SEQ search, stop at the first violation).
     pub fn new(scenario: Scenario) -> Self {
-        Nice { scenario, config: CheckerConfig::default() }
+        Nice {
+            scenario,
+            config: CheckerConfig::default(),
+        }
     }
 
     /// Replaces the whole checker configuration (builder style).

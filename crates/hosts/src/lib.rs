@@ -34,7 +34,10 @@ use nice_openflow::{EthType, Fingerprint, Fnv64, HostId, HostSpec, Location, Pac
 /// (relocate, for mobile hosts). The packets a host *sends* are chosen by the
 /// model checker from the relevant packets discovered through symbolic
 /// execution; the host model only accounts for budgets and produces replies.
-pub trait HostModel {
+///
+/// `Send + Sync` is required because system states (which own the host
+/// models) migrate between the worker threads of the parallel search.
+pub trait HostModel: Send + Sync {
     /// A short name used in traces.
     fn name(&self) -> &str;
 
@@ -97,16 +100,25 @@ pub struct SendBudget {
 
 impl SendBudget {
     /// A host that never sends.
-    pub const SILENT: SendBudget = SendBudget { max_sends: 0, max_burst: None };
+    pub const SILENT: SendBudget = SendBudget {
+        max_sends: 0,
+        max_burst: None,
+    };
 
     /// A host that may send `n` packets with no burst limit.
     pub fn sends(n: u32) -> Self {
-        SendBudget { max_sends: n, max_burst: None }
+        SendBudget {
+            max_sends: n,
+            max_burst: None,
+        }
     }
 
     /// A host that may send `n` packets with at most `burst` outstanding.
     pub fn sends_with_burst(n: u32, burst: u32) -> Self {
-        SendBudget { max_sends: n, max_burst: Some(burst) }
+        SendBudget {
+            max_sends: n,
+            max_burst: Some(burst),
+        }
     }
 }
 
@@ -253,7 +265,12 @@ pub struct ServerHost {
 impl ServerHost {
     /// Creates a server.
     pub fn new(spec: HostSpec) -> Self {
-        ServerHost { spec, received: 0, replies_sent: 0, virtual_ip: None }
+        ServerHost {
+            spec,
+            received: 0,
+            replies_sent: 0,
+            virtual_ip: None,
+        }
     }
 
     /// Makes the server answer traffic addressed to `vip` as well as its own
@@ -358,7 +375,12 @@ pub struct MobileHost {
 impl MobileHost {
     /// Creates a mobile host wrapping the default client behaviour.
     pub fn new(spec: HostSpec, budget: SendBudget, targets: Vec<Location>) -> Self {
-        MobileHost { inner: ClientHost::new(spec, budget), targets, max_moves: 1, moves_done: 0 }
+        MobileHost {
+            inner: ClientHost::new(spec, budget),
+            targets,
+            max_moves: 1,
+            moves_done: 0,
+        }
     }
 
     /// Enables echoing of layer-2 pings (builder style).
@@ -536,7 +558,10 @@ mod tests {
     #[should_panic(expected = "cannot move")]
     fn client_cannot_move() {
         let mut client = ClientHost::new(spec(1), SendBudget::SILENT);
-        client.apply_move(Location { switch: SwitchId(2), port: PortId(3) });
+        client.apply_move(Location {
+            switch: SwitchId(2),
+            port: PortId(3),
+        });
     }
 
     #[test]
@@ -601,7 +626,10 @@ mod tests {
 
     #[test]
     fn mobile_host_moves_once_by_default() {
-        let targets = vec![Location { switch: SwitchId(2), port: PortId(3) }];
+        let targets = vec![Location {
+            switch: SwitchId(2),
+            port: PortId(3),
+        }];
         let mut host = MobileHost::new(spec(2), SendBudget::SILENT, targets.clone()).with_echo();
         assert_eq!(host.name(), "mobile-host");
         assert_eq!(host.move_targets(), targets);
@@ -617,13 +645,25 @@ mod tests {
     #[test]
     fn mobile_host_can_allow_more_moves() {
         let targets = vec![
-            Location { switch: SwitchId(2), port: PortId(3) },
-            Location { switch: SwitchId(1), port: PortId(3) },
+            Location {
+                switch: SwitchId(2),
+                port: PortId(3),
+            },
+            Location {
+                switch: SwitchId(1),
+                port: PortId(3),
+            },
         ];
         let mut host = MobileHost::new(spec(1), SendBudget::SILENT, targets).with_max_moves(2);
-        host.apply_move(Location { switch: SwitchId(2), port: PortId(3) });
+        host.apply_move(Location {
+            switch: SwitchId(2),
+            port: PortId(3),
+        });
         assert_eq!(host.move_targets().len(), 1, "current location excluded");
-        host.apply_move(Location { switch: SwitchId(1), port: PortId(3) });
+        host.apply_move(Location {
+            switch: SwitchId(1),
+            port: PortId(3),
+        });
         assert!(host.move_targets().is_empty());
     }
 
@@ -631,12 +671,18 @@ mod tests {
     #[should_panic(expected = "not currently allowed")]
     fn illegal_move_rejected() {
         let mut host = MobileHost::new(spec(1), SendBudget::SILENT, vec![]);
-        host.apply_move(Location { switch: SwitchId(9), port: PortId(9) });
+        host.apply_move(Location {
+            switch: SwitchId(9),
+            port: PortId(9),
+        });
     }
 
     #[test]
     fn mobile_echo_still_replies() {
-        let targets = vec![Location { switch: SwitchId(2), port: PortId(3) }];
+        let targets = vec![Location {
+            switch: SwitchId(2),
+            port: PortId(3),
+        }];
         let mut host = MobileHost::new(spec(2), SendBudget::SILENT, targets).with_echo();
         let mut alloc = || 50;
         let ping = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
@@ -653,10 +699,18 @@ mod tests {
         let baseline = fp(&client);
         let cloned = client.clone_host();
         assert_eq!(fp(cloned.as_ref()), baseline);
-        client.note_sent(&Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0));
+        client.note_sent(&Packet::l2_ping(
+            1,
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            0,
+        ));
         assert_ne!(fp(&client), baseline);
 
-        let targets = vec![Location { switch: SwitchId(2), port: PortId(3) }];
+        let targets = vec![Location {
+            switch: SwitchId(2),
+            port: PortId(3),
+        }];
         let mut mobile = MobileHost::new(spec(2), SendBudget::SILENT, targets.clone());
         let before = fp(&mobile);
         mobile.apply_move(targets[0]);

@@ -1,15 +1,62 @@
 //! The state-space search loop (Figure 5), violation traces and search
 //! statistics, plus a random-walk simulation mode.
+//!
+//! # Search engines
+//!
+//! [`ModelChecker::run`] dispatches on [`CheckerConfig::workers`]:
+//!
+//! * `workers == 1` (default) — the canonical sequential depth-first search.
+//!   Fully deterministic: a fixed scenario and configuration always yield the
+//!   same transition count, unique-state count and violation traces.
+//! * `workers > 1` — a work-sharing parallel search. Worker threads pop
+//!   frontier nodes from a shared LIFO queue and deduplicate states through a
+//!   sharded fingerprint set, so each unique state is expanded exactly once
+//!   across all workers. With no truncating budget the parallel search visits
+//!   the same state space as the sequential one (identical `unique_states`
+//!   and `transitions`, same set of violated properties), but the *order* of
+//!   exploration — and therefore which trace first reaches a violating
+//!   state, and where a `max_transitions` budget cuts off — is scheduling
+//!   dependent.
+//!
+//! # Frontier storage modes
+//!
+//! Every frontier node keeps its transition trace (it doubles as the
+//! violation trace). What else is kept is governed by
+//! [`StateStorage`](crate::scenario::StateStorage):
+//!
+//! * `Full` — each node carries a snapshot of its exact state. Since
+//!   [`SystemState`] is copy-on-write, the snapshot shares everything the
+//!   child did not modify with its parent, so this is the default and is
+//!   both fast and reasonably small.
+//! * `Replay` — nodes carry no state; expanding a node re-executes its whole
+//!   trace from the initial state (the paper's Section 6 memory-saving
+//!   mode). Cheapest per node, O(depth) re-execution per expansion.
+//! * `Checkpoint { interval }` — the hybrid: a copy-on-write snapshot is
+//!   taken every `interval` transitions of depth and shared (via `Arc`) by
+//!   every descendant node until the next checkpoint; expanding a node
+//!   replays only the suffix since its nearest checkpoint — at most
+//!   `interval - 1` transitions instead of the full depth.
+//!
+//! The explored set stores only 64-bit state fingerprints (Section 6 of the
+//! paper), in a `HashSet` keyed by an identity hasher: the fingerprints are
+//! already uniformly distributed, so re-hashing them through SipHash would be
+//! pure overhead.
 
 use crate::properties::{Event, Property};
 use crate::scenario::{CheckerConfig, Scenario, StateStorage};
 use crate::state::SystemState;
-use crate::strategy::build_strategy;
-use crate::transition::{drain_control_plane, enabled_transitions, execute, DiscoveryMemo, Transition};
+use crate::strategy::{build_strategy, SearchStrategy};
+use crate::transition::{
+    drain_control_plane, enabled_transitions, execute, DiscoveryMemo, SharedDiscoveryCache,
+    Transition,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// A property violation together with the trace that reproduces it.
@@ -96,7 +143,11 @@ impl fmt::Display for CheckReport {
             self.stats.unique_states,
             self.stats.terminal_states,
             self.stats.duration,
-            if self.stats.truncated { " (truncated)" } else { "" }
+            if self.stats.truncated {
+                " (truncated)"
+            } else {
+                ""
+            }
         )?;
         for v in &self.violations {
             write!(f, "{v}")?;
@@ -105,15 +156,81 @@ impl fmt::Display for CheckReport {
     }
 }
 
-/// One frontier entry of the depth-first search.
+// ---------------------------------------------------------------------------
+// Fingerprint set
+// ---------------------------------------------------------------------------
+
+/// Identity hasher for values that are already 64-bit fingerprints (FNV-1a
+/// outputs): feeding them through SipHash again would be pure overhead.
+#[derive(Debug, Default, Clone)]
+struct FingerprintHasher(u64);
+
+impl Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback; the checker only ever hashes u64 fingerprints.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// The explored set: 64-bit fingerprints with no re-hashing.
+type FingerprintSet = HashSet<u64, BuildHasherDefault<FingerprintHasher>>;
+
+/// The shared deduplication set of the parallel search: fingerprints sharded
+/// over independently locked sets, indexed by the top bits (hash tables use
+/// the low bits for bucketing, so the top bits are free for shard choice).
+struct ShardedFingerprints {
+    shards: Vec<Mutex<FingerprintSet>>,
+}
+
+const FINGERPRINT_SHARDS: usize = 64;
+
+impl ShardedFingerprints {
+    fn new() -> Self {
+        ShardedFingerprints {
+            shards: (0..FINGERPRINT_SHARDS)
+                .map(|_| Mutex::new(FingerprintSet::default()))
+                .collect(),
+        }
+    }
+
+    /// Inserts a fingerprint; true if it was new.
+    fn insert(&self, fingerprint: u64) -> bool {
+        let shard = (fingerprint >> 58) as usize % FINGERPRINT_SHARDS;
+        self.shards[shard].lock().unwrap().insert(fingerprint)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frontier nodes
+// ---------------------------------------------------------------------------
+
+/// A snapshot of the system and property state at some depth of a trace.
+struct Snapshot {
+    state: SystemState,
+    properties: Vec<Box<dyn Property>>,
+}
+
+/// One frontier entry of the search.
+///
+/// The node's state is `base` advanced by `trace[base_depth..]`; `trace` is
+/// always kept in full because it is also the violation trace. Under
+/// `StateStorage::Full` the base *is* the node's state (empty suffix); under
+/// `Replay` the base is the initial state; under `Checkpoint` it is the
+/// nearest ancestor checkpoint, shared via `Arc` with every other descendant
+/// of that checkpoint.
 struct Node {
-    /// The state (present under [`StateStorage::Full`]).
-    state: Option<SystemState>,
-    /// Property local state matching `state`.
-    properties: Option<Vec<Box<dyn Property>>>,
-    /// The transition sequence from the initial state (always kept: it is the
-    /// violation trace, and under [`StateStorage::Replay`] it is also how the
-    /// state is reconstructed).
+    base: Arc<Snapshot>,
+    base_depth: usize,
     trace: Vec<Transition>,
 }
 
@@ -139,33 +256,200 @@ impl ModelChecker {
         &self.config
     }
 
-    /// Runs the search and returns the report.
+    /// Runs the search and returns the report. Dispatches to the sequential
+    /// or parallel engine based on [`CheckerConfig::workers`] (see the module
+    /// docs for the semantics of each).
     pub fn run(&self) -> CheckReport {
+        if self.config.workers > 1 {
+            self.run_parallel()
+        } else {
+            self.run_sequential()
+        }
+    }
+
+    /// Clones a state for a child node, honouring the benchmark-only
+    /// deep-clone switch.
+    fn clone_state(&self, state: &SystemState) -> SystemState {
+        if self.config.force_deep_clone {
+            state.deep_clone()
+        } else {
+            state.clone()
+        }
+    }
+
+    /// Under checkpointed storage, the parent's snapshot handle must outlive
+    /// the parent node (children between checkpoints inherit it); this
+    /// captures it before [`ModelChecker::materialize`] consumes the node.
+    fn parent_base(&self, node: &Node) -> Option<(Arc<Snapshot>, usize)> {
+        match self.config.state_storage {
+            StateStorage::Checkpoint { .. } => Some((Arc::clone(&node.base), node.base_depth)),
+            _ => None,
+        }
+    }
+
+    /// Builds the frontier node for a child reached over `trace`, choosing
+    /// what to snapshot according to the storage mode.
+    fn make_node(
+        &self,
+        root: &Arc<Snapshot>,
+        parent_base: &Option<(Arc<Snapshot>, usize)>,
+        trace: Vec<Transition>,
+        state: SystemState,
+        properties: Vec<Box<dyn Property>>,
+    ) -> Node {
+        match self.config.state_storage {
+            StateStorage::Full => {
+                let base_depth = trace.len();
+                Node {
+                    base: Arc::new(Snapshot { state, properties }),
+                    base_depth,
+                    trace,
+                }
+            }
+            StateStorage::Replay => Node {
+                base: Arc::clone(root),
+                base_depth: 0,
+                trace,
+            },
+            StateStorage::Checkpoint { interval } => {
+                if trace.len().is_multiple_of(interval.max(1)) {
+                    let base_depth = trace.len();
+                    Node {
+                        base: Arc::new(Snapshot { state, properties }),
+                        base_depth,
+                        trace,
+                    }
+                } else {
+                    let (base, base_depth) = parent_base
+                        .as_ref()
+                        .expect("checkpoint mode captures the parent base");
+                    Node {
+                        base: Arc::clone(base),
+                        base_depth: *base_depth,
+                        trace,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one transition from `state`: clones the successor, runs the
+    /// transition (plus lock-step drain), feeds the property observers, and
+    /// collects any violations as `(property name, message)` pairs. This is
+    /// the single definition of a search step — the sequential and parallel
+    /// engines both call it, so their semantics cannot diverge.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn step_transition(
+        &self,
+        state: &SystemState,
+        properties: &[Box<dyn Property>],
+        transition: &Transition,
+        strategy: &dyn SearchStrategy,
+        memo: &mut DiscoveryMemo,
+        events: &mut Vec<Event>,
+    ) -> (SystemState, Vec<Box<dyn Property>>, Vec<(String, String)>) {
+        let mut next_state = self.clone_state(state);
+        let mut next_properties = properties.to_vec();
+        events.clear();
+        execute(
+            &mut next_state,
+            transition,
+            &self.scenario,
+            &self.config,
+            memo,
+            events,
+        );
+        if strategy.lock_step_control_plane() {
+            drain_control_plane(&mut next_state, &self.scenario, &self.config, memo, events);
+        }
+        for event in events.iter() {
+            for property in next_properties.iter_mut() {
+                property.on_event(event, &next_state);
+            }
+        }
+        let violations = next_properties
+            .iter()
+            .filter_map(|p| p.check(&next_state).map(|m| (p.name().to_string(), m)))
+            .collect();
+        (next_state, next_properties, violations)
+    }
+
+    /// Rebuilds a node's state (and its property state) by replaying the
+    /// trace suffix since the node's snapshot — the memory-saving state
+    /// restoration of Section 6, bounded by the checkpoint cadence.
+    ///
+    /// Consumes the node: under `Full` storage the snapshot is uniquely
+    /// owned, so the state is moved out without any clone at all.
+    fn materialize(
+        &self,
+        node: Node,
+        strategy: &dyn SearchStrategy,
+        memo: &mut DiscoveryMemo,
+    ) -> (SystemState, Vec<Box<dyn Property>>, Vec<Transition>) {
+        let Node {
+            base,
+            base_depth,
+            trace,
+        } = node;
+        let (mut state, mut properties) = match Arc::try_unwrap(base) {
+            Ok(snapshot) => (snapshot.state, snapshot.properties),
+            Err(shared) => (shared.state.clone(), shared.properties.clone()),
+        };
+        let mut events = Vec::new();
+        for transition in &trace[base_depth..] {
+            events.clear();
+            execute(
+                &mut state,
+                transition,
+                &self.scenario,
+                &self.config,
+                memo,
+                &mut events,
+            );
+            if strategy.lock_step_control_plane() {
+                drain_control_plane(&mut state, &self.scenario, &self.config, memo, &mut events);
+            }
+            for event in &events {
+                for property in properties.iter_mut() {
+                    property.on_event(event, &state);
+                }
+            }
+        }
+        (state, properties, trace)
+    }
+
+    // -----------------------------------------------------------------------
+    // Sequential engine
+    // -----------------------------------------------------------------------
+
+    fn run_sequential(&self) -> CheckReport {
         let start = Instant::now();
         let strategy = build_strategy(self.config.strategy);
         let mut memo = DiscoveryMemo::default();
         let mut report = CheckReport::default();
-        let mut explored: HashSet<u64> = HashSet::new();
+        let mut explored = FingerprintSet::default();
 
         let initial_state = SystemState::initial(&self.scenario);
         let initial_properties: Vec<Box<dyn Property>> = self.scenario.properties.clone();
         explored.insert(initial_state.fingerprint());
         report.stats.unique_states = 1;
 
+        let root = Arc::new(Snapshot {
+            state: initial_state,
+            properties: initial_properties,
+        });
         let mut stack: Vec<Node> = vec![Node {
-            state: Some(initial_state.clone()),
-            properties: Some(initial_properties.clone()),
+            base: Arc::clone(&root),
+            base_depth: 0,
             trace: Vec::new(),
         }];
+        let mut events: Vec<Event> = Vec::new();
 
         'search: while let Some(node) = stack.pop() {
             report.stats.max_depth = report.stats.max_depth.max(node.trace.len());
 
-            // Materialise the node's state and property state.
-            let (state, properties) = match (node.state, node.properties) {
-                (Some(s), Some(p)) => (s, p),
-                _ => self.replay(&initial_state, &initial_properties, &node.trace, &mut memo),
-            };
+            let parent_base = self.parent_base(&node);
+            let (state, properties, trace) = self.materialize(node, strategy.as_ref(), &mut memo);
 
             let enabled = enabled_transitions(&state, &self.scenario, &self.config);
             let enabled = strategy.select(&state, enabled);
@@ -174,7 +458,7 @@ impl ModelChecker {
                 report.stats.terminal_states += 1;
                 for property in &properties {
                     if let Some(message) = property.check_final(&state) {
-                        record_violation(&mut report, property.name(), message, &node.trace, None);
+                        record_violation(&mut report, property.name(), message, &trace, None);
                         if self.config.stop_at_first_violation {
                             break 'search;
                         }
@@ -183,7 +467,7 @@ impl ModelChecker {
                 continue;
             }
 
-            if node.trace.len() >= self.config.max_depth {
+            if trace.len() >= self.config.max_depth {
                 report.stats.truncated = true;
                 continue;
             }
@@ -196,51 +480,24 @@ impl ModelChecker {
                     break 'search;
                 }
 
-                let mut next_state = state.clone();
-                let mut next_properties = properties.clone();
-                let mut events: Vec<Event> = Vec::new();
-                execute(
-                    &mut next_state,
+                let (next_state, next_properties, violations) = self.step_transition(
+                    &state,
+                    &properties,
                     &transition,
-                    &self.scenario,
-                    &self.config,
+                    strategy.as_ref(),
                     &mut memo,
                     &mut events,
                 );
-                if strategy.lock_step_control_plane() {
-                    drain_control_plane(
-                        &mut next_state,
-                        &self.scenario,
-                        &self.config,
-                        &mut memo,
-                        &mut events,
-                    );
-                }
                 report.stats.transitions += 1;
 
-                for event in &events {
-                    for property in next_properties.iter_mut() {
-                        property.on_event(event, &next_state);
-                    }
-                }
-
-                let mut violated = false;
-                for property in &next_properties {
-                    if let Some(message) = property.check(&next_state) {
-                        record_violation(
-                            &mut report,
-                            property.name(),
-                            message,
-                            &node.trace,
-                            Some(&transition),
-                        );
-                        violated = true;
-                        if self.config.stop_at_first_violation {
-                            break 'search;
-                        }
-                    }
+                let violated = !violations.is_empty();
+                for (property, message) in violations {
+                    record_violation(&mut report, &property, message, &trace, Some(&transition));
                 }
                 if violated {
+                    if self.config.stop_at_first_violation {
+                        break 'search;
+                    }
                     // Do not explore past a violating state: the trace is the
                     // shortest continuation through this branch and deeper
                     // states would just repeat the same violation.
@@ -250,17 +507,15 @@ impl ModelChecker {
                 let fingerprint = next_state.fingerprint();
                 if explored.insert(fingerprint) {
                     report.stats.unique_states += 1;
-                    let mut trace = node.trace.clone();
-                    trace.push(transition);
-                    let node = match self.config.state_storage {
-                        StateStorage::Full => Node {
-                            state: Some(next_state),
-                            properties: Some(next_properties),
-                            trace,
-                        },
-                        StateStorage::Replay => Node { state: None, properties: None, trace },
-                    };
-                    stack.push(node);
+                    let mut child_trace = trace.clone();
+                    child_trace.push(transition);
+                    stack.push(self.make_node(
+                        &root,
+                        &parent_base,
+                        child_trace,
+                        next_state,
+                        next_properties,
+                    ));
                 }
             }
         }
@@ -268,6 +523,193 @@ impl ModelChecker {
         report.stats.symbolic_executions = memo.symbolic_executions;
         report.stats.duration = start.elapsed();
         report
+    }
+
+    // -----------------------------------------------------------------------
+    // Parallel engine
+    // -----------------------------------------------------------------------
+
+    fn run_parallel(&self) -> CheckReport {
+        let start = Instant::now();
+        let workers = self.config.workers;
+
+        let initial_state = SystemState::initial(&self.scenario);
+        let initial_properties: Vec<Box<dyn Property>> = self.scenario.properties.clone();
+        let initial_fingerprint = initial_state.fingerprint();
+        let root = Arc::new(Snapshot {
+            state: initial_state,
+            properties: initial_properties,
+        });
+
+        let shared = SharedSearch {
+            workers,
+            explored: ShardedFingerprints::new(),
+            discoveries: Arc::new(SharedDiscoveryCache::default()),
+            frontier: Mutex::new(Frontier {
+                queue: vec![Node {
+                    base: Arc::clone(&root),
+                    base_depth: 0,
+                    trace: Vec::new(),
+                }],
+                idle: 0,
+                stop: false,
+            }),
+            work_available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            idle_count: AtomicUsize::new(0),
+            transitions: AtomicU64::new(0),
+            unique_states: AtomicU64::new(1),
+            terminal_states: AtomicU64::new(0),
+            symbolic_executions: AtomicU64::new(0),
+            max_depth: AtomicUsize::new(0),
+            truncated: AtomicBool::new(false),
+            violations: Mutex::new(Vec::new()),
+        };
+        shared.explored.insert(initial_fingerprint);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| self.worker_loop(&shared, &root));
+            }
+        });
+
+        let mut report = CheckReport::default();
+        report.stats.transitions = shared.transitions.load(Ordering::Relaxed);
+        report.stats.unique_states = shared.unique_states.load(Ordering::Relaxed);
+        report.stats.terminal_states = shared.terminal_states.load(Ordering::Relaxed);
+        report.stats.symbolic_executions = shared.symbolic_executions.load(Ordering::Relaxed);
+        report.stats.max_depth = shared.max_depth.load(Ordering::Relaxed);
+        report.stats.truncated = shared.truncated.load(Ordering::Relaxed);
+        report.violations = shared
+            .violations
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Workers race, so impose a stable order: shortest trace first, then
+        // lexicographic. `first_violation` then means "a shortest witness".
+        report.violations.sort_by(|a, b| {
+            (a.trace.len(), &a.property, &a.trace, &a.message).cmp(&(
+                b.trace.len(),
+                &b.property,
+                &b.trace,
+                &b.message,
+            ))
+        });
+        report.stats.duration = start.elapsed();
+        report
+    }
+
+    /// One worker of the parallel search: pops nodes, expands them, and
+    /// terminates when every worker is idle on an empty queue (or a stop
+    /// condition fired). Each worker keeps a private stack of nodes and only
+    /// exchanges work through the shared queue when other workers are
+    /// starving, so the common case pays no synchronisation beyond the
+    /// fingerprint set and the statistics counters.
+    fn worker_loop(&self, shared: &SharedSearch, root: &Arc<Snapshot>) {
+        let _stop_on_panic = StopOnPanic(shared);
+        let strategy = build_strategy(self.config.strategy);
+        let mut memo = DiscoveryMemo::with_shared(Arc::clone(&shared.discoveries));
+        let mut local: Vec<Node> = Vec::new();
+        let mut events: Vec<Event> = Vec::new();
+
+        'work: loop {
+            let node = if shared.stop.load(Ordering::Relaxed) {
+                break;
+            } else if let Some(node) = local.pop() {
+                node
+            } else {
+                match shared.pop_work() {
+                    Some(node) => node,
+                    None => break,
+                }
+            };
+            shared
+                .max_depth
+                .fetch_max(node.trace.len(), Ordering::Relaxed);
+
+            let parent_base = self.parent_base(&node);
+            let (state, properties, trace) = self.materialize(node, strategy.as_ref(), &mut memo);
+
+            let enabled = enabled_transitions(&state, &self.scenario, &self.config);
+            let enabled = strategy.select(&state, enabled);
+
+            if enabled.is_empty() {
+                shared.terminal_states.fetch_add(1, Ordering::Relaxed);
+                for property in &properties {
+                    if let Some(message) = property.check_final(&state) {
+                        shared.record_violation(property.name(), message, &trace, None);
+                        if self.config.stop_at_first_violation {
+                            shared.signal_stop();
+                        }
+                    }
+                }
+                continue;
+            }
+
+            if trace.len() >= self.config.max_depth {
+                shared.truncated.store(true, Ordering::Relaxed);
+                continue;
+            }
+
+            let mut children = Vec::new();
+            for transition in enabled {
+                if shared.stop.load(Ordering::Relaxed) {
+                    break 'work;
+                }
+                if !shared.try_take_transition_budget(self.config.max_transitions) {
+                    break 'work;
+                }
+
+                let (next_state, next_properties, violations) = self.step_transition(
+                    &state,
+                    &properties,
+                    &transition,
+                    strategy.as_ref(),
+                    &mut memo,
+                    &mut events,
+                );
+
+                let violated = !violations.is_empty();
+                for (property, message) in violations {
+                    shared.record_violation(&property, message, &trace, Some(&transition));
+                }
+                if violated {
+                    if self.config.stop_at_first_violation {
+                        shared.signal_stop();
+                    }
+                    continue;
+                }
+
+                if shared.explored.insert(next_state.fingerprint()) {
+                    shared.unique_states.fetch_add(1, Ordering::Relaxed);
+                    let mut child_trace = trace.clone();
+                    child_trace.push(transition);
+                    children.push(self.make_node(
+                        root,
+                        &parent_base,
+                        child_trace,
+                        next_state,
+                        next_properties,
+                    ));
+                }
+            }
+
+            // Work sharing: hand nodes to the shared queue only when another
+            // worker is starving (or the queue is empty); otherwise keep them
+            // on the private stack and skip the lock entirely.
+            if shared.needs_work() {
+                if local.len() > 1 {
+                    let donated = local.len() / 2;
+                    children.extend(local.drain(..donated));
+                }
+                shared.push_work(children);
+            } else {
+                local.extend(children);
+            }
+        }
+
+        shared
+            .symbolic_executions
+            .fetch_add(memo.symbolic_executions, Ordering::Relaxed);
     }
 
     /// Performs `walks` random walks of at most `max_steps` transitions each
@@ -279,7 +721,7 @@ impl ModelChecker {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut memo = DiscoveryMemo::default();
         let mut report = CheckReport::default();
-        let mut seen: HashSet<u64> = HashSet::new();
+        let mut seen = FingerprintSet::default();
 
         'walks: for _ in 0..walks {
             let mut state = SystemState::initial(&self.scenario);
@@ -305,9 +747,22 @@ impl ModelChecker {
                 let choice = rng.gen_range(0..enabled.len());
                 let transition = enabled[choice].clone();
                 let mut events = Vec::new();
-                execute(&mut state, &transition, &self.scenario, &self.config, &mut memo, &mut events);
+                execute(
+                    &mut state,
+                    &transition,
+                    &self.scenario,
+                    &self.config,
+                    &mut memo,
+                    &mut events,
+                );
                 if strategy.lock_step_control_plane() {
-                    drain_control_plane(&mut state, &self.scenario, &self.config, &mut memo, &mut events);
+                    drain_control_plane(
+                        &mut state,
+                        &self.scenario,
+                        &self.config,
+                        &mut memo,
+                        &mut events,
+                    );
                 }
                 report.stats.transitions += 1;
                 trace.push(transition.clone());
@@ -341,34 +796,184 @@ impl ModelChecker {
         report.stats.duration = start.elapsed();
         report
     }
+}
 
-    /// Rebuilds a state (and its property state) by replaying a transition
-    /// sequence from the initial state — the memory-saving state restoration
-    /// of Section 6.
-    fn replay(
-        &self,
-        initial_state: &SystemState,
-        initial_properties: &[Box<dyn Property>],
-        trace: &[Transition],
-        memo: &mut DiscoveryMemo,
-    ) -> (SystemState, Vec<Box<dyn Property>>) {
-        let strategy = build_strategy(self.config.strategy);
-        let mut state = initial_state.clone();
-        let mut properties: Vec<Box<dyn Property>> = initial_properties.to_vec();
-        for transition in trace {
-            let mut events = Vec::new();
-            execute(&mut state, transition, &self.scenario, &self.config, memo, &mut events);
-            if strategy.lock_step_control_plane() {
-                drain_control_plane(&mut state, &self.scenario, &self.config, memo, &mut events);
+// ---------------------------------------------------------------------------
+// Shared state of the parallel search
+// ---------------------------------------------------------------------------
+
+/// The frontier queue plus the bookkeeping the termination protocol needs.
+struct Frontier {
+    queue: Vec<Node>,
+    /// Workers currently blocked waiting for work.
+    idle: usize,
+    /// Set when the search should wind down (every worker idle, budget
+    /// exhausted, or first violation under `stop_at_first_violation`).
+    stop: bool,
+}
+
+struct SharedSearch {
+    workers: usize,
+    explored: ShardedFingerprints,
+    /// Cross-worker symbolic-discovery cache (see [`SharedDiscoveryCache`]).
+    discoveries: Arc<SharedDiscoveryCache>,
+    frontier: Mutex<Frontier>,
+    work_available: Condvar,
+    /// Mirror of `Frontier::stop` readable without the queue lock.
+    stop: AtomicBool,
+    /// Mirror of `Frontier::idle` readable without the queue lock.
+    idle_count: AtomicUsize,
+    transitions: AtomicU64,
+    unique_states: AtomicU64,
+    terminal_states: AtomicU64,
+    symbolic_executions: AtomicU64,
+    max_depth: AtomicUsize,
+    truncated: AtomicBool,
+    violations: Mutex<Vec<Violation>>,
+}
+
+impl SharedSearch {
+    /// Locks the frontier, recovering the guard if another worker panicked
+    /// while holding the lock (the state under it is kept consistent at
+    /// every await point, so a poisoned guard is still safe to use).
+    fn lock_frontier(&self) -> std::sync::MutexGuard<'_, Frontier> {
+        self.frontier
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Pops the next frontier node, blocking while the queue is empty and
+    /// other workers may still produce work. Returns `None` when the search
+    /// is over: stop was signalled, or every worker went idle at once (no
+    /// node left anywhere to generate more work from).
+    fn pop_work(&self) -> Option<Node> {
+        let mut frontier = self.lock_frontier();
+        loop {
+            if frontier.stop {
+                return None;
             }
-            for event in &events {
-                for property in properties.iter_mut() {
-                    property.on_event(event, &state);
-                }
+            if let Some(node) = frontier.queue.pop() {
+                return Some(node);
+            }
+            frontier.idle += 1;
+            self.idle_count.store(frontier.idle, Ordering::Relaxed);
+            if frontier.idle == self.workers {
+                frontier.stop = true;
+                self.stop.store(true, Ordering::Relaxed);
+                self.work_available.notify_all();
+                return None;
+            }
+            frontier = self
+                .work_available
+                .wait(frontier)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            frontier.idle -= 1;
+            self.idle_count.store(frontier.idle, Ordering::Relaxed);
+        }
+    }
+
+    /// True if some worker is starved for work. An empty shared queue alone
+    /// is not starvation — every worker may be busy on its private stack —
+    /// so only actual idleness triggers donation, keeping the steady state
+    /// lock-free.
+    fn needs_work(&self) -> bool {
+        self.idle_count.load(Ordering::Relaxed) > 0
+    }
+
+    /// Pushes a batch of children (one lock round-trip per expanded node).
+    fn push_work(&self, children: Vec<Node>) {
+        if children.is_empty() {
+            return;
+        }
+        let mut frontier = self.lock_frontier();
+        let woken = children.len();
+        frontier.queue.extend(children);
+        drop(frontier);
+        if woken == 1 {
+            self.work_available.notify_one();
+        } else {
+            self.work_available.notify_all();
+        }
+    }
+
+    /// Ends the search (first violation under stop-at-first, budget, or a
+    /// panicking worker).
+    fn signal_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut frontier = self.lock_frontier();
+        frontier.stop = true;
+        drop(frontier);
+        self.work_available.notify_all();
+    }
+
+    /// Claims one unit of the transition budget. Returns false (and winds the
+    /// search down) if the budget is exhausted.
+    fn try_take_transition_budget(&self, max_transitions: u64) -> bool {
+        if max_transitions == 0 {
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let mut current = self.transitions.load(Ordering::Relaxed);
+        loop {
+            if current >= max_transitions {
+                self.truncated.store(true, Ordering::Relaxed);
+                self.signal_stop();
+                return false;
+            }
+            match self.transitions.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
             }
         }
-        (state, properties)
     }
+
+    fn record_violation(
+        &self,
+        property: &str,
+        message: String,
+        trace: &[Transition],
+        last: Option<&Transition>,
+    ) {
+        self.violations
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Violation {
+                property: property.to_string(),
+                message,
+                trace: trace_labels(trace, last),
+                transitions_explored: self.transitions.load(Ordering::Relaxed),
+                unique_states: self.unique_states.load(Ordering::Relaxed),
+            });
+    }
+}
+
+/// Guard ensuring a panicking worker winds the whole search down instead of
+/// leaving its siblings blocked forever on the work-available condvar; the
+/// panic itself is then re-raised by `std::thread::scope`.
+struct StopOnPanic<'a>(&'a SharedSearch);
+
+impl Drop for StopOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.signal_stop();
+        }
+    }
+}
+
+/// Renders a violation trace (plus the optional violating transition) as
+/// human-readable labels — shared by the sequential and parallel engines so
+/// their traces can never diverge in format.
+fn trace_labels(trace: &[Transition], last: Option<&Transition>) -> Vec<String> {
+    let mut labels: Vec<String> = trace.iter().map(|t| t.to_string()).collect();
+    if let Some(t) = last {
+        labels.push(t.to_string());
+    }
+    labels
 }
 
 fn record_violation(
@@ -378,14 +983,10 @@ fn record_violation(
     trace: &[Transition],
     last: Option<&Transition>,
 ) {
-    let mut labels: Vec<String> = trace.iter().map(|t| t.to_string()).collect();
-    if let Some(t) = last {
-        labels.push(t.to_string());
-    }
     report.violations.push(Violation {
         property: property.to_string(),
         message,
-        trace: labels,
+        trace: trace_labels(trace, last),
         transitions_explored: report.stats.transitions,
         unique_states: report.stats.unique_states,
     });
@@ -436,16 +1037,137 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_storage_agrees_with_full_at_every_cadence() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let full = ModelChecker::new(scenario.clone(), CheckerConfig::default()).run();
+        for interval in [1, 2, 3, 5, 64] {
+            let checkpointed = ModelChecker::new(
+                scenario.clone(),
+                CheckerConfig::default().with_checkpoint_interval(interval),
+            )
+            .run();
+            assert_eq!(full.passed(), checkpointed.passed(), "interval {interval}");
+            assert_eq!(
+                full.stats.transitions, checkpointed.stats.transitions,
+                "interval {interval}"
+            );
+            assert_eq!(
+                full.stats.unique_states, checkpointed.stats.unique_states,
+                "interval {interval}"
+            );
+            assert_eq!(
+                full.stats.max_depth, checkpointed.stats.max_depth,
+                "interval {interval}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_storage_reproduces_violation_traces() {
+        let scenario = testutil::ping_scenario_with_app(Box::new(testutil::ForgetfulApp), 1);
+        let full = ModelChecker::new(scenario.clone(), CheckerConfig::default()).run();
+        let checkpointed = ModelChecker::new(
+            scenario,
+            CheckerConfig::default().with_checkpoint_interval(3),
+        )
+        .run();
+        assert_eq!(
+            full.first_violation().map(|v| v.trace.clone()),
+            checkpointed.first_violation().map(|v| v.trace.clone())
+        );
+    }
+
+    #[test]
+    fn parallel_search_agrees_with_sequential() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let sequential = ModelChecker::new(
+            scenario.clone(),
+            CheckerConfig::default().with_stop_at_first(false),
+        )
+        .run();
+        for workers in [2, 4] {
+            let parallel = ModelChecker::new(
+                scenario.clone(),
+                CheckerConfig::default()
+                    .with_stop_at_first(false)
+                    .with_workers(workers),
+            )
+            .run();
+            assert!(parallel.passed());
+            assert_eq!(
+                sequential.stats.unique_states, parallel.stats.unique_states,
+                "{workers} workers"
+            );
+            assert_eq!(
+                sequential.stats.transitions, parallel.stats.transitions,
+                "{workers} workers"
+            );
+            assert_eq!(
+                sequential.stats.terminal_states, parallel.stats.terminal_states,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_search_finds_the_same_violated_properties() {
+        let scenario = testutil::ping_scenario_with_app(Box::new(testutil::ForgetfulApp), 1);
+        let sequential = ModelChecker::new(
+            scenario.clone(),
+            CheckerConfig::default().with_stop_at_first(false),
+        )
+        .run();
+        let parallel = ModelChecker::new(
+            scenario,
+            CheckerConfig::default()
+                .with_stop_at_first(false)
+                .with_workers(4),
+        )
+        .run();
+        let properties = |report: &CheckReport| {
+            let mut names: Vec<String> = report
+                .violations
+                .iter()
+                .map(|v| v.property.clone())
+                .collect();
+            names.sort();
+            names
+        };
+        assert!(!sequential.passed());
+        assert!(!parallel.passed());
+        assert_eq!(properties(&sequential), properties(&parallel));
+        assert_eq!(sequential.stats.unique_states, parallel.stats.unique_states);
+    }
+
+    #[test]
+    fn parallel_search_respects_stop_at_first_violation() {
+        let scenario = testutil::ping_scenario_with_app(Box::new(testutil::ForgetfulApp), 1);
+        let report = ModelChecker::new(scenario, CheckerConfig::default().with_workers(4)).run();
+        assert!(!report.passed());
+        assert_eq!(
+            report.first_violation().unwrap().property,
+            "NoForgottenPackets"
+        );
+    }
+
+    #[test]
     fn strategies_reduce_or_preserve_the_state_space() {
         let scenario = testutil::hub_ping_scenario(2);
         let full = ModelChecker::new(scenario.clone(), CheckerConfig::default()).run();
-        for kind in [StrategyKind::NoDelay, StrategyKind::FlowIr, StrategyKind::Unusual] {
+        for kind in [
+            StrategyKind::NoDelay,
+            StrategyKind::FlowIr,
+            StrategyKind::Unusual,
+        ] {
             let report = ModelChecker::new(
                 scenario.clone(),
                 CheckerConfig::default().with_strategy(kind),
             )
             .run();
-            assert!(report.passed(), "{kind:?} found a spurious violation: {report}");
+            assert!(
+                report.passed(),
+                "{kind:?} found a spurious violation: {report}"
+            );
             assert!(
                 report.stats.transitions <= full.stats.transitions,
                 "{kind:?} explored more transitions ({}) than the full search ({})",
@@ -465,11 +1187,28 @@ mod tests {
     }
 
     #[test]
+    fn parallel_transition_budget_truncates_search() {
+        let scenario = testutil::hub_ping_scenario(3);
+        let report = ModelChecker::new(
+            scenario,
+            CheckerConfig::default()
+                .with_max_transitions(5)
+                .with_workers(4),
+        )
+        .run();
+        assert!(report.stats.truncated);
+        assert!(report.stats.transitions <= 5);
+    }
+
+    #[test]
     fn random_walk_mode_runs_and_reports() {
         let scenario = testutil::hub_ping_scenario(2);
         let checker = ModelChecker::new(scenario, CheckerConfig::default());
         let report = checker.run_random_walk(7, 3, 50);
-        assert!(report.passed(), "hub scenario has no violations to find: {report}");
+        assert!(
+            report.passed(),
+            "hub scenario has no violations to find: {report}"
+        );
         assert!(report.stats.transitions > 0);
         // Deterministic for a fixed seed.
         let again = checker.run_random_walk(7, 3, 50);
@@ -483,7 +1222,10 @@ mod tests {
         let checker = ModelChecker::new(scenario, CheckerConfig::default());
         let report = checker.run();
         assert!(report.passed(), "{report}");
-        assert!(report.stats.symbolic_executions >= 1, "discover_packets must have run");
+        assert!(
+            report.stats.symbolic_executions >= 1,
+            "discover_packets must have run"
+        );
         assert!(report.stats.transitions > 0);
     }
 
@@ -494,5 +1236,38 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("PASS"));
         assert!(text.contains("transitions"));
+    }
+
+    #[test]
+    fn panicking_property_propagates_from_parallel_search() {
+        /// A user-written property that panics mid-search (users implement
+        /// `Property`, so worker threads must survive arbitrary panics by
+        /// winding the search down rather than deadlocking their siblings).
+        #[derive(Clone)]
+        struct PanickingProperty;
+        impl crate::properties::Property for PanickingProperty {
+            fn name(&self) -> &str {
+                "Panicking"
+            }
+            fn on_event(&mut self, _: &crate::properties::Event, _: &SystemState) {}
+            fn check(&self, _: &SystemState) -> Option<String> {
+                panic!("property panicked on purpose");
+            }
+            fn clone_property(&self) -> Box<dyn crate::properties::Property> {
+                Box::new(self.clone())
+            }
+        }
+
+        let scenario = testutil::hub_ping_scenario(1).with_property(Box::new(PanickingProperty));
+        let checker = ModelChecker::new(scenario, CheckerConfig::default().with_workers(4));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checker.run()));
+        assert!(result.is_err(), "the worker panic must propagate, not hang");
+    }
+
+    #[test]
+    fn fingerprint_hasher_is_identity_on_u64() {
+        let mut h = FingerprintHasher::default();
+        h.write_u64(0xdead_beef_cafe_f00d);
+        assert_eq!(h.finish(), 0xdead_beef_cafe_f00d);
     }
 }

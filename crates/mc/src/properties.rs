@@ -143,7 +143,10 @@ pub enum Event {
 }
 
 /// A correctness property.
-pub trait Property {
+///
+/// `Send + Sync` is required because property state is cloned alongside each
+/// frontier state and checked on whichever worker thread expands the state.
+pub trait Property: Send + Sync {
     /// The property's name, used in violation reports.
     fn name(&self) -> &str;
 
@@ -222,7 +225,12 @@ impl Property for NoForwardingLoops {
         if self.violation.is_some() {
             return;
         }
-        if let Event::PacketArrivedAtSwitch { switch, port, packet } = event {
+        if let Event::PacketArrivedAtSwitch {
+            switch,
+            port,
+            packet,
+        } = event
+        {
             if !self.seen.insert((packet.id, *switch, *port)) {
                 self.violation = Some(format!(
                     "packet {packet} traversed {switch}:{port} more than once (forwarding loop)"
@@ -270,14 +278,19 @@ impl Property for NoBlackHoles {
             return;
         }
         match event {
-            Event::PacketLost { switch, port, packet } => {
+            Event::PacketLost {
+                switch,
+                port,
+                packet,
+            } => {
                 self.violation = Some(format!(
                     "packet {packet} forwarded to dead-end port {switch}:{port} (black hole)"
                 ));
             }
             Event::PacketDroppedByRule { switch, packet } => {
-                self.violation =
-                    Some(format!("packet {packet} dropped by a flow rule at {switch}"));
+                self.violation = Some(format!(
+                    "packet {packet} dropped by a flow rule at {switch}"
+                ));
             }
             Event::PacketBufferOverflow { switch, packet } => {
                 self.violation = Some(format!(
@@ -346,12 +359,12 @@ impl Property for DirectPaths {
                     self.watched_packets.insert(packet.id);
                 }
             }
-            Event::ControllerHandledPacketIn { packet, switch, .. } => {
-                if self.watched_packets.contains(&packet.id) {
-                    self.violation = Some(format!(
+            Event::ControllerHandledPacketIn { packet, switch, .. }
+                if self.watched_packets.contains(&packet.id) =>
+            {
+                self.violation = Some(format!(
                         "packet {packet} of an already-established flow reached the controller via {switch}"
                     ));
-                }
             }
             _ => {}
         }
@@ -425,12 +438,12 @@ impl Property for StrictDirectPaths {
                     self.watched_packets.insert(packet.id);
                 }
             }
-            Event::ControllerHandledPacketIn { packet, switch, .. } => {
-                if self.watched_packets.contains(&packet.id) {
-                    self.violation = Some(format!(
+            Event::ControllerHandledPacketIn { packet, switch, .. }
+                if self.watched_packets.contains(&packet.id) =>
+            {
+                self.violation = Some(format!(
                         "packet {packet} between hosts with established two-way paths reached the controller via {switch}"
                     ));
-                }
             }
             _ => {}
         }
@@ -587,12 +600,20 @@ mod tests {
         let state = empty_state();
         let mut p = NoForwardingLoops::new();
         let pkt = ping(1, 1, 2);
-        let ev = Event::PacketArrivedAtSwitch { switch: SwitchId(1), port: PortId(2), packet: pkt };
+        let ev = Event::PacketArrivedAtSwitch {
+            switch: SwitchId(1),
+            port: PortId(2),
+            packet: pkt,
+        };
         p.on_event(&ev, &state);
         assert!(p.check(&state).is_none());
         // Same packet, different port: fine.
         p.on_event(
-            &Event::PacketArrivedAtSwitch { switch: SwitchId(1), port: PortId(3), packet: pkt },
+            &Event::PacketArrivedAtSwitch {
+                switch: SwitchId(1),
+                port: PortId(3),
+                packet: pkt,
+            },
             &state,
         );
         assert!(p.check(&state).is_none());
@@ -607,20 +628,45 @@ mod tests {
         let state = empty_state();
         let pkt = ping(1, 1, 2);
         let mut p = NoBlackHoles::new();
-        p.on_event(&Event::PacketDroppedByController { switch: SwitchId(1), packet: pkt }, &state);
-        assert!(p.check(&state).is_none(), "controller-instructed drops are allowed");
         p.on_event(
-            &Event::PacketLost { switch: SwitchId(2), port: PortId(1), packet: pkt },
+            &Event::PacketDroppedByController {
+                switch: SwitchId(1),
+                packet: pkt,
+            },
+            &state,
+        );
+        assert!(
+            p.check(&state).is_none(),
+            "controller-instructed drops are allowed"
+        );
+        p.on_event(
+            &Event::PacketLost {
+                switch: SwitchId(2),
+                port: PortId(1),
+                packet: pkt,
+            },
             &state,
         );
         assert!(p.check(&state).unwrap().contains("black hole"));
 
         let mut p = NoBlackHoles::new();
-        p.on_event(&Event::PacketDroppedByRule { switch: SwitchId(1), packet: pkt }, &state);
+        p.on_event(
+            &Event::PacketDroppedByRule {
+                switch: SwitchId(1),
+                packet: pkt,
+            },
+            &state,
+        );
         assert!(p.check(&state).is_some());
 
         let mut p = NoBlackHoles::new();
-        p.on_event(&Event::PacketBufferOverflow { switch: SwitchId(1), packet: pkt }, &state);
+        p.on_event(
+            &Event::PacketBufferOverflow {
+                switch: SwitchId(1),
+                packet: pkt,
+            },
+            &state,
+        );
         assert!(p.check(&state).unwrap().contains("buffer"));
     }
 
@@ -631,25 +677,49 @@ mod tests {
         let first = ping(1, 1, 2);
         // The first packet of the flow reaches the controller: fine.
         p.on_event(
-            &Event::ControllerHandledPacketIn { switch: SwitchId(1), in_port: PortId(1), packet: first },
+            &Event::ControllerHandledPacketIn {
+                switch: SwitchId(1),
+                in_port: PortId(1),
+                packet: first,
+            },
             &state,
         );
         assert!(p.check(&state).is_none());
         // Flow becomes established.
-        p.on_event(&Event::PacketDeliveredToHost { host: HostId(2), packet: first }, &state);
+        p.on_event(
+            &Event::PacketDeliveredToHost {
+                host: HostId(2),
+                packet: first,
+            },
+            &state,
+        );
         // A packet that was injected *before* establishment (never marked as
         // watched) hitting the controller is not a violation.
         let inflight = ping(2, 1, 2);
         p.on_event(
-            &Event::ControllerHandledPacketIn { switch: SwitchId(2), in_port: PortId(2), packet: inflight },
+            &Event::ControllerHandledPacketIn {
+                switch: SwitchId(2),
+                in_port: PortId(2),
+                packet: inflight,
+            },
             &state,
         );
         assert!(p.check(&state).is_none());
         // A packet injected after establishment must not reach the controller.
         let later = ping(3, 1, 2);
-        p.on_event(&Event::PacketInjected { host: HostId(1), packet: later }, &state);
         p.on_event(
-            &Event::ControllerHandledPacketIn { switch: SwitchId(1), in_port: PortId(1), packet: later },
+            &Event::PacketInjected {
+                host: HostId(1),
+                packet: later,
+            },
+            &state,
+        );
+        p.on_event(
+            &Event::ControllerHandledPacketIn {
+                switch: SwitchId(1),
+                in_port: PortId(1),
+                packet: later,
+            },
             &state,
         );
         assert!(p.check(&state).is_some());
@@ -661,22 +731,54 @@ mod tests {
         let mut p = StrictDirectPaths::new();
         let fwd = ping(1, 1, 2);
         let rev = ping(2, 2, 1);
-        p.on_event(&Event::PacketDeliveredToHost { host: HostId(2), packet: fwd }, &state);
+        p.on_event(
+            &Event::PacketDeliveredToHost {
+                host: HostId(2),
+                packet: fwd,
+            },
+            &state,
+        );
         // Only one direction delivered: a later packet may still go to the
         // controller.
         let next = ping(3, 1, 2);
-        p.on_event(&Event::PacketInjected { host: HostId(1), packet: next }, &state);
         p.on_event(
-            &Event::ControllerHandledPacketIn { switch: SwitchId(1), in_port: PortId(1), packet: next },
+            &Event::PacketInjected {
+                host: HostId(1),
+                packet: next,
+            },
+            &state,
+        );
+        p.on_event(
+            &Event::ControllerHandledPacketIn {
+                switch: SwitchId(1),
+                in_port: PortId(1),
+                packet: next,
+            },
             &state,
         );
         assert!(p.check(&state).is_none());
         // Second direction delivered: pair established.
-        p.on_event(&Event::PacketDeliveredToHost { host: HostId(1), packet: rev }, &state);
-        let later = ping(4, 2, 1);
-        p.on_event(&Event::PacketInjected { host: HostId(2), packet: later }, &state);
         p.on_event(
-            &Event::ControllerHandledPacketIn { switch: SwitchId(2), in_port: PortId(1), packet: later },
+            &Event::PacketDeliveredToHost {
+                host: HostId(1),
+                packet: rev,
+            },
+            &state,
+        );
+        let later = ping(4, 2, 1);
+        p.on_event(
+            &Event::PacketInjected {
+                host: HostId(2),
+                packet: later,
+            },
+            &state,
+        );
+        p.on_event(
+            &Event::ControllerHandledPacketIn {
+                switch: SwitchId(2),
+                in_port: PortId(1),
+                packet: later,
+            },
             &state,
         );
         assert!(p.check(&state).is_some());
@@ -690,9 +792,15 @@ mod tests {
         assert!(p.check_final(&state).is_none());
         // Park a packet in a switch buffer by processing it with no rules.
         let pkt = ping(1, 1, 2);
-        state.switch_mut(SwitchId(1)).unwrap().process_packet(pkt, PortId(1));
+        state
+            .switch_mut(SwitchId(1))
+            .unwrap()
+            .process_packet(pkt, PortId(1));
         assert!(p.check_final(&state).unwrap().contains("forgotten"));
-        assert!(p.check(&state).is_none(), "only terminal states are checked");
+        assert!(
+            p.check(&state).is_none(),
+            "only terminal states are checked"
+        );
     }
 
     #[test]
@@ -722,20 +830,47 @@ mod tests {
             TcpFlags::ACK,
             1,
         );
-        p.on_event(&Event::PacketDeliveredToHost { host: HostId(2), packet: syn }, &state);
+        p.on_event(
+            &Event::PacketDeliveredToHost {
+                host: HostId(2),
+                packet: syn,
+            },
+            &state,
+        );
         assert!(p.check(&state).is_none());
         // Same connection delivered to the same replica: fine.
-        p.on_event(&Event::PacketDeliveredToHost { host: HostId(2), packet: data }, &state);
+        p.on_event(
+            &Event::PacketDeliveredToHost {
+                host: HostId(2),
+                packet: data,
+            },
+            &state,
+        );
         assert!(p.check(&state).is_none());
         // Same connection delivered to the other replica: violation.
-        p.on_event(&Event::PacketDeliveredToHost { host: HostId(3), packet: data }, &state);
+        p.on_event(
+            &Event::PacketDeliveredToHost {
+                host: HostId(3),
+                packet: data,
+            },
+            &state,
+        );
         assert!(p.check(&state).unwrap().contains("split"));
 
         // Deliveries to non-server hosts or non-TCP packets are ignored.
         let mut p = FlowAffinity::new([HostId(2)]);
-        p.on_event(&Event::PacketDeliveredToHost { host: HostId(9), packet: data }, &state);
         p.on_event(
-            &Event::PacketDeliveredToHost { host: HostId(2), packet: ping(5, 1, 2) },
+            &Event::PacketDeliveredToHost {
+                host: HostId(9),
+                packet: data,
+            },
+            &state,
+        );
+        p.on_event(
+            &Event::PacketDeliveredToHost {
+                host: HostId(2),
+                packet: ping(5, 1, 2),
+            },
             &state,
         );
         assert!(p.check(&state).is_none());

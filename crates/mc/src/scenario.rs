@@ -176,8 +176,12 @@ pub enum StrategyKind {
 
 impl StrategyKind {
     /// All strategies, in the order Table 2 reports them.
-    pub const ALL: [StrategyKind; 4] =
-        [StrategyKind::FullDfs, StrategyKind::NoDelay, StrategyKind::FlowIr, StrategyKind::Unusual];
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::FullDfs,
+        StrategyKind::NoDelay,
+        StrategyKind::FlowIr,
+        StrategyKind::Unusual,
+    ];
 
     /// The name used in reports (matches the paper's terminology).
     pub fn name(&self) -> &'static str {
@@ -193,12 +197,26 @@ impl StrategyKind {
 /// How states on the search frontier are stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StateStorage {
-    /// Keep a full clone of each frontier state (fast, more memory).
+    /// Keep a full clone of each frontier state (fast, more memory — though
+    /// with copy-on-write states "full" costs only the components that
+    /// differ from the parent).
     Full,
     /// Keep only the transition sequence and rebuild states by replaying it
     /// from the initial state — the approach the paper's prototype takes to
     /// trade computation for memory (Section 6).
     Replay,
+    /// Hybrid: snapshot the state every `interval` transitions of depth and
+    /// rebuild frontier states by replaying only the suffix since the
+    /// nearest snapshot. `interval = 1` behaves like [`StateStorage::Full`];
+    /// a large `interval` approaches [`StateStorage::Replay`]. Snapshots are
+    /// copy-on-write, so the memory cost of a checkpoint is only the part of
+    /// the state that changed since the previous one.
+    Checkpoint {
+        /// Snapshot cadence in transitions; `0` is treated as `1` (the
+        /// builder [`CheckerConfig::with_checkpoint_interval`] clamps, and
+        /// the checker guards direct construction).
+        interval: usize,
+    },
 }
 
 /// Search configuration.
@@ -222,6 +240,18 @@ pub struct CheckerConfig {
     pub explore_rule_expiry: bool,
     /// How frontier states are stored.
     pub state_storage: StateStorage,
+    /// Number of worker threads for the state-space search. `1` (the
+    /// default) runs the fully deterministic sequential engine; larger
+    /// values explore the same state space concurrently with a shared
+    /// deduplication set. With no truncating budget the searches agree on
+    /// `unique_states`/`transitions` and on the set of violations, but the
+    /// order violations are found in — and therefore the trace attached to
+    /// each — may differ run to run.
+    pub workers: usize,
+    /// Benchmark-only switch: clone frontier states eagerly (pre-COW cost
+    /// profile) instead of copy-on-write. Exists so `nice-bench` can measure
+    /// the win of structural sharing; leave `false` for real searches.
+    pub force_deep_clone: bool,
     /// Limits on symbolic path exploration.
     pub explore: ExploreConfig,
 }
@@ -236,6 +266,8 @@ impl Default for CheckerConfig {
             coarse_packet_processing: true,
             explore_rule_expiry: false,
             state_storage: StateStorage::Full,
+            workers: 1,
+            force_deep_clone: false,
             explore: ExploreConfig::default(),
         }
     }
@@ -247,7 +279,10 @@ impl CheckerConfig {
     /// granularity). Combine with a scenario whose switches disable the
     /// canonical flow table to remove all domain-specific reductions.
     pub fn generic_baseline() -> Self {
-        CheckerConfig { coarse_packet_processing: false, ..Default::default() }
+        CheckerConfig {
+            coarse_packet_processing: false,
+            ..Default::default()
+        }
     }
 
     /// Sets the strategy (builder style).
@@ -273,6 +308,23 @@ impl CheckerConfig {
         self.state_storage = storage;
         self
     }
+
+    /// Sets checkpointed-replay storage with the given snapshot cadence
+    /// (builder style). `0` is clamped to `1` (which behaves like
+    /// [`StateStorage::Full`]).
+    pub fn with_checkpoint_interval(mut self, interval: usize) -> Self {
+        self.state_storage = StateStorage::Checkpoint {
+            interval: interval.max(1),
+        };
+        self
+    }
+
+    /// Sets the number of search worker threads (builder style). `0` is
+    /// clamped to `1`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -292,7 +344,10 @@ mod tests {
     #[test]
     fn scenario_builders_compose() {
         let scenario = testutil::hub_ping_scenario(2)
-            .with_switch_config(SwitchConfig { canonical_flow_table: false, buffer_capacity: 8 })
+            .with_switch_config(SwitchConfig {
+                canonical_flow_table: false,
+                buffer_capacity: 8,
+            })
             .with_packet_faults(FaultModel::RELIABLE)
             .with_stats_domains(StatsDomains::around_threshold(100));
         assert!(!scenario.switch_config.canonical_flow_table);

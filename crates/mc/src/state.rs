@@ -7,40 +7,103 @@
 //! Figure 5) and of discovered statistics replies, because those determine
 //! which transitions are enabled and are therefore part of the client
 //! component state.
+//!
+//! ## Copy-on-write representation
+//!
+//! Every large component — the controller runtime, each switch (and its flow
+//! table), each host model, every FIFO channel, and the discovery memo
+//! tables — sits behind an [`Arc`]. Cloning a `SystemState` therefore costs
+//! O(number of components), not O(total state size): it bumps reference
+//! counts. A component is deep-copied only at the first mutation after a
+//! clone, via [`Arc::make_mut`] inside the `*_mut` accessors, so executing a
+//! transition pays only for the components that transition actually touches.
+//! This is what makes storing full frontier states affordable and what lets
+//! checkpoint snapshots (see [`crate::checker`]) be taken essentially for
+//! free. `Arc` (not `Rc`) is used throughout so states can move between the
+//! worker threads of the parallel search.
 
 use crate::scenario::Scenario;
 use nice_controller::ControllerRuntime;
 use nice_hosts::HostModel;
 use nice_openflow::{
-    FifoChannel, Fingerprint, Fnv64, HostId, Location, OfMessage, Packet, PortId,
-    PortStatsEntry, Switch, SwitchId, Topology,
+    FifoChannel, Fingerprint, Fnv64, HostId, Location, OfMessage, Packet, PortId, PortStatsEntry,
+    Switch, SwitchId, Topology,
 };
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
+
+/// A component paired with a lazily computed fingerprint digest.
+///
+/// Because components are copy-on-write, a component that was not written
+/// since its digest was computed still has that digest — so the state
+/// fingerprint absorbs the cached 64-bit digest instead of re-hashing the
+/// component's whole contents. The `*_mut` accessors reset the cache after
+/// un-sharing (cloning an un-mutated component keeps the digest, which is
+/// exactly right).
+#[derive(Clone)]
+struct Cached<T> {
+    value: T,
+    digest: OnceLock<u64>,
+}
+
+/// Relevant packets per controller-state fingerprint, per host.
+type RelevantPacketsTable = BTreeMap<HostId, BTreeMap<u64, Vec<Packet>>>;
+/// Discovered statistics replies per controller-state fingerprint, per
+/// switch.
+type DiscoveredStatsTable = BTreeMap<SwitchId, BTreeMap<u64, Vec<Vec<PortStatsEntry>>>>;
+
+impl<T> Cached<T> {
+    fn new(value: T) -> Self {
+        Cached {
+            value,
+            digest: OnceLock::new(),
+        }
+    }
+
+    /// The component's digest, computing (and caching) it on first use.
+    /// `seed` provides domain separation between component types.
+    fn digest_with(&self, seed: u64, write: impl FnOnce(&T, &mut Fnv64)) -> u64 {
+        *self.digest.get_or_init(|| {
+            let mut h = Fnv64::with_seed(seed);
+            write(&self.value, &mut h);
+            h.finish()
+        })
+    }
+
+    /// Mutable access to the component, invalidating the cached digest.
+    fn value_mut(&mut self) -> &mut T {
+        self.digest = OnceLock::new();
+        &mut self.value
+    }
+}
 
 /// The complete state of the modelled system.
+///
+/// Cloning is cheap (copy-on-write, see the module docs); mutation goes
+/// through the `*_mut` accessors which un-share only the touched component.
+#[derive(Clone)]
 pub struct SystemState {
-    controller: ControllerRuntime,
-    switches: BTreeMap<SwitchId, Switch>,
-    hosts: BTreeMap<HostId, Box<dyn HostModel>>,
+    controller: Arc<Cached<ControllerRuntime>>,
+    switches: BTreeMap<SwitchId, Arc<Cached<Switch>>>,
+    hosts: BTreeMap<HostId, Arc<Cached<Box<dyn HostModel>>>>,
     /// Switch → controller OpenFlow channels (reliable, in order).
-    sw_to_ctrl: BTreeMap<SwitchId, FifoChannel<OfMessage>>,
+    sw_to_ctrl: BTreeMap<SwitchId, Arc<FifoChannel<OfMessage>>>,
     /// Controller → switch OpenFlow channels (reliable, in order).
-    ctrl_to_sw: BTreeMap<SwitchId, FifoChannel<OfMessage>>,
+    ctrl_to_sw: BTreeMap<SwitchId, Arc<FifoChannel<OfMessage>>>,
     /// Data-plane ingress channels: packets waiting to be processed by a
     /// switch, keyed by the port they will arrive on.
-    ingress: BTreeMap<(SwitchId, PortId), FifoChannel<Packet>>,
+    ingress: BTreeMap<(SwitchId, PortId), Arc<FifoChannel<Packet>>>,
     /// Packets in flight towards a host (delivered when the host's `receive`
     /// transition runs).
-    host_inbox: BTreeMap<HostId, FifoChannel<Packet>>,
+    host_inbox: BTreeMap<HostId, Arc<FifoChannel<Packet>>>,
     /// Switches with an outstanding statistics request from the controller.
     pending_stats: BTreeSet<SwitchId>,
     /// Per-host relevant packets, keyed by controller-state fingerprint
-    /// (`client.packets` in Figure 5).
-    relevant_packets: BTreeMap<HostId, BTreeMap<u64, Vec<Packet>>>,
-    /// Per-switch discovered statistics replies, keyed by controller-state
-    /// fingerprint.
-    discovered_stats: BTreeMap<SwitchId, BTreeMap<u64, Vec<Vec<PortStatsEntry>>>>,
+    /// (`client.packets` in Figure 5). Written only by `discover_packets`,
+    /// so the whole table shares one copy-on-write allocation.
+    relevant_packets: Arc<RelevantPacketsTable>,
+    /// Per-switch discovered replies, keyed by controller-state fingerprint.
+    discovered_stats: Arc<DiscoveredStatsTable>,
     /// Provenance-id allocator for injected packets.
     next_packet_id: u64,
     /// Monotonic sequence used to remember when each controller→switch
@@ -48,34 +111,21 @@ pub struct SystemState {
     of_enqueue_seq: u64,
     last_of_enqueue: BTreeMap<SwitchId, u64>,
     /// The static topology (shared, not part of the mutable state).
-    topology: Rc<Topology>,
+    topology: Arc<Topology>,
 }
 
-impl Clone for SystemState {
-    fn clone(&self) -> Self {
-        SystemState {
-            controller: self.controller.clone(),
-            switches: self.switches.clone(),
-            hosts: self.hosts.clone(),
-            sw_to_ctrl: self.sw_to_ctrl.clone(),
-            ctrl_to_sw: self.ctrl_to_sw.clone(),
-            ingress: self.ingress.clone(),
-            host_inbox: self.host_inbox.clone(),
-            pending_stats: self.pending_stats.clone(),
-            relevant_packets: self.relevant_packets.clone(),
-            discovered_stats: self.discovered_stats.clone(),
-            next_packet_id: self.next_packet_id,
-            of_enqueue_seq: self.of_enqueue_seq,
-            last_of_enqueue: self.last_of_enqueue.clone(),
-            topology: Rc::clone(&self.topology),
-        }
-    }
-}
+/// Domain-separation seed of the controller digest (`state(ctrl)` in
+/// Figure 5 — also the key of the relevant-packet caches).
+const CTRL_FP_SEED: u64 = 0xc0_11;
+/// Domain-separation seed of per-switch digests.
+const SWITCH_FP_SEED: u64 = 0x5_317c;
+/// Domain-separation seed of per-host digests.
+const HOST_FP_SEED: u64 = 0x40_57;
 
 impl std::fmt::Debug for SystemState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SystemState")
-            .field("controller", &self.controller)
+            .field("controller", &self.controller.value)
             .field("switches", &self.switches.keys().collect::<Vec<_>>())
             .field("hosts", &self.hosts.keys().collect::<Vec<_>>())
             .field("pending_stats", &self.pending_stats)
@@ -89,7 +139,7 @@ impl SystemState {
     /// having already processed every switch's `switch_join` (switches are
     /// connected before testing starts, as in the paper's experiments).
     pub fn initial(scenario: &Scenario) -> SystemState {
-        let topology = Rc::new(scenario.topology.clone());
+        let topology = Arc::new(scenario.topology.clone());
         let mut controller = ControllerRuntime::new(scenario.app.clone_app());
 
         let mut switches = BTreeMap::new();
@@ -99,15 +149,20 @@ impl SystemState {
         for spec in topology.switches() {
             let switch = Switch::with_config(spec.id, spec.ports.clone(), scenario.switch_config);
             for &port in &spec.ports {
-                ingress.insert((spec.id, port), FifoChannel::with_faults(scenario.packet_faults));
+                ingress.insert(
+                    (spec.id, port),
+                    Arc::new(FifoChannel::with_faults(scenario.packet_faults)),
+                );
             }
-            sw_to_ctrl.insert(spec.id, FifoChannel::reliable());
-            ctrl_to_sw.insert(spec.id, FifoChannel::reliable());
-            switches.insert(spec.id, switch);
+            sw_to_ctrl.insert(spec.id, Arc::new(FifoChannel::reliable()));
+            ctrl_to_sw.insert(spec.id, Arc::new(FifoChannel::reliable()));
+            switches.insert(spec.id, Arc::new(Cached::new(switch)));
         }
 
         let mut state = SystemState {
-            controller: ControllerRuntime::new(scenario.app.clone_app()),
+            controller: Arc::new(Cached::new(ControllerRuntime::new(
+                scenario.app.clone_app(),
+            ))),
             switches,
             hosts: BTreeMap::new(),
             sw_to_ctrl,
@@ -115,8 +170,8 @@ impl SystemState {
             ingress,
             host_inbox: BTreeMap::new(),
             pending_stats: BTreeSet::new(),
-            relevant_packets: BTreeMap::new(),
-            discovered_stats: BTreeMap::new(),
+            relevant_packets: Arc::new(BTreeMap::new()),
+            discovered_stats: Arc::new(BTreeMap::new()),
             next_packet_id: 1,
             of_enqueue_seq: 0,
             last_of_enqueue: BTreeMap::new(),
@@ -125,65 +180,129 @@ impl SystemState {
 
         // Deliver switch_join events synchronously during initialisation so
         // the controller starts with its per-switch state set up.
-        let join_messages: Vec<OfMessage> =
-            state.switches.values().map(|sw| sw.join_message()).collect();
+        let join_messages: Vec<OfMessage> = state
+            .switches
+            .values()
+            .map(|sw| sw.value.join_message())
+            .collect();
         for msg in join_messages {
             let produced = controller.handle_message(&msg);
             for (target, m) in produced {
                 state.enqueue_to_switch(target, m);
             }
         }
-        state.controller = controller;
+        state.controller = Arc::new(Cached::new(controller));
 
         for host in &scenario.hosts {
             let id = host.id();
-            state.host_inbox.insert(id, FifoChannel::reliable());
-            state.hosts.insert(id, host.clone_host());
+            state
+                .host_inbox
+                .insert(id, Arc::new(FifoChannel::reliable()));
+            state
+                .hosts
+                .insert(id, Arc::new(Cached::new(host.clone_host())));
         }
 
         state
+    }
+
+    /// Clones this state with **no** structural sharing: every component is
+    /// copied eagerly, reproducing the cost profile the checker had before
+    /// the copy-on-write representation. Exists so benchmarks can compare
+    /// the two; the search itself always uses the cheap [`Clone`].
+    pub fn deep_clone(&self) -> SystemState {
+        // `Cached::new` (rather than cloning the `Cached`) deliberately drops
+        // the digest caches too: the pre-COW engine re-hashed the whole state
+        // on every fingerprint, and this mode exists to reproduce that cost.
+        SystemState {
+            controller: Arc::new(Cached::new(self.controller.value.clone())),
+            switches: self
+                .switches
+                .iter()
+                .map(|(&id, sw)| (id, Arc::new(Cached::new(sw.value.clone()))))
+                .collect(),
+            hosts: self
+                .hosts
+                .iter()
+                .map(|(&id, h)| (id, Arc::new(Cached::new(h.value.clone()))))
+                .collect(),
+            sw_to_ctrl: self
+                .sw_to_ctrl
+                .iter()
+                .map(|(&id, ch)| (id, Arc::new(ch.as_ref().clone())))
+                .collect(),
+            ctrl_to_sw: self
+                .ctrl_to_sw
+                .iter()
+                .map(|(&id, ch)| (id, Arc::new(ch.as_ref().clone())))
+                .collect(),
+            ingress: self
+                .ingress
+                .iter()
+                .map(|(&key, ch)| (key, Arc::new(ch.as_ref().clone())))
+                .collect(),
+            host_inbox: self
+                .host_inbox
+                .iter()
+                .map(|(&id, ch)| (id, Arc::new(ch.as_ref().clone())))
+                .collect(),
+            pending_stats: self.pending_stats.clone(),
+            relevant_packets: Arc::new(self.relevant_packets.as_ref().clone()),
+            discovered_stats: Arc::new(self.discovered_stats.as_ref().clone()),
+            next_packet_id: self.next_packet_id,
+            of_enqueue_seq: self.of_enqueue_seq,
+            last_of_enqueue: self.last_of_enqueue.clone(),
+            // The topology is immutable for the lifetime of a search; the
+            // pre-COW representation shared it too.
+            topology: Arc::clone(&self.topology),
+        }
     }
 
     // ----- Component access -----
 
     /// The controller runtime.
     pub fn controller(&self) -> &ControllerRuntime {
-        &self.controller
+        &self.controller.value
     }
 
-    /// Mutable access to the controller runtime.
+    /// Mutable access to the controller runtime (un-shares it if the
+    /// allocation is shared with other states).
     pub fn controller_mut(&mut self) -> &mut ControllerRuntime {
-        &mut self.controller
+        Arc::make_mut(&mut self.controller).value_mut()
     }
 
     /// The switches, in id order.
     pub fn switches(&self) -> impl Iterator<Item = (SwitchId, &Switch)> {
-        self.switches.iter().map(|(&id, sw)| (id, sw))
+        self.switches.iter().map(|(&id, sw)| (id, &sw.value))
     }
 
     /// One switch.
     pub fn switch(&self, id: SwitchId) -> Option<&Switch> {
-        self.switches.get(&id)
+        self.switches.get(&id).map(|sw| &sw.value)
     }
 
-    /// Mutable access to one switch.
+    /// Mutable access to one switch (un-shares only that switch).
     pub fn switch_mut(&mut self, id: SwitchId) -> Option<&mut Switch> {
-        self.switches.get_mut(&id)
+        self.switches
+            .get_mut(&id)
+            .map(|sw| Arc::make_mut(sw).value_mut())
     }
 
     /// The hosts, in id order.
     pub fn hosts(&self) -> impl Iterator<Item = (HostId, &dyn HostModel)> {
-        self.hosts.iter().map(|(&id, h)| (id, h.as_ref()))
+        self.hosts.iter().map(|(&id, h)| (id, h.value.as_ref()))
     }
 
     /// One host.
     pub fn host(&self, id: HostId) -> Option<&dyn HostModel> {
-        self.hosts.get(&id).map(|h| h.as_ref())
+        self.hosts.get(&id).map(|h| h.value.as_ref())
     }
 
-    /// Mutable access to one host.
+    /// Mutable access to one host (un-shares only that host).
     pub fn host_mut(&mut self, id: HostId) -> Option<&mut Box<dyn HostModel>> {
-        self.hosts.get_mut(&id)
+        self.hosts
+            .get_mut(&id)
+            .map(|h| Arc::make_mut(h).value_mut())
     }
 
     /// The static topology.
@@ -196,7 +315,7 @@ impl SystemState {
     pub fn host_at(&self, switch: SwitchId, port: PortId) -> Option<HostId> {
         self.hosts
             .iter()
-            .find(|(_, h)| h.location() == Location { switch, port })
+            .find(|(_, h)| h.value.location() == Location { switch, port })
             .map(|(&id, _)| id)
     }
 
@@ -209,52 +328,56 @@ impl SystemState {
         }
         self.of_enqueue_seq += 1;
         self.last_of_enqueue.insert(switch, self.of_enqueue_seq);
-        self.ctrl_to_sw.entry(switch).or_default().push(msg);
+        Arc::make_mut(self.ctrl_to_sw.entry(switch).or_default()).push(msg);
     }
 
     /// Enqueues an OpenFlow message from a switch towards the controller.
     pub fn enqueue_to_controller(&mut self, switch: SwitchId, msg: OfMessage) {
-        self.sw_to_ctrl.entry(switch).or_default().push(msg);
+        Arc::make_mut(self.sw_to_ctrl.entry(switch).or_default()).push(msg);
     }
 
     /// Enqueues a data packet on a switch ingress port.
     pub fn enqueue_ingress(&mut self, switch: SwitchId, port: PortId, packet: Packet) {
-        self.ingress.entry((switch, port)).or_default().push(packet);
+        Arc::make_mut(self.ingress.entry((switch, port)).or_default()).push(packet);
     }
 
     /// Enqueues a packet for delivery to a host.
     pub fn enqueue_host(&mut self, host: HostId, packet: Packet) {
-        self.host_inbox.entry(host).or_default().push(packet);
+        Arc::make_mut(self.host_inbox.entry(host).or_default()).push(packet);
     }
 
     /// The controller→switch channel of a switch.
     pub fn ctrl_to_sw(&self, switch: SwitchId) -> Option<&FifoChannel<OfMessage>> {
-        self.ctrl_to_sw.get(&switch)
+        self.ctrl_to_sw.get(&switch).map(|ch| ch.as_ref())
     }
 
-    /// Mutable controller→switch channel.
+    /// Mutable controller→switch channel (un-shares only that channel).
     pub fn ctrl_to_sw_mut(&mut self, switch: SwitchId) -> Option<&mut FifoChannel<OfMessage>> {
-        self.ctrl_to_sw.get_mut(&switch)
+        self.ctrl_to_sw.get_mut(&switch).map(Arc::make_mut)
     }
 
     /// The switch→controller channel of a switch.
     pub fn sw_to_ctrl(&self, switch: SwitchId) -> Option<&FifoChannel<OfMessage>> {
-        self.sw_to_ctrl.get(&switch)
+        self.sw_to_ctrl.get(&switch).map(|ch| ch.as_ref())
     }
 
-    /// Mutable switch→controller channel.
+    /// Mutable switch→controller channel (un-shares only that channel).
     pub fn sw_to_ctrl_mut(&mut self, switch: SwitchId) -> Option<&mut FifoChannel<OfMessage>> {
-        self.sw_to_ctrl.get_mut(&switch)
+        self.sw_to_ctrl.get_mut(&switch).map(Arc::make_mut)
     }
 
     /// The ingress channel of `(switch, port)`.
     pub fn ingress(&self, switch: SwitchId, port: PortId) -> Option<&FifoChannel<Packet>> {
-        self.ingress.get(&(switch, port))
+        self.ingress.get(&(switch, port)).map(|ch| ch.as_ref())
     }
 
-    /// Mutable ingress channel.
-    pub fn ingress_mut(&mut self, switch: SwitchId, port: PortId) -> Option<&mut FifoChannel<Packet>> {
-        self.ingress.get_mut(&(switch, port))
+    /// Mutable ingress channel (un-shares only that channel).
+    pub fn ingress_mut(
+        &mut self,
+        switch: SwitchId,
+        port: PortId,
+    ) -> Option<&mut FifoChannel<Packet>> {
+        self.ingress.get_mut(&(switch, port)).map(Arc::make_mut)
     }
 
     /// Ports of `switch` whose ingress channel currently holds packets.
@@ -268,12 +391,12 @@ impl SystemState {
 
     /// The inbox channel of a host.
     pub fn host_inbox(&self, host: HostId) -> Option<&FifoChannel<Packet>> {
-        self.host_inbox.get(&host)
+        self.host_inbox.get(&host).map(|ch| ch.as_ref())
     }
 
-    /// Mutable inbox channel of a host.
+    /// Mutable inbox channel of a host (un-shares only that channel).
     pub fn host_inbox_mut(&mut self, host: HostId) -> Option<&mut FifoChannel<Packet>> {
-        self.host_inbox.get_mut(&host)
+        self.host_inbox.get_mut(&host).map(Arc::make_mut)
     }
 
     /// True if any switch↔controller channel holds messages (used to drain
@@ -303,29 +426,40 @@ impl SystemState {
     }
 
     /// Fingerprint of the controller state alone — the key of the
-    /// relevant-packet cache (`state(ctrl)` in Figure 5).
+    /// relevant-packet cache (`state(ctrl)` in Figure 5). Cached until the
+    /// controller is next mutated.
     pub fn controller_fingerprint(&self) -> u64 {
-        let mut h = Fnv64::with_seed(0xc0_11);
-        self.controller.fingerprint(&mut h);
-        h.finish()
+        self.controller
+            .digest_with(CTRL_FP_SEED, |c, h| c.fingerprint(h))
     }
 
     /// The relevant packets cached for `host` in the current controller
     /// state, if discovery has run.
     pub fn relevant_packets(&self, host: HostId, ctrl_fp: u64) -> Option<&Vec<Packet>> {
-        self.relevant_packets.get(&host).and_then(|m| m.get(&ctrl_fp))
+        self.relevant_packets
+            .get(&host)
+            .and_then(|m| m.get(&ctrl_fp))
     }
 
     /// Stores the relevant packets for `host` under the given controller
     /// state.
     pub fn set_relevant_packets(&mut self, host: HostId, ctrl_fp: u64, packets: Vec<Packet>) {
-        self.relevant_packets.entry(host).or_default().insert(ctrl_fp, packets);
+        Arc::make_mut(&mut self.relevant_packets)
+            .entry(host)
+            .or_default()
+            .insert(ctrl_fp, packets);
     }
 
     /// Discovered statistics replies for `switch` in the current controller
     /// state.
-    pub fn discovered_stats(&self, switch: SwitchId, ctrl_fp: u64) -> Option<&Vec<Vec<PortStatsEntry>>> {
-        self.discovered_stats.get(&switch).and_then(|m| m.get(&ctrl_fp))
+    pub fn discovered_stats(
+        &self,
+        switch: SwitchId,
+        ctrl_fp: u64,
+    ) -> Option<&Vec<Vec<PortStatsEntry>>> {
+        self.discovered_stats
+            .get(&switch)
+            .and_then(|m| m.get(&ctrl_fp))
     }
 
     /// Stores discovered statistics replies.
@@ -335,7 +469,10 @@ impl SystemState {
         ctrl_fp: u64,
         stats: Vec<Vec<PortStatsEntry>>,
     ) {
-        self.discovered_stats.entry(switch).or_default().insert(ctrl_fp, stats);
+        Arc::make_mut(&mut self.discovered_stats)
+            .entry(switch)
+            .or_default()
+            .insert(ctrl_fp, stats);
     }
 
     /// True if `switch` has an outstanding statistics request.
@@ -358,16 +495,23 @@ impl SystemState {
 
     /// The canonical 64-bit fingerprint of this state, used for the explored
     /// set (Section 6: hashes instead of full states).
+    ///
+    /// The heavyweight copy-on-write components (controller, switches,
+    /// hosts) contribute cached per-component digests, so a state that
+    /// shares most components with an already-fingerprinted ancestor only
+    /// re-hashes what actually changed. Channels and the small bookkeeping
+    /// fields are hashed directly — they change on nearly every transition,
+    /// so caching them would buy nothing.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv64::with_seed(0x51a7e);
-        self.controller.fingerprint(&mut h);
+        h.write_u64(self.controller_fingerprint());
         for (id, sw) in &self.switches {
             id.fingerprint(&mut h);
-            sw.fingerprint(&mut h);
+            h.write_u64(sw.digest_with(SWITCH_FP_SEED, |s, h| s.fingerprint(h)));
         }
         for (id, host) in &self.hosts {
             id.fingerprint(&mut h);
-            host.fingerprint(&mut h);
+            h.write_u64(host.digest_with(HOST_FP_SEED, |x, h| x.fingerprint(h)));
         }
         for (id, ch) in &self.sw_to_ctrl {
             id.fingerprint(&mut h);
@@ -394,13 +538,13 @@ impl SystemState {
         // matter for enabledness; including the full history would make
         // states that differ only in stale cache entries look distinct.
         let ctrl_fp = self.controller_fingerprint();
-        for (host, cache) in &self.relevant_packets {
+        for (host, cache) in self.relevant_packets.iter() {
             if let Some(packets) = cache.get(&ctrl_fp) {
                 host.fingerprint(&mut h);
                 packets.fingerprint(&mut h);
             }
         }
-        for (switch, cache) in &self.discovered_stats {
+        for (switch, cache) in self.discovered_stats.iter() {
             if let Some(entries) = cache.get(&ctrl_fp) {
                 switch.fingerprint(&mut h);
                 h.write_usize(entries.len());
@@ -415,7 +559,10 @@ impl SystemState {
     /// Total number of packets currently buffered at switches awaiting a
     /// controller decision (used in reports).
     pub fn total_buffered_packets(&self) -> usize {
-        self.switches.values().map(|s| s.buffered_count()).sum()
+        self.switches
+            .values()
+            .map(|s| s.value.buffered_count())
+            .sum()
     }
 
     /// Total number of messages currently queued on any channel.
@@ -465,7 +612,9 @@ mod tests {
         let a = SystemState::initial(&scenario);
         let mut b = a.clone();
         let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
-        b.switch_mut(SwitchId(1)).unwrap().process_packet(pkt, PortId(1));
+        b.switch_mut(SwitchId(1))
+            .unwrap()
+            .process_packet(pkt, PortId(1));
         assert_eq!(a.switch(SwitchId(1)).unwrap().buffered_count(), 0);
         assert_eq!(b.switch(SwitchId(1)).unwrap().buffered_count(), 1);
         assert_ne!(a.fingerprint(), b.fingerprint());
@@ -478,7 +627,10 @@ mod tests {
         assert!(!state.stats_pending(SwitchId(1)));
         state.enqueue_to_switch(
             SwitchId(1),
-            OfMessage::StatsRequest { kind: nice_openflow::StatsKind::Port, request_id: 1 },
+            OfMessage::StatsRequest {
+                kind: nice_openflow::StatsKind::Port,
+                request_id: 1,
+            },
         );
         assert!(state.stats_pending(SwitchId(1)));
         assert_eq!(state.switches_awaiting_stats(), vec![SwitchId(1)]);
@@ -510,6 +662,50 @@ mod tests {
         assert_ne!(before, state.fingerprint());
         // An entry for a different controller state is invisible.
         assert!(state.relevant_packets(HostId(1), fp ^ 1).is_none());
+    }
+
+    #[test]
+    fn clone_shares_components_until_written() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let a = SystemState::initial(&scenario);
+        let mut b = a.clone();
+        // A fresh clone shares every component allocation.
+        assert!(Arc::ptr_eq(&a.controller, &b.controller));
+        assert!(Arc::ptr_eq(
+            &a.switches[&SwitchId(1)],
+            &b.switches[&SwitchId(1)]
+        ));
+        assert!(Arc::ptr_eq(&a.relevant_packets, &b.relevant_packets));
+
+        // Writing one switch un-shares only that switch.
+        let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
+        b.switch_mut(SwitchId(1))
+            .unwrap()
+            .process_packet(pkt, PortId(1));
+        assert!(!Arc::ptr_eq(
+            &a.switches[&SwitchId(1)],
+            &b.switches[&SwitchId(1)]
+        ));
+        assert!(Arc::ptr_eq(
+            &a.switches[&SwitchId(2)],
+            &b.switches[&SwitchId(2)]
+        ));
+        assert!(Arc::ptr_eq(&a.controller, &b.controller));
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing_but_topology() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let a = SystemState::initial(&scenario);
+        let b = a.deep_clone();
+        assert!(!Arc::ptr_eq(&a.controller, &b.controller));
+        assert!(!Arc::ptr_eq(
+            &a.switches[&SwitchId(1)],
+            &b.switches[&SwitchId(1)]
+        ));
+        assert!(!Arc::ptr_eq(&a.relevant_packets, &b.relevant_packets));
+        assert!(Arc::ptr_eq(&a.topology, &b.topology));
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -20,7 +20,10 @@ use crate::transition::Transition;
 use nice_openflow::Packet;
 
 /// A search strategy: filters the enabled transitions of a state.
-pub trait SearchStrategy {
+///
+/// `Send + Sync` so each worker thread of the parallel search can hold its
+/// own strategy instance (they are stateless filters).
+pub trait SearchStrategy: Send + Sync {
     /// The strategy's name (used in reports).
     fn name(&self) -> &str;
 
@@ -140,7 +143,10 @@ impl SearchStrategy for Unusual {
         // installations are explored in reverse order, the scenario of
         // Figure 1 / BUG-IX.
         let backlog = state.of_backlog();
-        let newest = backlog.iter().max_by_key(|(_, seq)| *seq).map(|(sw, _)| *sw);
+        let newest = backlog
+            .iter()
+            .max_by_key(|(_, seq)| *seq)
+            .map(|(sw, _)| *sw);
         let multiple_pending = backlog.len() > 1;
         enabled
             .into_iter()
@@ -217,7 +223,9 @@ mod tests {
         // Only the most recently targeted switch (switch 2) may deliver first.
         assert_eq!(remaining, vec![SwitchId(2)]);
         // Non-ProcessOf transitions survive untouched.
-        assert!(kept.iter().any(|t| matches!(t, Transition::HostSend { .. })));
+        assert!(kept
+            .iter()
+            .any(|t| matches!(t, Transition::HostSend { .. })));
     }
 
     #[test]
@@ -245,15 +253,25 @@ mod tests {
         let a = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
         let b = Packet::l2_ping(2, MacAddr::for_host(2), MacAddr::for_host(1), 0);
         let enabled = vec![
-            Transition::HostSend { host: HostId(1), packet: a },
-            Transition::HostSend { host: HostId(2), packet: b },
-            Transition::ProcessPacket { switch: SwitchId(1) },
+            Transition::HostSend {
+                host: HostId(1),
+                packet: a,
+            },
+            Transition::HostSend {
+                host: HostId(2),
+                packet: b,
+            },
+            Transition::ProcessPacket {
+                switch: SwitchId(1),
+            },
         ];
         // Default oracle: same flow → both sends kept.
         let kept = FlowIr.select(&state, enabled.clone());
         assert_eq!(kept.len(), 3);
         // The non-send transition is always preserved.
-        assert!(kept.iter().any(|t| matches!(t, Transition::ProcessPacket { .. })));
+        assert!(kept
+            .iter()
+            .any(|t| matches!(t, Transition::ProcessPacket { .. })));
         let _ = PortId(1);
     }
 }

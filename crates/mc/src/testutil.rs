@@ -107,7 +107,8 @@ impl ControllerApp for DstOnlyLearningApp {
         ctx: PacketInContext,
         packet: &SymPacket,
     ) {
-        self.table.insert(packet.src_mac.clone(), ctx.in_port.value());
+        self.table
+            .insert(packet.src_mac.clone(), ctx.in_port.value());
         match self.table.get(&packet.dst_mac, env) {
             Some(port) => {
                 let dst = env.concretize(&packet.dst_mac);

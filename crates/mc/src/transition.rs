@@ -139,16 +139,97 @@ impl fmt::Display for Transition {
     }
 }
 
+/// Cross-worker discovery cache: the lock-protected backing store the
+/// parallel search threads publish symbolic-execution results to, so a
+/// controller state explored by one worker is not re-explored by another.
+/// Locked only on local-memo misses and after fresh discoveries — never on
+/// the per-transition hot path.
+#[derive(Debug, Default)]
+pub struct SharedDiscoveryCache {
+    packets: std::sync::Mutex<BTreeMap<(u64, SwitchId, PortId), Vec<Packet>>>,
+    #[allow(clippy::type_complexity)]
+    stats: std::sync::Mutex<BTreeMap<(u64, SwitchId), Vec<Vec<PortStatsEntry>>>>,
+}
+
 /// Mutable context shared across transition executions within one search:
 /// memoises the results of symbolic execution so that re-visiting the same
 /// controller state on a different search branch does not re-run the
 /// concolic engine.
+///
+/// Each search (or each worker of a parallel search) owns one memo; workers
+/// additionally attach a [`SharedDiscoveryCache`] so discoveries propagate
+/// across threads. Two workers racing on the same key can still both run
+/// the concolic engine once (the race is benign — both compute the same
+/// deterministic result), so `symbolic_executions` totals are
+/// schedule-dependent under `workers > 1`.
 #[derive(Debug, Default)]
 pub struct DiscoveryMemo {
     packets: BTreeMap<(u64, SwitchId, PortId), Vec<Packet>>,
     stats: BTreeMap<(u64, SwitchId), Vec<Vec<PortStatsEntry>>>,
+    shared: Option<std::sync::Arc<SharedDiscoveryCache>>,
     /// Number of concolic explorations actually executed (cache misses).
     pub symbolic_executions: u64,
+}
+
+impl DiscoveryMemo {
+    /// A memo backed by a cross-worker cache.
+    pub fn with_shared(shared: std::sync::Arc<SharedDiscoveryCache>) -> Self {
+        DiscoveryMemo {
+            shared: Some(shared),
+            ..DiscoveryMemo::default()
+        }
+    }
+
+    /// Looks `key` up in the shared cache (if any), copying a hit into the
+    /// local memo so subsequent lookups stay lock-free.
+    fn shared_packets(&mut self, key: (u64, SwitchId, PortId)) -> Option<Vec<Packet>> {
+        let shared = self.shared.as_ref()?;
+        let cached = shared
+            .packets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+            .cloned()?;
+        self.packets.insert(key, cached.clone());
+        Some(cached)
+    }
+
+    /// Publishes a fresh packet discovery to the shared cache (if any).
+    fn publish_packets(&self, key: (u64, SwitchId, PortId), packets: &[Packet]) {
+        if let Some(shared) = &self.shared {
+            shared
+                .packets
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .entry(key)
+                .or_insert_with(|| packets.to_vec());
+        }
+    }
+
+    /// Looks `key` up in the shared statistics cache (if any).
+    fn shared_stats(&mut self, key: (u64, SwitchId)) -> Option<Vec<Vec<PortStatsEntry>>> {
+        let shared = self.shared.as_ref()?;
+        let cached = shared
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+            .cloned()?;
+        self.stats.insert(key, cached.clone());
+        Some(cached)
+    }
+
+    /// Publishes a fresh statistics discovery to the shared cache (if any).
+    fn publish_stats(&self, key: (u64, SwitchId), replies: &[Vec<PortStatsEntry>]) {
+        if let Some(shared) = &self.shared {
+            shared
+                .stats
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .entry(key)
+                .or_insert_with(|| replies.to_vec());
+        }
+    }
 }
 
 /// Computes the transitions enabled in `state`.
@@ -168,25 +249,34 @@ pub fn enabled_transitions(
                     if let Some(script) = scripts.get(&host_id) {
                         let next = host.sent_count() as usize;
                         if next < script.len() {
-                            out.push(Transition::HostSend { host: host_id, packet: script[next] });
+                            out.push(Transition::HostSend {
+                                host: host_id,
+                                packet: script[next],
+                            });
                         }
                     }
                 }
                 SendPolicy::Discover => match state.relevant_packets(host_id, ctrl_fp) {
                     Some(packets) => {
                         for packet in packets {
-                            out.push(Transition::HostSend { host: host_id, packet: *packet });
+                            out.push(Transition::HostSend {
+                                host: host_id,
+                                packet: *packet,
+                            });
                         }
                     }
                     None => out.push(Transition::DiscoverPackets { host: host_id }),
                 },
             }
         }
-        if state.host_inbox(host_id).map_or(false, |ch| !ch.is_empty()) {
+        if state.host_inbox(host_id).is_some_and(|ch| !ch.is_empty()) {
             out.push(Transition::HostReceive { host: host_id });
         }
         for target in host.move_targets() {
-            out.push(Transition::HostMove { host: host_id, to: target });
+            out.push(Transition::HostMove {
+                host: host_id,
+                to: target,
+            });
         }
     }
 
@@ -198,26 +288,35 @@ pub fn enabled_transitions(
                 out.push(Transition::ProcessPacket { switch: switch_id });
             } else {
                 for port in busy_ports {
-                    out.push(Transition::ProcessPacketOn { switch: switch_id, port });
+                    out.push(Transition::ProcessPacketOn {
+                        switch: switch_id,
+                        port,
+                    });
                 }
             }
         }
-        if state.ctrl_to_sw(switch_id).map_or(false, |ch| !ch.is_empty()) {
+        if state.ctrl_to_sw(switch_id).is_some_and(|ch| !ch.is_empty()) {
             out.push(Transition::ProcessOf { switch: switch_id });
         }
-        if state.sw_to_ctrl(switch_id).map_or(false, |ch| !ch.is_empty()) {
+        if state.sw_to_ctrl(switch_id).is_some_and(|ch| !ch.is_empty()) {
             out.push(Transition::ControllerHandle { switch: switch_id });
         }
         if config.explore_rule_expiry {
             for rule_index in switch.expirable_rules() {
-                out.push(Transition::ExpireRule { switch: switch_id, rule_index });
+                out.push(Transition::ExpireRule {
+                    switch: switch_id,
+                    rule_index,
+                });
             }
         }
         if state.controller().uses_stats() && state.stats_pending(switch_id) {
             match state.discovered_stats(switch_id, ctrl_fp) {
                 Some(replies) => {
                     for stats in replies {
-                        out.push(Transition::InjectStats { switch: switch_id, stats: stats.clone() });
+                        out.push(Transition::InjectStats {
+                            switch: switch_id,
+                            stats: stats.clone(),
+                        });
                     }
                 }
                 None => out.push(Transition::DiscoverStats { switch: switch_id }),
@@ -248,7 +347,10 @@ pub fn execute(
                 h.note_sent(&packet);
                 h.location()
             };
-            events.push(Event::PacketInjected { host: *host, packet });
+            events.push(Event::PacketInjected {
+                host: *host,
+                packet,
+            });
             state.enqueue_ingress(location.switch, location.port, packet);
         }
 
@@ -257,7 +359,10 @@ pub fn execute(
                 .host_inbox_mut(*host)
                 .and_then(|ch| ch.pop())
                 .expect("host_receive with empty inbox");
-            events.push(Event::PacketDeliveredToHost { host: *host, packet });
+            events.push(Event::PacketDeliveredToHost {
+                host: *host,
+                packet,
+            });
             // The host model assigns placeholder reply ids; real provenance
             // ids are allocated from the system state below (the borrow
             // checker will not let the host borrow overlap the allocator).
@@ -273,7 +378,10 @@ pub fn execute(
             for mut reply in replies {
                 let id = state.alloc_packet_id();
                 reply.id = PacketId(id);
-                events.push(Event::PacketInjected { host: *host, packet: reply });
+                events.push(Event::PacketInjected {
+                    host: *host,
+                    packet: reply,
+                });
                 state.enqueue_ingress(location.switch, location.port, reply);
             }
         }
@@ -281,7 +389,11 @@ pub fn execute(
         Transition::HostMove { host, to } => {
             let from = state.host(*host).expect("unknown host").location();
             state.host_mut(*host).expect("unknown host").apply_move(*to);
-            events.push(Event::HostMoved { host: *host, from, to: *to });
+            events.push(Event::HostMoved {
+                host: *host,
+                from,
+                to: *to,
+            });
         }
 
         Transition::ProcessPacket { switch } => {
@@ -300,16 +412,24 @@ pub fn execute(
                 .ctrl_to_sw_mut(*switch)
                 .and_then(|ch| ch.pop())
                 .expect("process_of with empty channel");
-            match &msg {
-                OfMessage::FlowMod { command, pattern, priority, .. } => match command {
+            if let OfMessage::FlowMod {
+                command,
+                pattern,
+                priority,
+                ..
+            } = &msg
+            {
+                match command {
                     nice_openflow::FlowModCommand::Add => events.push(Event::RuleInstalled {
                         switch: *switch,
                         pattern: *pattern,
                         priority: *priority,
                     }),
-                    _ => events.push(Event::RuleDeleted { switch: *switch, pattern: *pattern }),
-                },
-                _ => {}
+                    _ => events.push(Event::RuleDeleted {
+                        switch: *switch,
+                        pattern: *pattern,
+                    }),
+                }
             }
             let output = state
                 .switch_mut(*switch)
@@ -324,7 +444,9 @@ pub fn execute(
                 .and_then(|ch| ch.pop())
                 .expect("ctrl_handle with empty channel");
             match &msg {
-                OfMessage::PacketIn { in_port, packet, .. } => {
+                OfMessage::PacketIn {
+                    in_port, packet, ..
+                } => {
                     events.push(Event::ControllerHandledPacketIn {
                         switch: *switch,
                         in_port: *in_port,
@@ -368,7 +490,10 @@ pub fn execute(
                 .expect("unknown switch")
                 .expire_rule(*rule_index);
             if let Some(rule) = expired {
-                events.push(Event::RuleDeleted { switch: *switch, pattern: rule.pattern });
+                events.push(Event::RuleDeleted {
+                    switch: *switch,
+                    pattern: rule.pattern,
+                });
             }
         }
     }
@@ -390,7 +515,7 @@ pub fn drain_control_plane(
         let mut progressed = false;
         let switches: Vec<SwitchId> = state.switches().map(|(id, _)| id).collect();
         for switch in switches {
-            if state.sw_to_ctrl(switch).map_or(false, |ch| !ch.is_empty()) {
+            if state.sw_to_ctrl(switch).is_some_and(|ch| !ch.is_empty()) {
                 execute(
                     state,
                     &Transition::ControllerHandle { switch },
@@ -401,8 +526,15 @@ pub fn drain_control_plane(
                 );
                 progressed = true;
             }
-            if state.ctrl_to_sw(switch).map_or(false, |ch| !ch.is_empty()) {
-                execute(state, &Transition::ProcessOf { switch }, scenario, config, memo, events);
+            if state.ctrl_to_sw(switch).is_some_and(|ch| !ch.is_empty()) {
+                execute(
+                    state,
+                    &Transition::ProcessOf { switch },
+                    scenario,
+                    config,
+                    memo,
+                    events,
+                );
                 progressed = true;
             }
         }
@@ -422,18 +554,33 @@ enum DecisionOrigin {
     Controller,
 }
 
-fn process_one_ingress(state: &mut SystemState, switch: SwitchId, port: PortId, events: &mut Vec<Event>) {
+fn process_one_ingress(
+    state: &mut SystemState,
+    switch: SwitchId,
+    port: PortId,
+    events: &mut Vec<Event>,
+) {
     let packet = match state.ingress_mut(switch, port).and_then(|ch| ch.pop()) {
         Some(p) => p,
         None => return,
     };
-    events.push(Event::PacketArrivedAtSwitch { switch, port, packet });
-    let overflow_before = state.switch(switch).map(|s| s.buffer_overflow_drops).unwrap_or(0);
+    events.push(Event::PacketArrivedAtSwitch {
+        switch,
+        port,
+        packet,
+    });
+    let overflow_before = state
+        .switch(switch)
+        .map(|s| s.buffer_overflow_drops)
+        .unwrap_or(0);
     let output = state
         .switch_mut(switch)
         .expect("unknown switch")
         .process_packet(packet, port);
-    let overflow_after = state.switch(switch).map(|s| s.buffer_overflow_drops).unwrap_or(0);
+    let overflow_after = state
+        .switch(switch)
+        .map(|s| s.buffer_overflow_drops)
+        .unwrap_or(0);
     if overflow_after > overflow_before {
         events.push(Event::PacketBufferOverflow { switch, packet });
     }
@@ -464,7 +611,11 @@ fn handle_switch_output(
                     .filter(|&p| p != in_port)
                     .filter(|&p| has_receiver(state, switch, p))
                     .collect();
-                events.push(Event::PacketFlooded { switch, copies: ports.len(), packet });
+                events.push(Event::PacketFlooded {
+                    switch,
+                    copies: ports.len(),
+                    packet,
+                });
                 for port in ports {
                     deliver(state, switch, port, packet, events);
                 }
@@ -493,13 +644,23 @@ fn has_receiver(state: &SystemState, switch: SwitchId, port: PortId) -> bool {
     state.host_at(switch, port).is_some() || state.topology().switch_peer(switch, port).is_some()
 }
 
-fn deliver(state: &mut SystemState, switch: SwitchId, port: PortId, packet: Packet, events: &mut Vec<Event>) {
+fn deliver(
+    state: &mut SystemState,
+    switch: SwitchId,
+    port: PortId,
+    packet: Packet,
+    events: &mut Vec<Event>,
+) {
     if let Some(host) = state.host_at(switch, port) {
         state.enqueue_host(host, packet);
     } else if let Some(peer) = state.topology().switch_peer(switch, port) {
         state.enqueue_ingress(peer.switch, peer.port, packet);
     } else {
-        events.push(Event::PacketLost { switch, port, packet });
+        events.push(Event::PacketLost {
+            switch,
+            port,
+            packet,
+        });
     }
 }
 
@@ -516,6 +677,10 @@ fn discover_packets(
 
     if let Some(cached) = memo.packets.get(&key) {
         state.set_relevant_packets(host, ctrl_fp, cached.clone());
+        return;
+    }
+    if let Some(cached) = memo.shared_packets(key) {
+        state.set_relevant_packets(host, ctrl_fp, cached);
         return;
     }
 
@@ -567,6 +732,7 @@ fn discover_packets(
     });
 
     memo.packets.insert(key, packets.clone());
+    memo.publish_packets(key, &packets);
     state.set_relevant_packets(host, ctrl_fp, packets);
 }
 
@@ -581,6 +747,10 @@ fn discover_stats(
     let key = (ctrl_fp, switch);
     if let Some(cached) = memo.stats.get(&key) {
         state.set_discovered_stats(switch, ctrl_fp, cached.clone());
+        return;
+    }
+    if let Some(cached) = memo.shared_stats(key) {
+        state.set_discovered_stats(switch, ctrl_fp, cached);
         return;
     }
 
@@ -606,13 +776,22 @@ fn discover_stats(
     let reply_key = |reply: &Vec<PortStatsEntry>| -> Vec<(u16, u64, u64, u64, u64)> {
         reply
             .iter()
-            .map(|e| (e.port.value(), e.rx_packets, e.tx_packets, e.rx_bytes, e.tx_bytes))
+            .map(|e| {
+                (
+                    e.port.value(),
+                    e.rx_packets,
+                    e.tx_packets,
+                    e.rx_bytes,
+                    e.tx_bytes,
+                )
+            })
             .collect()
     };
-    replies.sort_by(|a, b| reply_key(a).cmp(&reply_key(b)));
+    replies.sort_by_key(|a| reply_key(a));
     replies.dedup();
 
     memo.stats.insert(key, replies.clone());
+    memo.publish_stats(key, &replies);
     state.set_discovered_stats(switch, ctrl_fp, replies);
 }
 
@@ -632,8 +811,18 @@ mod tests {
         let config = CheckerConfig::default();
         let state = SystemState::initial(&scenario);
         let enabled = enabled_transitions(&state, &scenario, &config);
-        assert_eq!(enabled.len(), 1, "only host 1's first ping is enabled: {enabled:?}");
-        assert!(matches!(enabled[0], Transition::HostSend { host: HostId(1), .. }));
+        assert_eq!(
+            enabled.len(),
+            1,
+            "only host 1's first ping is enabled: {enabled:?}"
+        );
+        assert!(matches!(
+            enabled[0],
+            Transition::HostSend {
+                host: HostId(1),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -652,16 +841,35 @@ mod tests {
             if enabled.is_empty() {
                 break;
             }
-            execute(&mut state, &enabled[0], &scenario, &config, &mut m, &mut events);
+            execute(
+                &mut state,
+                &enabled[0],
+                &scenario,
+                &config,
+                &mut m,
+                &mut events,
+            );
             steps += 1;
             assert!(steps < 200, "hub ping-pong failed to quiesce");
         }
 
         let delivered_to_b = events.iter().any(|e| {
-            matches!(e, Event::PacketDeliveredToHost { host: HostId(2), .. })
+            matches!(
+                e,
+                Event::PacketDeliveredToHost {
+                    host: HostId(2),
+                    ..
+                }
+            )
         });
         let delivered_to_a = events.iter().any(|e| {
-            matches!(e, Event::PacketDeliveredToHost { host: HostId(1), .. })
+            matches!(
+                e,
+                Event::PacketDeliveredToHost {
+                    host: HostId(1),
+                    ..
+                }
+            )
         });
         assert!(delivered_to_b, "ping must reach host B");
         assert!(delivered_to_a, "echo must reach host A");
@@ -671,7 +879,10 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, Event::ControllerHandledPacketIn { .. }))
             .count();
-        assert!(controller_hits >= 2, "expected at least two packet_ins, saw {controller_hits}");
+        assert!(
+            controller_hits >= 2,
+            "expected at least two packet_ins, saw {controller_hits}"
+        );
         // No packets were lost and no buffers left over.
         assert!(!events.iter().any(|e| matches!(e, Event::PacketLost { .. })));
         assert_eq!(state.total_buffered_packets(), 0);
@@ -690,9 +901,19 @@ mod tests {
             if enabled.is_empty() {
                 break;
             }
-            execute(&mut state, &enabled[0], &scenario, &config, &mut m, &mut events);
+            execute(
+                &mut state,
+                &enabled[0],
+                &scenario,
+                &config,
+                &mut m,
+                &mut events,
+            );
         }
-        assert!(state.total_buffered_packets() > 0, "the forgetful app must forget the packet");
+        assert!(
+            state.total_buffered_packets() > 0,
+            "the forgetful app must forget the packet"
+        );
     }
 
     #[test]
@@ -708,7 +929,12 @@ mod tests {
         let enabled = enabled_transitions(&state, &scenario, &coarse);
         let pkt_transitions: Vec<_> = enabled
             .iter()
-            .filter(|t| matches!(t, Transition::ProcessPacket { .. } | Transition::ProcessPacketOn { .. }))
+            .filter(|t| {
+                matches!(
+                    t,
+                    Transition::ProcessPacket { .. } | Transition::ProcessPacketOn { .. }
+                )
+            })
             .collect();
         assert_eq!(pkt_transitions.len(), 1, "coarse mode merges busy ports");
 
@@ -718,7 +944,11 @@ mod tests {
             .iter()
             .filter(|t| matches!(t, Transition::ProcessPacketOn { .. }))
             .collect();
-        assert_eq!(pkt_transitions.len(), 2, "fine mode exposes one transition per port");
+        assert_eq!(
+            pkt_transitions.len(),
+            2,
+            "fine mode exposes one transition per port"
+        );
     }
 
     #[test]
@@ -734,7 +964,9 @@ mod tests {
         state.enqueue_ingress(SwitchId(1), PortId(2), pkt2);
         execute(
             &mut state,
-            &Transition::ProcessPacket { switch: SwitchId(1) },
+            &Transition::ProcessPacket {
+                switch: SwitchId(1),
+            },
             &scenario,
             &config,
             &mut m,
@@ -769,7 +1001,9 @@ mod tests {
             &mut events,
         );
         let ctrl_fp = state.controller_fingerprint();
-        let packets = state.relevant_packets(HostId(1), ctrl_fp).expect("discovery ran");
+        let packets = state
+            .relevant_packets(HostId(1), ctrl_fp)
+            .expect("discovery ran");
         // The hub's handler has no data-dependent branches, so a single
         // equivalence class (one relevant packet) is expected.
         assert_eq!(packets.len(), 1);
@@ -777,7 +1011,13 @@ mod tests {
 
         // After discovery the host's send transitions appear.
         let enabled = enabled_transitions(&state, &scenario, &config);
-        assert!(enabled.iter().any(|t| matches!(t, Transition::HostSend { host: HostId(1), .. })));
+        assert!(enabled.iter().any(|t| matches!(
+            t,
+            Transition::HostSend {
+                host: HostId(1),
+                ..
+            }
+        )));
 
         // A second discovery for the same controller state hits the memo.
         execute(
@@ -788,7 +1028,10 @@ mod tests {
             &mut m,
             &mut events,
         );
-        assert_eq!(m.symbolic_executions, 1, "memoised discovery must not re-run");
+        assert_eq!(
+            m.symbolic_executions, 1,
+            "memoised discovery must not re-run"
+        );
     }
 
     #[test]
@@ -812,7 +1055,10 @@ mod tests {
         // The learning app branches on whether the destination is known
         // (it never is initially) and implicitly on src==dst via the map
         // overlay, so at least two classes must be discovered.
-        assert!(packets.len() >= 2, "expected several equivalence classes, got {packets:?}");
+        assert!(
+            packets.len() >= 2,
+            "expected several equivalence classes, got {packets:?}"
+        );
     }
 
     #[test]
@@ -825,10 +1071,19 @@ mod tests {
 
         // Send the ping and let switch 1 forward it to the controller.
         let enabled = enabled_transitions(&state, &scenario, &config);
-        execute(&mut state, &enabled[0], &scenario, &config, &mut m, &mut events);
         execute(
             &mut state,
-            &Transition::ProcessPacket { switch: SwitchId(1) },
+            &enabled[0],
+            &scenario,
+            &config,
+            &mut m,
+            &mut events,
+        );
+        execute(
+            &mut state,
+            &Transition::ProcessPacket {
+                switch: SwitchId(1),
+            },
             &scenario,
             &config,
             &mut m,
@@ -850,13 +1105,23 @@ mod tests {
         };
         assert_eq!(t.kind(), "host_send");
         assert!(t.to_string().contains("send"));
-        assert_eq!(Transition::ProcessOf { switch: SwitchId(1) }.kind(), "process_of");
+        assert_eq!(
+            Transition::ProcessOf {
+                switch: SwitchId(1)
+            }
+            .kind(),
+            "process_of"
+        );
         assert_eq!(
             Transition::DiscoverPackets { host: HostId(1) }.kind(),
             "discover_packets"
         );
         assert_eq!(
-            Transition::InjectStats { switch: SwitchId(1), stats: vec![] }.to_string(),
+            Transition::InjectStats {
+                switch: SwitchId(1),
+                stats: vec![]
+            }
+            .to_string(),
             "process_stats(s1, 0 ports)"
         );
     }

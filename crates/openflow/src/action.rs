@@ -131,7 +131,10 @@ mod tests {
     #[test]
     fn decision_packet_accessor() {
         let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
-        let d = ForwardingDecision::Forward { port: PortId(1), packet: pkt };
+        let d = ForwardingDecision::Forward {
+            port: PortId(1),
+            packet: pkt,
+        };
         assert_eq!(d.packet().id, pkt.id);
         let d = ForwardingDecision::Dropped { packet: pkt };
         assert_eq!(d.packet().id, pkt.id);

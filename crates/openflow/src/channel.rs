@@ -83,12 +83,20 @@ impl<T> Default for FifoChannel<T> {
 impl<T> FifoChannel<T> {
     /// Creates an empty, reliable channel.
     pub fn reliable() -> Self {
-        FifoChannel { queue: VecDeque::new(), faults: FaultModel::RELIABLE, failed: false }
+        FifoChannel {
+            queue: VecDeque::new(),
+            faults: FaultModel::RELIABLE,
+            failed: false,
+        }
     }
 
     /// Creates an empty channel with the given fault model.
     pub fn with_faults(faults: FaultModel) -> Self {
-        FifoChannel { queue: VecDeque::new(), faults, failed: false }
+        FifoChannel {
+            queue: VecDeque::new(),
+            faults,
+            failed: false,
+        }
     }
 
     /// The configured fault model.
@@ -273,7 +281,10 @@ mod tests {
         assert!(ch.is_failed());
         assert!(ch.is_empty());
         ch.push(7);
-        assert!(ch.is_empty(), "a failed link silently discards new messages");
+        assert!(
+            ch.is_empty(),
+            "a failed link silently discards new messages"
+        );
         assert!(ch.enabled_faults().is_empty());
     }
 

@@ -35,10 +35,16 @@ pub struct Timeouts {
 
 impl Timeouts {
     /// A permanent rule (no timeouts), `hard_timer=PERMANENT` in Figure 3.
-    pub const PERMANENT: Timeouts = Timeouts { idle: None, hard: None };
+    pub const PERMANENT: Timeouts = Timeouts {
+        idle: None,
+        hard: None,
+    };
 
     /// The pyswitch default: `soft_timer=5`, `hard_timer=PERMANENT`.
-    pub const SOFT_5: Timeouts = Timeouts { idle: Some(5), hard: None };
+    pub const SOFT_5: Timeouts = Timeouts {
+        idle: Some(5),
+        hard: None,
+    };
 
     /// True if the rule can ever expire.
     pub fn can_expire(&self) -> bool {
@@ -156,13 +162,19 @@ pub struct FlowTable {
 impl FlowTable {
     /// Creates an empty table with canonicalisation enabled.
     pub fn new() -> Self {
-        FlowTable { rules: Vec::new(), canonical: true }
+        FlowTable {
+            rules: Vec::new(),
+            canonical: true,
+        }
     }
 
     /// Creates an empty table with canonicalisation disabled
     /// (the NO-SWITCH-REDUCTION baseline of Table 1).
     pub fn new_without_reduction() -> Self {
-        FlowTable { rules: Vec::new(), canonical: false }
+        FlowTable {
+            rules: Vec::new(),
+            canonical: false,
+        }
     }
 
     /// Whether canonicalisation is enabled.
@@ -246,7 +258,8 @@ impl FlowTable {
                     Some((bi, bp, bs)) => {
                         // Higher priority wins; ties broken by specificity,
                         // then by canonical position (stable).
-                        if rule.priority > bp || (rule.priority == bp && rule.pattern.specificity() > bs)
+                        if rule.priority > bp
+                            || (rule.priority == bp && rule.pattern.specificity() > bs)
                         {
                             Some(key)
                         } else {
@@ -427,7 +440,9 @@ mod tests {
             vec![Action::Output(PortId(3))],
         ));
         match table.lookup(&pkt, PortId(1)) {
-            TableLookup::Match { actions, .. } => assert_eq!(actions, vec![Action::Output(PortId(3))]),
+            TableLookup::Match { actions, .. } => {
+                assert_eq!(actions, vec![Action::Output(PortId(3))])
+            }
             TableLookup::Miss => panic!("expected match"),
         }
         // A packet only matching the wildcard falls back to it.
@@ -452,7 +467,9 @@ mod tests {
             vec![Action::Output(PortId(2))],
         ));
         match table.lookup(&pkt, PortId(1)) {
-            TableLookup::Match { actions, .. } => assert_eq!(actions, vec![Action::Output(PortId(2))]),
+            TableLookup::Match { actions, .. } => {
+                assert_eq!(actions, vec![Action::Output(PortId(2))])
+            }
             TableLookup::Miss => panic!("expected match"),
         }
     }
@@ -502,7 +519,9 @@ mod tests {
         // Counters reset on replacement.
         assert_eq!(table.flow_stats()[0].packets, 0);
         match table.lookup(&ping(1, 2), PortId(1)) {
-            TableLookup::Match { actions, .. } => assert_eq!(actions, vec![Action::Output(PortId(9))]),
+            TableLookup::Match { actions, .. } => {
+                assert_eq!(actions, vec![Action::Output(PortId(9))])
+            }
             TableLookup::Miss => panic!("expected match"),
         }
     }
@@ -556,12 +575,16 @@ mod tests {
             0,
         );
         match table.lookup(&pkt, PortId(3)) {
-            TableLookup::Match { actions, .. } => assert_eq!(actions, vec![Action::Output(PortId(1))]),
+            TableLookup::Match { actions, .. } => {
+                assert_eq!(actions, vec![Action::Output(PortId(1))])
+            }
             TableLookup::Miss => panic!("expected low-half match"),
         }
         pkt.src_ip = NwAddr(0xc0a8_0001);
         match table.lookup(&pkt, PortId(3)) {
-            TableLookup::Match { actions, .. } => assert_eq!(actions, vec![Action::Output(PortId(2))]),
+            TableLookup::Match { actions, .. } => {
+                assert_eq!(actions, vec![Action::Output(PortId(2))])
+            }
             TableLookup::Miss => panic!("expected high-half match"),
         }
     }
@@ -586,6 +609,10 @@ mod tests {
     fn timeouts_flags() {
         assert!(!Timeouts::PERMANENT.can_expire());
         assert!(Timeouts::SOFT_5.can_expire());
-        assert!(Timeouts { idle: None, hard: Some(10) }.can_expire());
+        assert!(Timeouts {
+            idle: None,
+            hard: Some(10)
+        }
+        .can_expire());
     }
 }

@@ -24,7 +24,10 @@ pub struct PrefixMatch {
 impl PrefixMatch {
     /// An exact host match (`/32`).
     pub fn exact(addr: NwAddr) -> Self {
-        PrefixMatch { prefix: addr, len: 32 }
+        PrefixMatch {
+            prefix: addr,
+            len: 32,
+        }
     }
 
     /// A prefix match.
@@ -219,8 +222,8 @@ impl MatchPattern {
             && self.dl_src.is_some()
             && self.dl_dst.is_some()
             && self.dl_type.is_some()
-            && self.nw_src.map_or(false, |p| p.len == 32)
-            && self.nw_dst.map_or(false, |p| p.len == 32)
+            && self.nw_src.is_some_and(|p| p.len == 32)
+            && self.nw_dst.is_some_and(|p| p.len == 32)
             && self.nw_proto.is_some()
             && self.tp_src.is_some()
             && self.tp_dst.is_some()
@@ -273,7 +276,10 @@ impl MatchPattern {
     /// A total, deterministic ordering over patterns used to canonicalise the
     /// flow table. The specific order is irrelevant as long as it is stable.
     pub fn canonical_cmp(&self, other: &MatchPattern) -> Ordering {
-        fn key_of(p: &MatchPattern) -> (
+        #[allow(clippy::type_complexity)]
+        fn key_of(
+            p: &MatchPattern,
+        ) -> (
             Option<u16>,
             Option<u64>,
             Option<u64>,
@@ -434,10 +440,7 @@ mod tests {
     #[test]
     fn ip_src_prefix_rule_matches_by_client_prefix() {
         let vip = NwAddr::from_octets(10, 0, 0, 100);
-        let m = MatchPattern::ip_src_prefix(
-            PrefixMatch::prefix(NwAddr(0x8000_0000), 1),
-            vip,
-        );
+        let m = MatchPattern::ip_src_prefix(PrefixMatch::prefix(NwAddr(0x8000_0000), 1), vip);
         let mut pkt = sample_packet();
         pkt.dst_ip = vip;
         pkt.src_ip = NwAddr(0x9000_0000);

@@ -170,9 +170,18 @@ impl OfMessage {
     pub fn kind_name(&self) -> &'static str {
         match self {
             OfMessage::PacketIn { .. } => "packet_in",
-            OfMessage::FlowMod { command: FlowModCommand::Add, .. } => "flow_mod_add",
-            OfMessage::FlowMod { command: FlowModCommand::Delete, .. } => "flow_mod_del",
-            OfMessage::FlowMod { command: FlowModCommand::DeleteStrict, .. } => "flow_mod_del_strict",
+            OfMessage::FlowMod {
+                command: FlowModCommand::Add,
+                ..
+            } => "flow_mod_add",
+            OfMessage::FlowMod {
+                command: FlowModCommand::Delete,
+                ..
+            } => "flow_mod_del",
+            OfMessage::FlowMod {
+                command: FlowModCommand::DeleteStrict,
+                ..
+            } => "flow_mod_del_strict",
             OfMessage::PacketOut { .. } => "packet_out",
             OfMessage::StatsRequest { .. } => "stats_request",
             OfMessage::PortStatsReply { .. } => "port_stats_reply",
@@ -203,12 +212,24 @@ impl OfMessage {
 impl fmt::Display for OfMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OfMessage::PacketIn { switch, in_port, packet, buffer_id, reason } => write!(
+            OfMessage::PacketIn {
+                switch,
+                in_port,
+                packet,
+                buffer_id,
+                reason,
+            } => write!(
                 f,
                 "packet_in(sw={switch}, port={in_port}, buf={}, reason={:?}, {packet})",
                 buffer_id.0, reason
             ),
-            OfMessage::FlowMod { command, pattern, priority, actions, .. } => {
+            OfMessage::FlowMod {
+                command,
+                pattern,
+                priority,
+                actions,
+                ..
+            } => {
                 let acts: Vec<String> = actions.iter().map(|a| a.to_string()).collect();
                 write!(
                     f,
@@ -217,7 +238,12 @@ impl fmt::Display for OfMessage {
                     acts.join(",")
                 )
             }
-            OfMessage::PacketOut { buffer_id, packet, actions, .. } => {
+            OfMessage::PacketOut {
+                buffer_id,
+                packet,
+                actions,
+                ..
+            } => {
                 let acts: Vec<String> = actions.iter().map(|a| a.to_string()).collect();
                 write!(
                     f,
@@ -230,13 +256,31 @@ impl fmt::Display for OfMessage {
             OfMessage::StatsRequest { kind, request_id } => {
                 write!(f, "stats_request({kind:?}, id={request_id})")
             }
-            OfMessage::PortStatsReply { switch, request_id, entries } => {
-                write!(f, "port_stats_reply(sw={switch}, id={request_id}, {} ports)", entries.len())
+            OfMessage::PortStatsReply {
+                switch,
+                request_id,
+                entries,
+            } => {
+                write!(
+                    f,
+                    "port_stats_reply(sw={switch}, id={request_id}, {} ports)",
+                    entries.len()
+                )
             }
-            OfMessage::FlowStatsReply { switch, request_id, entries } => {
-                write!(f, "flow_stats_reply(sw={switch}, id={request_id}, {} rules)", entries.len())
+            OfMessage::FlowStatsReply {
+                switch,
+                request_id,
+                entries,
+            } => {
+                write!(
+                    f,
+                    "flow_stats_reply(sw={switch}, id={request_id}, {} rules)",
+                    entries.len()
+                )
             }
-            OfMessage::BarrierRequest { request_id } => write!(f, "barrier_request(id={request_id})"),
+            OfMessage::BarrierRequest { request_id } => {
+                write!(f, "barrier_request(id={request_id})")
+            }
             OfMessage::BarrierReply { switch, request_id } => {
                 write!(f, "barrier_reply(sw={switch}, id={request_id})")
             }
@@ -244,7 +288,11 @@ impl fmt::Display for OfMessage {
                 write!(f, "switch_join(sw={switch}, {} ports)", ports.len())
             }
             OfMessage::SwitchLeave { switch } => write!(f, "switch_leave(sw={switch})"),
-            OfMessage::PortStatus { switch, port, link_up } => {
+            OfMessage::PortStatus {
+                switch,
+                port,
+                link_up,
+            } => {
                 write!(f, "port_status(sw={switch}, port={port}, up={link_up})")
             }
         }
@@ -264,14 +312,27 @@ impl Fingerprint for OfMessage {
     fn fingerprint(&self, hasher: &mut Fnv64) {
         hasher.write_str(self.kind_name());
         match self {
-            OfMessage::PacketIn { switch, in_port, packet, buffer_id, reason } => {
+            OfMessage::PacketIn {
+                switch,
+                in_port,
+                packet,
+                buffer_id,
+                reason,
+            } => {
                 switch.fingerprint(hasher);
                 in_port.fingerprint(hasher);
                 packet.fingerprint(hasher);
                 hasher.write_u64(buffer_id.0);
                 reason.fingerprint(hasher);
             }
-            OfMessage::FlowMod { command, pattern, priority, actions, timeouts, cookie } => {
+            OfMessage::FlowMod {
+                command,
+                pattern,
+                priority,
+                actions,
+                timeouts,
+                cookie,
+            } => {
                 hasher.write_u8(match command {
                     FlowModCommand::Add => 0,
                     FlowModCommand::DeleteStrict => 1,
@@ -283,7 +344,12 @@ impl Fingerprint for OfMessage {
                 timeouts.fingerprint(hasher);
                 hasher.write_u64(*cookie);
             }
-            OfMessage::PacketOut { buffer_id, packet, in_port, actions } => {
+            OfMessage::PacketOut {
+                buffer_id,
+                packet,
+                in_port,
+                actions,
+            } => {
                 match buffer_id {
                     None => hasher.write_u8(0),
                     Some(b) => {
@@ -302,12 +368,20 @@ impl Fingerprint for OfMessage {
                 });
                 hasher.write_u64(*request_id);
             }
-            OfMessage::PortStatsReply { switch, request_id, entries } => {
+            OfMessage::PortStatsReply {
+                switch,
+                request_id,
+                entries,
+            } => {
                 switch.fingerprint(hasher);
                 hasher.write_u64(*request_id);
                 entries.fingerprint(hasher);
             }
-            OfMessage::FlowStatsReply { switch, request_id, entries } => {
+            OfMessage::FlowStatsReply {
+                switch,
+                request_id,
+                entries,
+            } => {
                 switch.fingerprint(hasher);
                 hasher.write_u64(*request_id);
                 entries.fingerprint(hasher);
@@ -322,7 +396,11 @@ impl Fingerprint for OfMessage {
                 ports.fingerprint(hasher);
             }
             OfMessage::SwitchLeave { switch } => switch.fingerprint(hasher),
-            OfMessage::PortStatus { switch, port, link_up } => {
+            OfMessage::PortStatus {
+                switch,
+                port,
+                link_up,
+            } => {
                 switch.fingerprint(hasher);
                 port.fingerprint(hasher);
                 hasher.write_bool(*link_up);
@@ -371,7 +449,13 @@ mod tests {
     fn add_rule_constructor_copies_rule_fields() {
         let rule = FlowRule::new(MatchPattern::any(), 7, vec![Action::Drop]).with_cookie(9);
         match OfMessage::add_rule(&rule) {
-            OfMessage::FlowMod { command, priority, actions, cookie, .. } => {
+            OfMessage::FlowMod {
+                command,
+                priority,
+                actions,
+                cookie,
+                ..
+            } => {
                 assert_eq!(command, FlowModCommand::Add);
                 assert_eq!(priority, 7);
                 assert_eq!(actions, vec![Action::Drop]);

@@ -429,7 +429,12 @@ mod tests {
 
     #[test]
     fn arp_request_is_broadcast() {
-        let p = Packet::arp_request(3, MacAddr::for_host(1), NwAddr::for_host(1), NwAddr::for_host(9));
+        let p = Packet::arp_request(
+            3,
+            MacAddr::for_host(1),
+            NwAddr::for_host(1),
+            NwAddr::for_host(9),
+        );
         assert!(p.dst_mac.is_broadcast());
         assert!(p.is_arp());
         assert_eq!(p.arp_op, 1);
@@ -490,7 +495,12 @@ mod tests {
             0,
         );
         assert!(syn.describe().contains("SYN"));
-        let arp = Packet::arp_request(2, MacAddr::for_host(1), NwAddr::for_host(1), NwAddr::for_host(2));
+        let arp = Packet::arp_request(
+            2,
+            MacAddr::for_host(1),
+            NwAddr::for_host(1),
+            NwAddr::for_host(2),
+        );
         assert!(arp.describe().contains("ARP"));
     }
 }

@@ -33,7 +33,13 @@ impl Default for PortStatsEntry {
 impl PortStatsEntry {
     /// Creates an entry with all counters zero.
     pub fn zero(port: PortId) -> Self {
-        PortStatsEntry { port, rx_packets: 0, tx_packets: 0, rx_bytes: 0, tx_bytes: 0 }
+        PortStatsEntry {
+            port,
+            rx_packets: 0,
+            tx_packets: 0,
+            rx_bytes: 0,
+            tx_bytes: 0,
+        }
     }
 
     /// Total bytes in either direction, the quantity the TE application uses
@@ -86,7 +92,12 @@ mod tests {
 
     #[test]
     fn total_bytes_sums_both_directions() {
-        let e = PortStatsEntry { port: PortId(1), rx_bytes: 10, tx_bytes: 32, ..Default::default() };
+        let e = PortStatsEntry {
+            port: PortId(1),
+            rx_bytes: 10,
+            tx_bytes: 32,
+            ..Default::default()
+        };
         assert_eq!(e.total_bytes(), 42);
     }
 
@@ -96,8 +107,16 @@ mod tests {
         let mut b = a;
         b.rx_packets = 1;
         assert_ne!(fingerprint_of(&a), fingerprint_of(&b));
-        let fa = FlowStatsEntry { rule_index: 0, packets: 1, bytes: 64 };
-        let fb = FlowStatsEntry { rule_index: 0, packets: 2, bytes: 128 };
+        let fa = FlowStatsEntry {
+            rule_index: 0,
+            packets: 1,
+            bytes: 64,
+        };
+        let fb = FlowStatsEntry {
+            rule_index: 0,
+            packets: 2,
+            bytes: 128,
+        };
         assert_ne!(fingerprint_of(&fa), fingerprint_of(&fb));
     }
 }

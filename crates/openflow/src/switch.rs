@@ -48,7 +48,10 @@ pub struct SwitchConfig {
 
 impl Default for SwitchConfig {
     fn default() -> Self {
-        SwitchConfig { canonical_flow_table: true, buffer_capacity: 64 }
+        SwitchConfig {
+            canonical_flow_table: true,
+            buffer_capacity: 64,
+        }
     }
 }
 
@@ -128,7 +131,10 @@ impl Switch {
 
     /// The `switch_join` message this switch announces itself with.
     pub fn join_message(&self) -> OfMessage {
-        OfMessage::SwitchJoin { switch: self.id, ports: self.ports.clone() }
+        OfMessage::SwitchJoin {
+            switch: self.id,
+            ports: self.ports.clone(),
+        }
     }
 
     /// Number of packets currently parked in the buffer.
@@ -174,14 +180,18 @@ impl Switch {
     ) -> SwitchOutput {
         let mut out = SwitchOutput::default();
         if actions.is_empty() {
-            out.decisions.push(ForwardingDecision::Dropped { packet: *packet });
+            out.decisions
+                .push(ForwardingDecision::Dropped { packet: *packet });
             return out;
         }
         for action in actions {
             match action {
                 Action::Output(port) => {
                     self.count_tx(*port, packet);
-                    out.decisions.push(ForwardingDecision::Forward { port: *port, packet: *packet });
+                    out.decisions.push(ForwardingDecision::Forward {
+                        port: *port,
+                        packet: *packet,
+                    });
                 }
                 Action::Flood => {
                     let ports: Vec<PortId> = self.ports.clone();
@@ -190,11 +200,14 @@ impl Switch {
                             self.count_tx(port, packet);
                         }
                     }
-                    out.decisions
-                        .push(ForwardingDecision::FloodExcept { in_port, packet: *packet });
+                    out.decisions.push(ForwardingDecision::FloodExcept {
+                        in_port,
+                        packet: *packet,
+                    });
                 }
                 Action::Drop => {
-                    out.decisions.push(ForwardingDecision::Dropped { packet: *packet });
+                    out.decisions
+                        .push(ForwardingDecision::Dropped { packet: *packet });
                 }
                 Action::ToController => {
                     out.merge(self.send_to_controller(*packet, in_port, PacketInReason::Action));
@@ -209,25 +222,38 @@ impl Switch {
     pub fn apply_of_message(&mut self, msg: OfMessage) -> SwitchOutput {
         let mut out = SwitchOutput::default();
         match msg {
-            OfMessage::FlowMod { command, pattern, priority, actions, timeouts, cookie } => {
-                match command {
-                    FlowModCommand::Add => {
-                        let rule = FlowRule::new(pattern, priority, actions)
-                            .with_timeouts(timeouts)
-                            .with_cookie(cookie);
-                        self.flow_table.add_rule(rule);
-                    }
-                    FlowModCommand::DeleteStrict => {
-                        self.flow_table.delete_strict(&pattern, priority);
-                    }
-                    FlowModCommand::Delete => {
-                        self.flow_table.delete_matching(&pattern);
-                    }
+            OfMessage::FlowMod {
+                command,
+                pattern,
+                priority,
+                actions,
+                timeouts,
+                cookie,
+            } => match command {
+                FlowModCommand::Add => {
+                    let rule = FlowRule::new(pattern, priority, actions)
+                        .with_timeouts(timeouts)
+                        .with_cookie(cookie);
+                    self.flow_table.add_rule(rule);
                 }
-            }
-            OfMessage::PacketOut { buffer_id, packet, in_port, actions } => {
+                FlowModCommand::DeleteStrict => {
+                    self.flow_table.delete_strict(&pattern, priority);
+                }
+                FlowModCommand::Delete => {
+                    self.flow_table.delete_matching(&pattern);
+                }
+            },
+            OfMessage::PacketOut {
+                buffer_id,
+                packet,
+                in_port,
+                actions,
+            } => {
                 let resolved = match buffer_id {
-                    Some(id) => self.buffered.remove(&id.0).map(|bp| (bp.packet, bp.in_port)),
+                    Some(id) => self
+                        .buffered
+                        .remove(&id.0)
+                        .map(|bp| (bp.packet, bp.in_port)),
                     None => packet.map(|p| (p, in_port)),
                 };
                 if let Some((pkt, origin_port)) = resolved {
@@ -253,8 +279,10 @@ impl Switch {
                 }
             },
             OfMessage::BarrierRequest { request_id } => {
-                out.to_controller
-                    .push(OfMessage::BarrierReply { switch: self.id, request_id });
+                out.to_controller.push(OfMessage::BarrierReply {
+                    switch: self.id,
+                    request_id,
+                });
             }
             // Switch-to-controller messages never arrive here; ignore
             // defensively so a buggy test harness cannot wedge the model.
@@ -311,7 +339,8 @@ impl Switch {
         }
         let buffer_id = BufferId(self.next_buffer_id);
         self.next_buffer_id += 1;
-        self.buffered.insert(buffer_id.0, BufferedPacket { packet, in_port });
+        self.buffered
+            .insert(buffer_id.0, BufferedPacket { packet, in_port });
         out.to_controller.push(OfMessage::PacketIn {
             switch: self.id,
             in_port,
@@ -319,18 +348,28 @@ impl Switch {
             buffer_id,
             reason,
         });
-        out.decisions.push(ForwardingDecision::SentToController { buffer_id, packet, reason });
+        out.decisions.push(ForwardingDecision::SentToController {
+            buffer_id,
+            packet,
+            reason,
+        });
         out
     }
 
     fn count_rx(&mut self, port: PortId, packet: &Packet) {
-        let entry = self.port_stats.entry(port).or_insert_with(|| PortStatsEntry::zero(port));
+        let entry = self
+            .port_stats
+            .entry(port)
+            .or_insert_with(|| PortStatsEntry::zero(port));
         entry.rx_packets += 1;
         entry.rx_bytes += packet.byte_size();
     }
 
     fn count_tx(&mut self, port: PortId, packet: &Packet) {
-        let entry = self.port_stats.entry(port).or_insert_with(|| PortStatsEntry::zero(port));
+        let entry = self
+            .port_stats
+            .entry(port)
+            .or_insert_with(|| PortStatsEntry::zero(port));
         entry.tx_packets += 1;
         entry.tx_bytes += packet.byte_size();
     }
@@ -381,7 +420,9 @@ mod tests {
         assert_eq!(out.to_controller.len(), 1);
         assert_eq!(sw.buffered_count(), 1);
         match &out.to_controller[0] {
-            OfMessage::PacketIn { reason, in_port, .. } => {
+            OfMessage::PacketIn {
+                reason, in_port, ..
+            } => {
                 assert_eq!(*reason, PacketInReason::NoMatch);
                 assert_eq!(*in_port, PortId(1));
             }
@@ -406,7 +447,10 @@ mod tests {
         assert!(out.to_controller.is_empty());
         assert_eq!(
             out.decisions,
-            vec![ForwardingDecision::Forward { port: PortId(2), packet: pkt }]
+            vec![ForwardingDecision::Forward {
+                port: PortId(2),
+                packet: pkt
+            }]
         );
         assert_eq!(sw.buffered_count(), 0);
     }
@@ -418,10 +462,17 @@ mod tests {
         let out = sw.apply_actions(&pkt, PortId(1), &[Action::Flood]);
         assert_eq!(
             out.decisions,
-            vec![ForwardingDecision::FloodExcept { in_port: PortId(1), packet: pkt }]
+            vec![ForwardingDecision::FloodExcept {
+                in_port: PortId(1),
+                packet: pkt
+            }]
         );
         let stats = sw.port_stats();
-        let tx_ports: Vec<_> = stats.iter().filter(|s| s.tx_packets > 0).map(|s| s.port).collect();
+        let tx_ports: Vec<_> = stats
+            .iter()
+            .filter(|s| s.tx_packets > 0)
+            .map(|s| s.port)
+            .collect();
         assert_eq!(tx_ports, vec![PortId(2), PortId(3)]);
     }
 
@@ -429,7 +480,10 @@ mod tests {
     fn empty_action_list_drops() {
         let mut sw = switch();
         let out = sw.apply_actions(&ping(), PortId(1), &[]);
-        assert!(matches!(out.decisions[0], ForwardingDecision::Dropped { .. }));
+        assert!(matches!(
+            out.decisions[0],
+            ForwardingDecision::Dropped { .. }
+        ));
     }
 
     #[test]
@@ -460,7 +514,10 @@ mod tests {
         assert_eq!(sw.buffered_count(), 0);
         assert_eq!(
             out.decisions,
-            vec![ForwardingDecision::Forward { port: PortId(2), packet: pkt }]
+            vec![ForwardingDecision::Forward {
+                port: PortId(2),
+                packet: pkt
+            }]
         );
     }
 
@@ -489,7 +546,10 @@ mod tests {
         });
         assert_eq!(
             out.decisions,
-            vec![ForwardingDecision::FloodExcept { in_port: PortId(1), packet: pkt }]
+            vec![ForwardingDecision::FloodExcept {
+                in_port: PortId(1),
+                packet: pkt
+            }]
         );
     }
 
@@ -497,17 +557,30 @@ mod tests {
     fn stats_requests_are_answered() {
         let mut sw = switch();
         sw.process_packet(ping(), PortId(1));
-        let out = sw.apply_of_message(OfMessage::StatsRequest { kind: StatsKind::Port, request_id: 7 });
+        let out = sw.apply_of_message(OfMessage::StatsRequest {
+            kind: StatsKind::Port,
+            request_id: 7,
+        });
         match &out.to_controller[0] {
-            OfMessage::PortStatsReply { request_id, entries, .. } => {
+            OfMessage::PortStatsReply {
+                request_id,
+                entries,
+                ..
+            } => {
                 assert_eq!(*request_id, 7);
                 assert_eq!(entries.len(), 3);
                 assert!(entries.iter().any(|e| e.rx_packets == 1));
             }
             other => panic!("unexpected {other}"),
         }
-        let out = sw.apply_of_message(OfMessage::StatsRequest { kind: StatsKind::Flow, request_id: 8 });
-        assert!(matches!(&out.to_controller[0], OfMessage::FlowStatsReply { request_id: 8, .. }));
+        let out = sw.apply_of_message(OfMessage::StatsRequest {
+            kind: StatsKind::Flow,
+            request_id: 8,
+        });
+        assert!(matches!(
+            &out.to_controller[0],
+            OfMessage::FlowStatsReply { request_id: 8, .. }
+        ));
     }
 
     #[test]
@@ -516,7 +589,10 @@ mod tests {
         let out = sw.apply_of_message(OfMessage::BarrierRequest { request_id: 3 });
         assert_eq!(
             out.to_controller,
-            vec![OfMessage::BarrierReply { switch: SwitchId(1), request_id: 3 }]
+            vec![OfMessage::BarrierReply {
+                switch: SwitchId(1),
+                request_id: 3
+            }]
         );
     }
 
@@ -525,7 +601,10 @@ mod tests {
         let mut sw = Switch::with_config(
             SwitchId(1),
             vec![PortId(1), PortId(2)],
-            SwitchConfig { canonical_flow_table: true, buffer_capacity: 2 },
+            SwitchConfig {
+                canonical_flow_table: true,
+                buffer_capacity: 2,
+            },
         );
         for i in 0..3 {
             let pkt = Packet::l2_ping(i, MacAddr::for_host(1), MacAddr::for_host(2), i as u32);
@@ -547,7 +626,8 @@ mod tests {
         assert!(sw.expirable_rules().is_empty());
         assert!(sw.expire_rule(0).is_none());
         sw.flow_table.add_rule(
-            FlowRule::new(MatchPattern::any(), 1, vec![Action::Drop]).with_timeouts(Timeouts::SOFT_5),
+            FlowRule::new(MatchPattern::any(), 1, vec![Action::Drop])
+                .with_timeouts(Timeouts::SOFT_5),
         );
         assert_eq!(sw.expirable_rules().len(), 1);
         let idx = sw.expirable_rules()[0];

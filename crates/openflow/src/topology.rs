@@ -207,7 +207,8 @@ impl Topology {
     /// A single switch with `n` hosts attached on ports 1..=n, the topology
     /// used for the load balancer (one client plus two server replicas).
     pub fn single_switch(n: u32) -> Topology {
-        let mut b = Topology::builder().switch(SwitchId(1), &(1..=(n as u16 + 1)).collect::<Vec<_>>());
+        let mut b =
+            Topology::builder().switch(SwitchId(1), &(1..=(n as u16 + 1)).collect::<Vec<_>>());
         for h in 1..=n {
             b = b.host(HostId(h), SwitchId(1), PortId(h as u16));
         }
@@ -244,7 +245,10 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Adds a switch with the given port numbers.
     pub fn switch(mut self, id: SwitchId, ports: &[u16]) -> Self {
-        self.switches.push(SwitchSpec { id, ports: ports.iter().map(|&p| PortId(p)).collect() });
+        self.switches.push(SwitchSpec {
+            id,
+            ports: ports.iter().map(|&p| PortId(p)).collect(),
+        });
         self
     }
 
@@ -258,8 +262,14 @@ impl TopologyBuilder {
     /// Adds a bidirectional switch-to-switch link.
     pub fn link(mut self, sa: SwitchId, pa: PortId, sb: SwitchId, pb: PortId) -> Self {
         self.links.push(LinkSpec {
-            a: Location { switch: sa, port: pa },
-            b: Location { switch: sb, port: pb },
+            a: Location {
+                switch: sa,
+                port: pa,
+            },
+            b: Location {
+                switch: sb,
+                port: pb,
+            },
         });
         self
     }
@@ -283,7 +293,10 @@ impl TopologyBuilder {
             );
         }
         let check_port = |topo: &Topology, s: SwitchId, p: PortId| {
-            let spec = topo.switches.get(&s).unwrap_or_else(|| panic!("unknown switch {s}"));
+            let spec = topo
+                .switches
+                .get(&s)
+                .unwrap_or_else(|| panic!("unknown switch {s}"));
             assert!(spec.ports.contains(&p), "switch {s} has no port {p}");
         };
         for link in self.links {
@@ -291,14 +304,20 @@ impl TopologyBuilder {
             check_port(&topo, link.b.switch, link.b.port);
             assert!(
                 topo.adjacency
-                    .insert((link.a.switch, link.a.port), Endpoint::SwitchPort(link.b.switch, link.b.port))
+                    .insert(
+                        (link.a.switch, link.a.port),
+                        Endpoint::SwitchPort(link.b.switch, link.b.port)
+                    )
                     .is_none(),
                 "port {} already connected",
                 link.a
             );
             assert!(
                 topo.adjacency
-                    .insert((link.b.switch, link.b.port), Endpoint::SwitchPort(link.a.switch, link.a.port))
+                    .insert(
+                        (link.b.switch, link.b.port),
+                        Endpoint::SwitchPort(link.a.switch, link.a.port)
+                    )
                     .is_none(),
                 "port {} already connected",
                 link.b
@@ -314,7 +333,9 @@ impl TopologyBuilder {
                 location: Location { switch, port },
             };
             assert!(
-                topo.adjacency.insert((switch, port), Endpoint::Host(id)).is_none(),
+                topo.adjacency
+                    .insert((switch, port), Endpoint::Host(id))
+                    .is_none(),
                 "port {switch}:{port} already connected"
             );
             assert!(topo.hosts.insert(id, spec).is_none(), "duplicate host {id}");
@@ -325,7 +346,12 @@ impl TopologyBuilder {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "topology: {} switches, {} hosts", self.switch_count(), self.host_count())?;
+        writeln!(
+            f,
+            "topology: {} switches, {} hosts",
+            self.switch_count(),
+            self.host_count()
+        )?;
         for h in self.hosts.values() {
             writeln!(f, "  {} mac={} ip={} at {}", h.id, h.mac, h.ip, h.location)?;
         }
@@ -346,7 +372,10 @@ mod tests {
         assert_eq!(t.switch_count(), 2);
         assert_eq!(t.host_count(), 2);
         assert_eq!(t.links().len(), 1);
-        assert_eq!(t.endpoint(SwitchId(1), PortId(1)), Endpoint::Host(HostId(1)));
+        assert_eq!(
+            t.endpoint(SwitchId(1), PortId(1)),
+            Endpoint::Host(HostId(1))
+        );
         assert_eq!(
             t.endpoint(SwitchId(1), PortId(2)),
             Endpoint::SwitchPort(SwitchId(2), PortId(2))
@@ -354,7 +383,10 @@ mod tests {
         assert_eq!(t.endpoint(SwitchId(1), PortId(3)), Endpoint::Unconnected);
         assert_eq!(
             t.switch_peer(SwitchId(2), PortId(2)),
-            Some(Location { switch: SwitchId(1), port: PortId(2) })
+            Some(Location {
+                switch: SwitchId(1),
+                port: PortId(2)
+            })
         );
         assert_eq!(t.free_ports(SwitchId(1)), vec![PortId(3)]);
     }
@@ -406,7 +438,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown switch")]
     fn building_with_unknown_switch_panics() {
-        Topology::builder().host(HostId(1), SwitchId(9), PortId(1)).build();
+        Topology::builder()
+            .host(HostId(1), SwitchId(9), PortId(1))
+            .build();
     }
 
     #[test]

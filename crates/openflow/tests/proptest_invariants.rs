@@ -25,20 +25,22 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         prop_oneof![Just(80u16), Just(1000u16), Just(0u16)],
         any::<bool>(),
     )
-        .prop_map(|(src_mac, dst_mac, src_ip, dst_ip, sport, dport, syn)| Packet {
-            id: nice_openflow::PacketId(1),
-            src_mac,
-            dst_mac,
-            eth_type: EthType::Ipv4,
-            src_ip: NwAddr::for_host(src_ip),
-            dst_ip: NwAddr::for_host(dst_ip),
-            nw_proto: nice_openflow::IpProto::Tcp,
-            src_port: sport,
-            dst_port: dport,
-            tcp_flags: if syn { TcpFlags::SYN } else { TcpFlags::ACK },
-            arp_op: 0,
-            payload: 0,
-        })
+        .prop_map(
+            |(src_mac, dst_mac, src_ip, dst_ip, sport, dport, syn)| Packet {
+                id: nice_openflow::PacketId(1),
+                src_mac,
+                dst_mac,
+                eth_type: EthType::Ipv4,
+                src_ip: NwAddr::for_host(src_ip),
+                dst_ip: NwAddr::for_host(dst_ip),
+                nw_proto: nice_openflow::IpProto::Tcp,
+                src_port: sport,
+                dst_port: dport,
+                tcp_flags: if syn { TcpFlags::SYN } else { TcpFlags::ACK },
+                arp_op: 0,
+                payload: 0,
+            },
+        )
 }
 
 fn arb_port() -> impl Strategy<Value = PortId> {

@@ -76,7 +76,10 @@ pub struct SymExecEnv {
 impl SymExecEnv {
     /// Creates an environment executing under the given concrete input.
     pub fn new(assignment: Assignment) -> Self {
-        SymExecEnv { assignment, path: Vec::new() }
+        SymExecEnv {
+            assignment,
+            path: Vec::new(),
+        }
     }
 
     /// The concrete input driving this execution.
@@ -122,10 +125,9 @@ impl Env for SymExecEnv {
         match cond {
             SymBool::Concrete(b) => *b,
             SymBool::Symbolic(expr) => {
-                let outcome = self
-                    .assignment
-                    .eval(expr)
-                    .expect("path condition references a variable outside the declared symbolic inputs");
+                let outcome = self.assignment.eval(expr).expect(
+                    "path condition references a variable outside the declared symbolic inputs",
+                );
                 self.path.push((expr.clone(), outcome));
                 outcome
             }
@@ -135,9 +137,9 @@ impl Env for SymExecEnv {
     fn concretize(&mut self, value: &SymValue) -> u64 {
         match value {
             SymValue::Concrete(v) => *v,
-            SymValue::Symbolic(expr) => expr
-                .eval_with(&|v| self.assignment.get(v))
-                .expect("symbolic value references a variable outside the declared symbolic inputs"),
+            SymValue::Symbolic(expr) => expr.eval_with(&|v| self.assignment.get(v)).expect(
+                "symbolic value references a variable outside the declared symbolic inputs",
+            ),
         }
     }
 
@@ -166,7 +168,10 @@ mod tests {
     #[should_panic(expected = "symbolic condition reached concrete execution")]
     fn concrete_env_rejects_symbolic_conditions() {
         let mut env = ConcreteEnv::new();
-        env.branch(&SymBool::Symbolic(BoolExpr::Eq(Expr::Var(VarId(0)), Expr::Const(1))));
+        env.branch(&SymBool::Symbolic(BoolExpr::Eq(
+            Expr::Var(VarId(0)),
+            Expr::Const(1),
+        )));
     }
 
     #[test]
@@ -181,8 +186,8 @@ mod tests {
         // Concrete conditions are not recorded.
         assert!(env.branch(&SymBool::concrete(true)));
         assert_eq!(env.branch_count(), 2);
-        assert_eq!(env.path()[0].1, false);
-        assert_eq!(env.path()[1].1, true);
+        assert!(!env.path()[0].1);
+        assert!(env.path()[1].1);
         let constraints = env.taken_constraints();
         // Not-taken branch is negated: v != 1, and taken branch kept: v == 0.
         assert_eq!(constraints[0], BoolExpr::Ne(Expr::Var(v), Expr::Const(1)));

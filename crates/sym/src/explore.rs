@@ -36,7 +36,11 @@ pub struct ExploreConfig {
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        ExploreConfig { max_paths: 64, max_branch_depth: 64, max_executions: 512 }
+        ExploreConfig {
+            max_paths: 64,
+            max_branch_depth: 64,
+            max_executions: 512,
+        }
     }
 }
 
@@ -148,7 +152,11 @@ impl PathExplorer {
                 }
             }
 
-            outcome.paths.push(PathResult { assignment: input, path, signature });
+            outcome.paths.push(PathResult {
+                assignment: input,
+                path,
+                signature,
+            });
         }
 
         outcome
@@ -188,9 +196,7 @@ mod tests {
                 return;
             }
             // else if dst known (== 2) -> path B else path C
-            if env.branch(&dst.eq_const(2)) {
-                return;
-            }
+            if env.branch(&dst.eq_const(2)) {}
         });
 
         assert_eq!(outcome.paths.len(), 3, "three feasible paths expected");
@@ -240,7 +246,10 @@ mod tests {
         let a = solver.fresh_var(Domain::new([0, 1]));
         let b = solver.fresh_var(Domain::new([0, 1]));
         let c = solver.fresh_var(Domain::new([0, 1]));
-        let explorer = PathExplorer::new(ExploreConfig { max_paths: 3, ..Default::default() });
+        let explorer = PathExplorer::new(ExploreConfig {
+            max_paths: 3,
+            ..Default::default()
+        });
         let outcome = explorer.explore(&mut solver, |env| {
             // 8 feasible paths.
             env.branch(&SymValue::var(a).eq_const(1));
@@ -259,8 +268,10 @@ mod tests {
         let outcome = explorer.explore(&mut solver, |env| {
             env.branch(&SymValue::var(v).eq_const(9));
         });
-        let inputs: BTreeSet<u64> =
-            outcome.representative_inputs().map(|a| a.get(v).unwrap()).collect();
+        let inputs: BTreeSet<u64> = outcome
+            .representative_inputs()
+            .map(|a| a.get(v).unwrap())
+            .collect();
         assert_eq!(inputs, BTreeSet::from([7, 9]));
     }
 

@@ -43,7 +43,10 @@ impl Domain {
                 out.push(c);
             }
         }
-        assert!(!out.is_empty(), "a symbolic variable needs at least one candidate value");
+        assert!(
+            !out.is_empty(),
+            "a symbolic variable needs at least one candidate value"
+        );
         Domain { candidates: out }
     }
 
@@ -125,7 +128,11 @@ impl Expr {
                 out.insert(*v);
             }
             Expr::Const(_) => {}
-            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) | Expr::Add(a, b) | Expr::Sub(a, b) => {
+            Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Xor(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }
@@ -330,7 +337,10 @@ mod tests {
         );
         let mut vars = VarSet::new();
         e.collect_vars(&mut vars);
-        assert_eq!(vars.into_iter().collect::<Vec<_>>(), vec![VarId(1), VarId(2), VarId(3)]);
+        assert_eq!(
+            vars.into_iter().collect::<Vec<_>>(),
+            vec![VarId(1), VarId(2), VarId(3)]
+        );
     }
 
     #[test]

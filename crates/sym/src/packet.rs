@@ -53,7 +53,11 @@ impl PacketDomains {
     pub fn from_topology(topology: &Topology) -> Self {
         let mut macs: Vec<u64> = topology.known_macs().iter().map(|m| m.value()).collect();
         macs.push(Self::FRESH_MAC);
-        let mut ips: Vec<u64> = topology.known_ips().iter().map(|i| i.value() as u64).collect();
+        let mut ips: Vec<u64> = topology
+            .known_ips()
+            .iter()
+            .map(|i| i.value() as u64)
+            .collect();
         ips.push(Self::FRESH_IP);
         PacketDomains {
             macs,
@@ -134,7 +138,11 @@ impl SymPacketVars {
     /// Reconstructs a concrete packet from a solver model. `id` is the
     /// provenance id assigned to the injected packet.
     pub fn packet_from(&self, assignment: &Assignment, id: u64) -> Packet {
-        let get = |v| assignment.get(v).expect("model must be total over packet variables");
+        let get = |v| {
+            assignment
+                .get(v)
+                .expect("model must be total over packet variables")
+        };
         Packet {
             id: PacketId(id),
             src_mac: MacAddr(get(self.src_mac)),
@@ -264,13 +272,19 @@ impl SymPacket {
     /// `pkt.src[0] & 1` — the group/broadcast bit of the source MAC
     /// (Figure 3, line 4).
     pub fn src_mac_is_group(&self) -> SymBool {
-        self.src_mac.extract_byte(0, 6).bit_and(&SymValue::concrete(1)).eq_const(1)
+        self.src_mac
+            .extract_byte(0, 6)
+            .bit_and(&SymValue::concrete(1))
+            .eq_const(1)
     }
 
     /// `pkt.dst[0] & 1` — the group/broadcast bit of the destination MAC
     /// (Figure 3, line 5).
     pub fn dst_mac_is_group(&self) -> SymBool {
-        self.dst_mac.extract_byte(0, 6).bit_and(&SymValue::concrete(1)).eq_const(1)
+        self.dst_mac
+            .extract_byte(0, 6)
+            .bit_and(&SymValue::concrete(1))
+            .eq_const(1)
     }
 
     /// True if the packet is an ARP frame.
@@ -285,7 +299,8 @@ impl SymPacket {
 
     /// True if the packet is TCP over IPv4.
     pub fn is_tcp(&self) -> SymBool {
-        self.is_ipv4().and(&self.nw_proto.eq_const(IpProto::Tcp.value() as u64))
+        self.is_ipv4()
+            .and(&self.nw_proto.eq_const(IpProto::Tcp.value() as u64))
     }
 
     /// True if the TCP SYN bit is set.
@@ -355,7 +370,12 @@ mod tests {
 
     #[test]
     fn broadcast_packet_sets_group_bit() {
-        let pkt = Packet::arp_request(1, MacAddr::for_host(1), NwAddr::for_host(1), NwAddr::for_host(2));
+        let pkt = Packet::arp_request(
+            1,
+            MacAddr::for_host(1),
+            NwAddr::for_host(1),
+            NwAddr::for_host(2),
+        );
         let sp = SymPacket::from_concrete(&pkt);
         let mut env = ConcreteEnv::new();
         assert!(env.branch(&sp.dst_mac_is_group()));
@@ -392,9 +412,7 @@ mod tests {
             if env.branch(&sp.src_mac_is_group()) {
                 return;
             }
-            if env.branch(&sp.dst_mac.eq_const(known_dst)) {
-                return;
-            }
+            if env.branch(&sp.dst_mac.eq_const(known_dst)) {}
         });
         assert_eq!(outcome.paths.len(), 3);
         // The representatives include a broadcast-source packet and a packet

@@ -29,7 +29,9 @@ impl Assignment {
 
     /// Builds an assignment from pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (VarId, u64)>) -> Self {
-        Assignment { values: pairs.into_iter().collect() }
+        Assignment {
+            values: pairs.into_iter().collect(),
+        }
     }
 
     /// Sets the value of a variable.
@@ -157,7 +159,10 @@ impl Solver {
         }
         let vars: Vec<VarId> = vars.into_iter().collect();
         for v in &vars {
-            debug_assert!(self.domains.contains_key(v), "constraint references undeclared {v}");
+            debug_assert!(
+                self.domains.contains_key(v),
+                "constraint references undeclared {v}"
+            );
             if !self.domains.contains_key(v) {
                 return SolveResult::Unsat;
             }
@@ -264,11 +269,7 @@ mod tests {
         let a = s.fresh_var(Domain::new([1, 2, 3]));
         let b = s.fresh_var(Domain::new([1, 2, 3]));
         // a == b and a != 1 and b != 3 forces a == b == 2.
-        let cons = vec![
-            BoolExpr::Eq(Expr::Var(a), Expr::Var(b)),
-            ne(a, 1),
-            ne(b, 3),
-        ];
+        let cons = vec![BoolExpr::Eq(Expr::Var(a), Expr::Var(b)), ne(a, 1), ne(b, 3)];
         let model = s.solve_model(&cons).expect("sat");
         assert_eq!(model.get(a), Some(2));
         assert_eq!(model.get(b), Some(2));
@@ -287,7 +288,9 @@ mod tests {
             Box::new(Expr::Const(1)),
         );
         let is_unicast = BoolExpr::Eq(first_octet_lsb.clone(), Expr::Const(0));
-        let model = s.solve_model(&[is_unicast.clone()]).expect("sat");
+        let model = s
+            .solve_model(std::slice::from_ref(&is_unicast))
+            .expect("sat");
         assert_eq!(model.get(mac), Some(unicast));
         let model = s.solve_model(&[is_unicast.negate()]).expect("sat");
         assert_eq!(model.get(mac), Some(broadcast));

@@ -22,7 +22,9 @@ pub struct StatsDomains {
 
 impl Default for StatsDomains {
     fn default() -> Self {
-        StatsDomains { byte_levels: vec![0, 1_000, 1_000_000] }
+        StatsDomains {
+            byte_levels: vec![0, 1_000, 1_000_000],
+        }
     }
 }
 
@@ -67,7 +69,11 @@ impl SymStats {
             tx_bytes.push(SymValue::var(var));
             vars.push(Some(var));
         }
-        SymStats { ports: ports.to_vec(), tx_bytes, vars }
+        SymStats {
+            ports: ports.to_vec(),
+            tx_bytes,
+            vars,
+        }
     }
 
     /// The ports covered by this reply.
@@ -92,16 +98,21 @@ impl SymStats {
 
     /// The (possibly symbolic) total byte counter for a port.
     pub fn total_bytes_for(&self, port: PortId) -> Option<&SymValue> {
-        self.ports.iter().position(|&p| p == port).map(|i| &self.tx_bytes[i])
+        self.ports
+            .iter()
+            .position(|&p| p == port)
+            .map(|i| &self.tx_bytes[i])
     }
 
     /// The maximum byte counter across all entries (symbolic max built from
     /// pairwise comparisons is left to the handler; this helper is only valid
     /// on concrete stats).
     pub fn concrete_max_bytes(&self) -> Option<u64> {
-        self.tx_bytes.iter().map(|v| v.as_concrete()).collect::<Option<Vec<_>>>().map(|v| {
-            v.into_iter().max().unwrap_or(0)
-        })
+        self.tx_bytes
+            .iter()
+            .map(|v| v.as_concrete())
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
     }
 
     /// Reconstructs concrete statistics from a solver model.
@@ -143,14 +154,29 @@ mod tests {
     #[test]
     fn concrete_lift_keeps_totals() {
         let entries = vec![
-            PortStatsEntry { port: PortId(1), rx_bytes: 10, tx_bytes: 5, rx_packets: 0, tx_packets: 0 },
-            PortStatsEntry { port: PortId(2), rx_bytes: 0, tx_bytes: 100, rx_packets: 0, tx_packets: 0 },
+            PortStatsEntry {
+                port: PortId(1),
+                rx_bytes: 10,
+                tx_bytes: 5,
+                rx_packets: 0,
+                tx_packets: 0,
+            },
+            PortStatsEntry {
+                port: PortId(2),
+                rx_bytes: 0,
+                tx_bytes: 100,
+                rx_packets: 0,
+                tx_packets: 0,
+            },
         ];
         let stats = SymStats::from_concrete(&entries);
         assert_eq!(stats.len(), 2);
         assert!(!stats.is_symbolic());
         assert_eq!(stats.total_bytes(0).as_concrete(), Some(15));
-        assert_eq!(stats.total_bytes_for(PortId(2)).unwrap().as_concrete(), Some(100));
+        assert_eq!(
+            stats.total_bytes_for(PortId(2)).unwrap().as_concrete(),
+            Some(100)
+        );
         assert!(stats.total_bytes_for(PortId(9)).is_none());
         assert_eq!(stats.concrete_max_bytes(), Some(100));
     }

@@ -34,7 +34,10 @@ pub struct SymMap<V> {
 impl<V: Clone> SymMap<V> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        SymMap { base: BTreeMap::new(), overlay: Vec::new() }
+        SymMap {
+            base: BTreeMap::new(),
+            overlay: Vec::new(),
+        }
     }
 
     /// Number of concrete entries.

@@ -65,17 +65,29 @@ impl SymValue {
 
     /// Bitwise AND.
     pub fn bit_and(&self, other: &SymValue) -> SymValue {
-        self.binop(other, |a, b| a & b, |a, b| Expr::And(Box::new(a), Box::new(b)))
+        self.binop(
+            other,
+            |a, b| a & b,
+            |a, b| Expr::And(Box::new(a), Box::new(b)),
+        )
     }
 
     /// Bitwise OR.
     pub fn bit_or(&self, other: &SymValue) -> SymValue {
-        self.binop(other, |a, b| a | b, |a, b| Expr::Or(Box::new(a), Box::new(b)))
+        self.binop(
+            other,
+            |a, b| a | b,
+            |a, b| Expr::Or(Box::new(a), Box::new(b)),
+        )
     }
 
     /// Bitwise XOR.
     pub fn bit_xor(&self, other: &SymValue) -> SymValue {
-        self.binop(other, |a, b| a ^ b, |a, b| Expr::Xor(Box::new(a), Box::new(b)))
+        self.binop(
+            other,
+            |a, b| a ^ b,
+            |a, b| Expr::Xor(Box::new(a), Box::new(b)),
+        )
     }
 
     /// Wrapping addition.
@@ -232,10 +244,14 @@ impl SymBool {
     /// Logical conjunction.
     pub fn and(&self, other: &SymBool) -> SymBool {
         match (self, other) {
-            (SymBool::Concrete(false), _) | (_, SymBool::Concrete(false)) => SymBool::Concrete(false),
+            (SymBool::Concrete(false), _) | (_, SymBool::Concrete(false)) => {
+                SymBool::Concrete(false)
+            }
             (SymBool::Concrete(true), b) => b.clone(),
             (a, SymBool::Concrete(true)) => a.clone(),
-            (a, b) => SymBool::Symbolic(BoolExpr::And(Box::new(a.to_expr()), Box::new(b.to_expr()))),
+            (a, b) => {
+                SymBool::Symbolic(BoolExpr::And(Box::new(a.to_expr()), Box::new(b.to_expr())))
+            }
         }
     }
 
@@ -276,8 +292,18 @@ mod tests {
         assert_eq!(a.bit_and(&b).as_concrete(), Some(1));
         assert_eq!(a.add(&b).as_concrete(), Some(0x0200_0000_0002));
         assert_eq!(a.sub(&b).as_concrete(), Some(0x0200_0000_0000));
-        assert_eq!(SymValue::concrete(0b1010).bit_or(&SymValue::concrete(0b0101)).as_concrete(), Some(0b1111));
-        assert_eq!(SymValue::concrete(0b1100).bit_xor(&SymValue::concrete(0b1010)).as_concrete(), Some(0b0110));
+        assert_eq!(
+            SymValue::concrete(0b1010)
+                .bit_or(&SymValue::concrete(0b0101))
+                .as_concrete(),
+            Some(0b1111)
+        );
+        assert_eq!(
+            SymValue::concrete(0b1100)
+                .bit_xor(&SymValue::concrete(0b1010))
+                .as_concrete(),
+            Some(0b0110)
+        );
         assert_eq!(SymValue::concrete(0x100).shr(8).as_concrete(), Some(1));
         assert_eq!(SymValue::concrete(1).shl(8).as_concrete(), Some(0x100));
     }
@@ -287,7 +313,10 @@ mod tests {
         let v = SymValue::var(VarId(0));
         let r = v.bit_and(&SymValue::concrete(1));
         assert!(!r.is_concrete());
-        assert_eq!(r.to_expr(), Expr::And(Box::new(Expr::Var(VarId(0))), Box::new(Expr::Const(1))));
+        assert_eq!(
+            r.to_expr(),
+            Expr::And(Box::new(Expr::Var(VarId(0))), Box::new(Expr::Const(1)))
+        );
         assert!(v.eq(&SymValue::concrete(3)).as_concrete().is_none());
     }
 

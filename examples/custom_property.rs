@@ -22,7 +22,10 @@ struct BoundedFlooding {
 
 impl BoundedFlooding {
     fn new(max_floods: usize) -> Self {
-        BoundedFlooding { max_floods, floods_seen: 0 }
+        BoundedFlooding {
+            max_floods,
+            floods_seen: 0,
+        }
     }
 }
 

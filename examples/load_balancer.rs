@@ -15,7 +15,10 @@ fn main() {
     println!("NICE: checking the OpenFlow load balancer");
     println!("=========================================");
 
-    for (label, bug) in [("BUG-IV (forgotten packet)", BugId::BugIV), ("BUG-VII (duplicate SYN)", BugId::BugVII)] {
+    for (label, bug) in [
+        ("BUG-IV (forgotten packet)", BugId::BugIV),
+        ("BUG-VII (duplicate SYN)", BugId::BugVII),
+    ] {
         let report = Nice::new(bug_scenario(bug))
             .with_max_transitions(300_000)
             .check();
@@ -25,7 +28,10 @@ fn main() {
                 println!("  violated property : {}", v.property);
                 println!("  message           : {}", v.message);
                 println!("  trace length      : {} transitions", v.trace.len());
-                println!("  found after       : {} transitions explored", v.transitions_explored);
+                println!(
+                    "  found after       : {} transitions explored",
+                    v.transitions_explored
+                );
             }
             None => println!("  no violation found (unexpected)"),
         }
@@ -35,5 +41,8 @@ fn main() {
     let report = Nice::new(fixed_scenario(BugId::BugIV).expect("fixed variant"))
         .with_max_transitions(300_000)
         .check();
-    println!("\nfixed load balancer vs NoForgottenPackets: {}", if report.passed() { "PASS" } else { "FAIL" });
+    println!(
+        "\nfixed load balancer vs NoForgottenPackets: {}",
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
 }

@@ -22,7 +22,11 @@ fn main() {
             "random walks (seed {seed:>2}): {} transitions, {} walks hit a violation: {}",
             report.stats.transitions,
             report.violations.len(),
-            if report.passed() { "none found" } else { "found" }
+            if report.passed() {
+                "none found"
+            } else {
+                "found"
+            }
         );
     }
 
@@ -30,7 +34,11 @@ fn main() {
     println!(
         "systematic search     : {} transitions, violation {}",
         report.stats.transitions,
-        if report.passed() { "not found" } else { "found" }
+        if report.passed() {
+            "not found"
+        } else {
+            "found"
+        }
     );
     if let Some(v) = report.first_violation() {
         println!("  shortest trace has {} steps", v.trace.len());

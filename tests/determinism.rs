@@ -1,0 +1,159 @@
+//! Determinism guarantees of the exploration engine, exercised through the
+//! public API on real application scenarios:
+//!
+//! (a) repeated runs of the same configuration agree bit-for-bit,
+//! (b) all frontier-storage modes (full, replay, checkpointed replay)
+//!     reconstruct the same search, and
+//! (c) the parallel engine visits the same state space as the sequential
+//!     one and finds the same set of violated properties (order-insensitive;
+//!     traces may differ because workers race to discover states).
+
+use nice::prelude::*;
+use nice::scenarios::{bug_scenario, BugId};
+
+fn violated_properties(report: &CheckReport) -> Vec<String> {
+    let mut names: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| v.property.clone())
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let run = || {
+        Nice::new(bug_scenario(BugId::BugVIII))
+            .with_max_transitions(100_000)
+            .check()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.stats.transitions, b.stats.transitions);
+    assert_eq!(a.stats.unique_states, b.stats.unique_states);
+    assert_eq!(a.stats.max_depth, b.stats.max_depth);
+    assert_eq!(
+        a.first_violation().map(|v| v.trace.clone()),
+        b.first_violation().map(|v| v.trace.clone())
+    );
+}
+
+#[test]
+fn storage_modes_reconstruct_the_same_search() {
+    // A passing scenario explored exhaustively: every storage mode must see
+    // exactly the same states and transitions.
+    let scenario = || bug_scenario(BugId::BugIX);
+    let configs = [
+        CheckerConfig::default(),
+        CheckerConfig::default().with_state_storage(StateStorage::Replay),
+        CheckerConfig::default().with_state_storage(StateStorage::Checkpoint { interval: 4 }),
+        CheckerConfig::default().with_state_storage(StateStorage::Checkpoint { interval: 7 }),
+    ];
+    let reports: Vec<CheckReport> = configs
+        .into_iter()
+        .map(|config| {
+            Nice::new(scenario())
+                .with_config(config)
+                .with_max_transitions(100_000)
+                .check()
+        })
+        .collect();
+    let baseline = &reports[0];
+    assert!(!baseline.passed(), "BUG-IX must be found");
+    for (i, report) in reports.iter().enumerate().skip(1) {
+        assert_eq!(
+            baseline.stats.transitions, report.stats.transitions,
+            "config {i}"
+        );
+        assert_eq!(
+            baseline.stats.unique_states, report.stats.unique_states,
+            "config {i}"
+        );
+        assert_eq!(
+            baseline.first_violation().map(|v| v.trace.clone()),
+            report.first_violation().map(|v| v.trace.clone()),
+            "config {i}"
+        );
+    }
+}
+
+#[test]
+fn single_worker_parallel_config_is_the_sequential_engine() {
+    // workers = 1 runs the canonical sequential code path: identical
+    // statistics and identical violation traces, by construction.
+    let base = Nice::new(bug_scenario(BugId::BugVIII)).with_max_transitions(100_000);
+    let sequential = base.check();
+    let one_worker = Nice::new(bug_scenario(BugId::BugVIII))
+        .with_config(CheckerConfig::default().with_workers(1))
+        .with_max_transitions(100_000)
+        .check();
+    assert_eq!(sequential.stats.transitions, one_worker.stats.transitions);
+    assert_eq!(
+        sequential.stats.unique_states,
+        one_worker.stats.unique_states
+    );
+    assert_eq!(
+        sequential.first_violation().map(|v| v.trace.clone()),
+        one_worker.first_violation().map(|v| v.trace.clone())
+    );
+}
+
+#[test]
+fn parallel_workers_agree_with_sequential_on_a_passing_scenario() {
+    // Exhaustive search of a scenario with no violations: state and
+    // transition counts must match exactly for any worker count.
+    let scenario = || {
+        use nice::apps::pyswitch::{PySwitchApp, PySwitchVariant};
+        use nice::mc::testutil::ping_scenario_with_app;
+        ping_scenario_with_app(Box::new(PySwitchApp::new(PySwitchVariant::Original)), 2)
+    };
+    let sequential = Nice::new(scenario())
+        .with_config(CheckerConfig::default().with_stop_at_first(false))
+        .check();
+    assert!(sequential.passed());
+    for workers in [2, 4] {
+        let parallel = Nice::new(scenario())
+            .with_config(
+                CheckerConfig::default()
+                    .with_stop_at_first(false)
+                    .with_workers(workers),
+            )
+            .check();
+        assert!(parallel.passed(), "{workers} workers");
+        assert_eq!(
+            sequential.stats.unique_states, parallel.stats.unique_states,
+            "{workers} workers"
+        );
+        assert_eq!(
+            sequential.stats.transitions, parallel.stats.transitions,
+            "{workers} workers"
+        );
+    }
+}
+
+#[test]
+fn parallel_workers_find_the_same_violations_order_insensitive() {
+    // Collect-all search of a buggy scenario: the set of violated properties
+    // is a function of the reachable state space, not the schedule.
+    let run = |workers: usize| {
+        Nice::new(bug_scenario(BugId::BugIX))
+            .with_config(
+                CheckerConfig::default()
+                    .with_stop_at_first(false)
+                    .with_workers(workers),
+            )
+            .with_max_transitions(100_000)
+            .check()
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert!(!sequential.passed());
+    assert!(!parallel.passed());
+    assert_eq!(
+        violated_properties(&sequential),
+        violated_properties(&parallel)
+    );
+    assert_eq!(sequential.stats.unique_states, parallel.stats.unique_states);
+    assert_eq!(sequential.stats.transitions, parallel.stats.transitions);
+}

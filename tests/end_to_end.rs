@@ -7,7 +7,9 @@ use nice::scenarios::{bug_scenario, fixed_scenario, BugId};
 
 #[test]
 fn quickstart_pipeline_finds_bug_ii_and_fix_passes() {
-    let report = Nice::new(bug_scenario(BugId::BugII)).with_max_transitions(300_000).check();
+    let report = Nice::new(bug_scenario(BugId::BugII))
+        .with_max_transitions(300_000)
+        .check();
     assert!(!report.passed());
     let violation = report.first_violation().unwrap();
     assert_eq!(violation.property, "StrictDirectPaths");
@@ -41,7 +43,9 @@ fn violation_traces_replay_deterministically() {
 
 #[test]
 fn replay_storage_matches_full_storage_through_public_api() {
-    let full = Nice::new(bug_scenario(BugId::BugIV)).with_max_transitions(100_000).check();
+    let full = Nice::new(bug_scenario(BugId::BugIV))
+        .with_max_transitions(100_000)
+        .check();
     let replay = Nice::new(bug_scenario(BugId::BugIV))
         .with_max_transitions(100_000)
         .with_state_storage(StateStorage::Replay)
@@ -55,16 +59,21 @@ fn strategies_shrink_the_ping_workload_state_space() {
     // Build the Section 7 ping workload through the public API and verify the
     // headline claim: the heuristic strategies explore no more transitions
     // than the full search.
-    use nice::mc::testutil::ping_scenario_with_app;
     use nice::apps::pyswitch::{PySwitchApp, PySwitchVariant};
+    use nice::mc::testutil::ping_scenario_with_app;
 
     let scenario = || {
-        let mut s = ping_scenario_with_app(Box::new(PySwitchApp::new(PySwitchVariant::Original)), 2);
+        let mut s =
+            ping_scenario_with_app(Box::new(PySwitchApp::new(PySwitchVariant::Original)), 2);
         s.properties.clear(); // pure state-space measurement
         s
     };
     let full = Nice::new(scenario()).collect_all_violations().check();
-    for strategy in [StrategyKind::NoDelay, StrategyKind::FlowIr, StrategyKind::Unusual] {
+    for strategy in [
+        StrategyKind::NoDelay,
+        StrategyKind::FlowIr,
+        StrategyKind::Unusual,
+    ] {
         let reduced = Nice::new(scenario())
             .with_strategy(strategy)
             .collect_all_violations()
@@ -83,8 +92,13 @@ fn symbolic_discovery_feeds_the_search_through_the_public_api() {
     // The load-balancer scenarios rely on discover_packets to generate ARP
     // and TCP packet classes; a successful BUG-VI detection implies the
     // whole MC + SE pipeline worked.
-    let report = Nice::new(bug_scenario(BugId::BugVI)).with_max_transitions(200_000).check();
+    let report = Nice::new(bug_scenario(BugId::BugVI))
+        .with_max_transitions(200_000)
+        .check();
     assert!(!report.passed());
-    assert_eq!(report.first_violation().unwrap().property, "NoForgottenPackets");
+    assert_eq!(
+        report.first_violation().unwrap().property,
+        "NoForgottenPackets"
+    );
     assert!(report.stats.symbolic_executions >= 1);
 }

@@ -1,0 +1,260 @@
+//! Offline stand-in for the slice of the `criterion` crate this workspace
+//! uses. The build environment has no network access, so the real crates-io
+//! dependency cannot be fetched.
+//!
+//! Semantics: each benchmark runs a short warm-up, then `sample_size` timed
+//! samples (each sample is one invocation of the closure passed to
+//! [`Bencher::iter`]); mean / min / max wall-clock times are printed in a
+//! criterion-like format. There is no statistical analysis, HTML report, or
+//! saved baseline — just honest wall-clock numbers suitable for the coarse
+//! comparisons these benches make.
+//!
+//! Running with `--quick` (or `CRITERION_QUICK=1`) reduces the sample count
+//! to 2, mirroring criterion's quick mode. Other CLI flags criterion accepts
+//! (e.g. `--bench`, filters passed by `cargo bench`) are tolerated: unknown
+//! arguments select benchmarks by substring match, like the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value (shim of
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group (shim of
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Renders the id.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives one benchmark's measurement loop (shim of `criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    /// Wall-clock duration of each sample, filled by [`Bencher::iter`].
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after a single warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(name: &str, samples: usize, filters: &[String], f: impl FnOnce(&mut Bencher)) {
+    if !filters.is_empty() && !filters.iter().any(|needle| name.contains(needle.as_str())) {
+        return;
+    }
+    let mut bencher = Bencher {
+        samples,
+        durations: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.durations.is_empty() {
+        println!("{name:<40} (no measurement — Bencher::iter never called)");
+        return;
+    }
+    let total: Duration = bencher.durations.iter().sum();
+    let mean = total / bencher.durations.len() as u32;
+    let min = *bencher.durations.iter().min().unwrap();
+    let max = *bencher.durations.iter().max().unwrap();
+    println!(
+        "{name:<40} time: [{} {} {}]  ({} samples)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+        bencher.durations.len(),
+    );
+}
+
+/// A named collection of related benchmarks (shim of
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = if self.criterion.quick { n.min(2) } else { n };
+        self
+    }
+
+    /// Sets the target measurement time. Accepted for API compatibility; the
+    /// shim always runs exactly `sample_size` samples.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, &self.criterion.filters, |b| f(b));
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, &self.criterion.filters, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (a no-op in the shim; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver (shim of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick")
+            || std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        // Positional (non-flag) arguments filter benchmarks by substring,
+        // matching `cargo bench -- <filter>` behaviour.
+        let filters = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .cloned()
+            .collect();
+        Criterion {
+            sample_size: if quick { 2 } else { 10 },
+            quick,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = if self.quick { n.min(2) } else { n };
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &self.filters, |b| f(b));
+        self
+    }
+
+    /// Final configuration hook used by `criterion_main!`.
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a benchmark group function (shim of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (shim of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: 3,
+            durations: Vec::new(),
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(b.durations.len(), 3);
+        assert_eq!(count, 4, "one warm-up plus three samples");
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("search", 4).as_str(), "search/4");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

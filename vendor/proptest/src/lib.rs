@@ -1,0 +1,507 @@
+//! Offline stand-in for the slice of the `proptest` crate this workspace
+//! uses. The build environment has no network access, so the real crates-io
+//! dependency cannot be fetched.
+//!
+//! What is implemented: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`, strategies for integer ranges / tuples / `Just` / `any` /
+//! collections, the `proptest!`, `prop_oneof!` and `prop_assert*` macros,
+//! and a deterministic test runner (default 64 cases per property,
+//! overridable with `PROPTEST_CASES`). What is not: shrinking, persisted
+//! failure seeds, and the full strategy combinator zoo. Failures report the
+//! deterministic case index, which reproduces the exact inputs.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic random generation for test cases.
+pub mod test_runner {
+    /// A deterministic 64-bit generator (SplitMix64). Each test case gets its
+    /// own stream derived from the case index, so failures are reproducible
+    /// by case number alone.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator for one test case.
+        pub fn for_case(case: u64) -> Self {
+            TestRng {
+                state: case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5DEE_CE66_D613_7C1F,
+            }
+        }
+
+        /// The next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform sample from `[0, bound)`. Panics on `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample below zero");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Drives the per-property case loop.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        /// Number of cases to run per property.
+        pub cases: u64,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            TestRunner { cases }
+        }
+    }
+
+    impl TestRunner {
+        /// The generator for one case.
+        pub fn rng_for_case(&self, case: u64) -> TestRng {
+            TestRng::for_case(case)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type (shim of
+    /// `proptest::strategy::Strategy`). No shrinking support.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through a function.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Always produces a clone of one value (shim of
+    /// `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn gen_value(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (the expansion of
+    /// `prop_oneof!`).
+    pub struct OneOf<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds a choice over `options`. Panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            OneOf { options }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+/// Types with a canonical strategy (shim of `proptest::arbitrary`).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A type with a default generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (shim of `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize);
+}
+
+/// Collection strategies (shim of `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Generates `Vec`s with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s with a target size drawn from `size`. Like the
+    /// real crate, generation retries on duplicates; if the element domain is
+    /// too small the set may come out smaller than requested.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// The strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let target = self.size.start
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < 100 * (target + 1) {
+                out.insert(self.element.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Alias module so `prop::collection::vec(...)` works as in the real crate.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface (shim of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current test case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $fmt:literal $(, $arg:expr)* $(,)?) => {
+        if !($cond) {
+            return Err(format!($fmt $(, $arg)*));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $fmt:literal $(, $arg:expr)* $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($fmt $(, $arg)*),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between alternative strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::default();
+            for case in 0..runner.cases {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strategy), &mut rng);)+
+                let result: ::std::result::Result<(), String> = (move || {
+                    $body
+                    Ok(())
+                })();
+                if let Err(message) = result {
+                    panic!(
+                        "proptest {} failed at deterministic case {}/{}:\n{}",
+                        stringify!($name),
+                        case,
+                        runner.cases,
+                        message
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case(3);
+        let mut b = TestRng::for_case(3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case(4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..200 {
+            let v = (3u64..17).gen_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0u8..=32).gen_value(&mut rng);
+            assert!(w <= 32);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u32..10, 2..5).gen_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s: BTreeSet<u64> =
+                prop::collection::btree_set(0u64..1000, 1..6).gen_value(&mut rng);
+            assert!(!s.is_empty() && s.len() < 6);
+        }
+    }
+
+    #[test]
+    fn oneof_map_just_and_tuples_compose() {
+        let strategy = prop_oneof![
+            (0u32..3, 10u32..13).prop_map(|(a, b)| a + b),
+            Just(99u32),
+            any::<bool>().prop_map(|b| b as u32),
+        ];
+        let mut rng = TestRng::for_case(2);
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = strategy.gen_value(&mut rng);
+            assert!(v == 99 || v <= 15);
+            saw_just |= v == 99;
+        }
+        assert!(saw_just, "each alternative is reachable");
+    }
+
+    proptest! {
+        /// The macro wires arguments, assertions and the case loop together.
+        #[test]
+        fn macro_smoke(a in 0u64..10, b in 0u64..10) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 10, "b out of range: {}", b);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, a + b + 1);
+        }
+    }
+}

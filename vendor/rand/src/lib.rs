@@ -1,0 +1,135 @@
+//! Offline stand-in for the tiny slice of the `rand` crate this workspace
+//! uses: a seedable deterministic generator (`rngs::StdRng`) and
+//! `Rng::gen_range` over integer ranges.
+//!
+//! The build environment has no network access, so the real crates-io
+//! dependency cannot be fetched. This shim is deliberately minimal — it is
+//! **not** cryptographically secure and does not promise the same stream as
+//! the real `StdRng`; the workspace only relies on per-seed determinism.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Trait for seedable generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that `gen_range` can produce.
+pub trait SampleUniform: Copy {
+    /// Converts from the generator's native `u64`, reduced modulo the span.
+    fn from_u64(v: u64) -> Self;
+    /// Widens to `u64` for span arithmetic.
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Trait providing range sampling (shim of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniformly samples from a half-open integer range. Panics if the range
+    /// is empty, like the real `rand`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "cannot sample from an empty range");
+        let span = hi - lo;
+        // Multiply-shift reduction: unbiased enough for simulation purposes
+        // and, crucially, deterministic.
+        let v = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        T::from_u64(lo + v)
+    }
+
+    /// A uniformly random boolean.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Generator implementations (shim of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (xorshift* over a SplitMix64-expanded
+    /// seed). Not the real `StdRng` stream, but stable per seed forever.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 to spread low-entropy seeds over the state space.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            StdRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range appear"
+        );
+    }
+}
