@@ -1,0 +1,295 @@
+//! Deterministic bench-regression gate for CI.
+//!
+//! Runs a quick, fixed profile of the exploration engines (the same legs as
+//! the `parallel` bin, plus the POR legs) on the pyswitch chain and
+//! load-balancer workloads, writes the results as JSON (`BENCH_ci.json` by
+//! default), and — when given a committed baseline — fails the process if
+//!
+//! * an engine explores **more transitions** than the baseline allows
+//!   (`> baseline * 1.15`): state-space regressions are deterministic and
+//!   always real, or
+//! * an engine's **states/s slows down relative to the in-run reference
+//!   engine** by more than 15%: rates are normalised against the
+//!   deep-clone sequential engine measured in the *same* run, so the gate
+//!   compares engine speedups (machine-independent) rather than absolute
+//!   throughput (which would make the gate flap with runner hardware).
+//!   Each engine reports its best of three runs, and only workloads large
+//!   enough to time meaningfully are rate-gated (small ones are report-only).
+//!
+//! Usage: `ci_gate [--out FILE] [--baseline FILE]`
+//!
+//! Regenerate the committed baseline with
+//! `cargo run --release -p nice-bench --bin ci_gate -- --out bench/baseline.json`.
+
+use nice_bench::{chain_ping_workload, exhaustive, load_balancer_workload};
+use nice_mc::{CheckerConfig, ReductionKind, Scenario};
+
+/// One engine's measurements on one workload.
+struct EngineRow {
+    name: String,
+    states: u64,
+    transitions: u64,
+    states_per_sec: f64,
+    /// states/s divided by the reference (first) engine's states/s of the
+    /// same run — the machine-independent number the gate compares.
+    relative_rate: f64,
+}
+
+struct Profile {
+    scenario: String,
+    engines: Vec<EngineRow>,
+    /// Whether the states/s leg of the gate applies: only workloads with
+    /// enough work per run (tens of milliseconds) produce rates stable
+    /// enough to gate on — tiny ones are reported but not rate-gated.
+    rate_gated: bool,
+}
+
+/// Transition-count headroom before the gate fails (deterministic metric).
+const TRANSITIONS_TOLERANCE: f64 = 1.15;
+/// Allowed relative slowdown of an engine's normalised rate.
+const RATE_TOLERANCE: f64 = 0.85;
+
+fn engine_configs() -> Vec<(String, CheckerConfig)> {
+    vec![
+        (
+            "sequential-seed (deep clone)".into(),
+            CheckerConfig {
+                force_deep_clone: true,
+                ..CheckerConfig::default()
+            },
+        ),
+        ("cow-snapshot".into(), CheckerConfig::default()),
+        (
+            "checkpoint-replay (K=8)".into(),
+            CheckerConfig::default().with_checkpoint_interval(8),
+        ),
+        (
+            "parallel (4 workers)".into(),
+            CheckerConfig::default().with_workers(4),
+        ),
+        (
+            "por (sleep sets)".into(),
+            CheckerConfig::default().with_reduction(ReductionKind::Por),
+        ),
+        (
+            "por + parallel (4 workers)".into(),
+            CheckerConfig::default()
+                .with_reduction(ReductionKind::Por)
+                .with_workers(4),
+        ),
+    ]
+}
+
+/// Measurement cycles per profile; each cycle runs every engine once
+/// (round-robin) and each engine reports its best cycle. Interleaving the
+/// engines means a transient load burst degrades one *cycle* for everyone
+/// rather than all runs of one engine, which keeps the relative rates —
+/// the numbers the gate compares — stable on busy CI runners.
+const MEASUREMENT_CYCLES: usize = 5;
+
+fn profile(label: &str, rate_gated: bool, scenario: impl Fn() -> Scenario) -> Profile {
+    let configs = engine_configs();
+    let mut best_rates = vec![0.0f64; configs.len()];
+    let mut stats = Vec::new();
+    for cycle in 0..MEASUREMENT_CYCLES {
+        for (i, (_, config)) in configs.iter().enumerate() {
+            let s = exhaustive(scenario(), config.clone());
+            let rate = s.unique_states as f64 / s.duration.as_secs_f64().max(1e-9);
+            best_rates[i] = best_rates[i].max(rate);
+            if cycle == 0 {
+                stats.push(s);
+            }
+        }
+    }
+    let reference = best_rates[0];
+    let engines = configs
+        .into_iter()
+        .zip(stats)
+        .zip(best_rates)
+        .map(|(((name, _), s), best_rate)| EngineRow {
+            name,
+            states: s.unique_states,
+            transitions: s.transitions,
+            states_per_sec: best_rate,
+            relative_rate: best_rate / reference,
+        })
+        .collect();
+    Profile {
+        scenario: label.to_string(),
+        engines,
+        rate_gated,
+    }
+}
+
+/// The parallelism the profile ran with; recorded in the JSON so the gate
+/// can tell whether a baseline was measured on comparable hardware.
+fn core_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn render_json(profiles: &[Profile]) -> String {
+    let mut out = format!("{{\n  \"cores\": {},\n  \"profiles\": [\n", core_count());
+    for (pi, p) in profiles.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"scenario\": \"{}\",\n      \"engines\": [\n",
+            p.scenario
+        ));
+        for (ei, e) in p.engines.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"name\": \"{}\", \"states\": {}, \"transitions\": {}, \
+                 \"states_per_sec\": {:.1}, \"relative_rate\": {:.4}}}{}\n",
+                e.name,
+                e.states,
+                e.transitions,
+                e.states_per_sec,
+                e.relative_rate,
+                if ei + 1 < p.engines.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if pi + 1 < profiles.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal extraction for the gate's own JSON shape: finds the object for
+/// `(scenario, engine)` and pulls numeric fields out of it. Not a general
+/// JSON parser — it only has to read what `render_json` writes.
+fn baseline_lookup<'a>(baseline: &'a str, scenario: &str, engine: &str) -> Option<&'a str> {
+    let scen_pos = baseline.find(&format!("\"scenario\": \"{scenario}\""))?;
+    let tail = &baseline[scen_pos..];
+    // Stay within this scenario block: stop at the next "scenario" key.
+    let block_end = tail[1..]
+        .find("\"scenario\"")
+        .map(|i| i + 1)
+        .unwrap_or(tail.len());
+    let block = &tail[..block_end];
+    let eng_pos = block.find(&format!("\"name\": \"{engine}\""))?;
+    let row = &block[eng_pos..];
+    let row_end = row.find('}').unwrap_or(row.len());
+    Some(&row[..row_end])
+}
+
+fn numeric_field(row: &str, key: &str) -> Option<f64> {
+    let pos = row.find(&format!("\"{key}\":"))?;
+    let rest = row[pos..].split(':').nth(1)?;
+    rest.trim()
+        .trim_end_matches(',')
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_path = String::from("BENCH_ci.json");
+    let mut baseline_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--baseline" => {
+                baseline_path = Some(args.get(i + 1).expect("--baseline needs a path").clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let profiles = vec![
+        profile("pyswitch-chain-5sw-2pings", true, || {
+            chain_ping_workload(5, 2)
+        }),
+        profile("loadbalancer-bug-v", false, load_balancer_workload),
+    ];
+
+    let json = render_json(&profiles);
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("wrote {out_path}");
+    for p in &profiles {
+        println!("{}", p.scenario);
+        for e in &p.engines {
+            println!(
+                "  {:<32} states {:>8}  transitions {:>8}  {:>10.0} states/s ({:.2}x)",
+                e.name, e.states, e.transitions, e.states_per_sec, e.relative_rate
+            );
+        }
+    }
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+
+    // Relative rates shift with core count (the parallel legs especially),
+    // so a baseline measured on different hardware cannot gate throughput:
+    // downgrade the rate leg to a warning until the baseline is
+    // regenerated on matching hardware. Transition counts are
+    // deterministic and are always gated.
+    let baseline_cores = numeric_field(&baseline, "cores").map(|c| c as usize);
+    let rates_comparable = baseline_cores == Some(core_count());
+    if !rates_comparable {
+        println!(
+            "bench gate: baseline cores ({}) != this machine ({}); \
+             states/s checks are report-only until bench/baseline.json is \
+             regenerated here",
+            baseline_cores.map_or("unknown".to_string(), |c| c.to_string()),
+            core_count()
+        );
+    }
+
+    let mut failures = Vec::new();
+    for p in &profiles {
+        for e in &p.engines {
+            let Some(row) = baseline_lookup(&baseline, &p.scenario, &e.name) else {
+                failures.push(format!(
+                    "{} / {}: missing from baseline {baseline_path}",
+                    p.scenario, e.name
+                ));
+                continue;
+            };
+            let base_transitions = numeric_field(row, "transitions").expect("baseline transitions");
+            let base_rel = numeric_field(row, "relative_rate").expect("baseline relative_rate");
+            if e.transitions as f64 > base_transitions * TRANSITIONS_TOLERANCE {
+                failures.push(format!(
+                    "{} / {}: transitions regressed {} -> {} (>{:.0}% headroom)",
+                    p.scenario,
+                    e.name,
+                    base_transitions,
+                    e.transitions,
+                    (TRANSITIONS_TOLERANCE - 1.0) * 100.0
+                ));
+            }
+            if p.rate_gated && rates_comparable && e.relative_rate < base_rel * RATE_TOLERANCE {
+                failures.push(format!(
+                    "{} / {}: states/s (relative to deep-clone reference) regressed \
+                     {base_rel:.2}x -> {:.2}x (>15%)",
+                    p.scenario, e.name, e.relative_rate
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench gate: OK (within {TRANSITIONS_TOLERANCE}x transitions, {RATE_TOLERANCE}x rate)"
+        );
+    } else {
+        eprintln!("bench gate: FAILED");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

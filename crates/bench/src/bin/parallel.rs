@@ -6,7 +6,7 @@
 //! Usage: `parallel [switches] [pings] [workers]`
 
 use nice_bench::{chain_ping_workload, exhaustive, load_balancer_workload};
-use nice_mc::{CheckerConfig, Scenario, SearchStats};
+use nice_mc::{CheckerConfig, ReductionKind, Scenario, SearchStats};
 
 fn states_per_sec(stats: &SearchStats) -> f64 {
     stats.unique_states as f64 / stats.duration.as_secs_f64()
@@ -29,6 +29,16 @@ fn engine_configs(workers: usize) -> Vec<(String, CheckerConfig)> {
         (
             format!("parallel ({workers} workers)"),
             CheckerConfig::default().with_workers(workers),
+        ),
+        (
+            "por (sleep sets)".into(),
+            CheckerConfig::default().with_reduction(ReductionKind::Por),
+        ),
+        (
+            format!("por + parallel ({workers} workers)"),
+            CheckerConfig::default()
+                .with_reduction(ReductionKind::Por)
+                .with_workers(workers),
         ),
     ]
 }

@@ -29,7 +29,9 @@ pub use nice_mc as mc;
 pub use nice_openflow as openflow;
 pub use nice_sym as sym;
 
-use nice_mc::{CheckReport, CheckerConfig, ModelChecker, Scenario, StateStorage, StrategyKind};
+use nice_mc::{
+    CheckReport, CheckerConfig, ModelChecker, ReductionKind, Scenario, StateStorage, StrategyKind,
+};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -41,8 +43,8 @@ pub mod prelude {
         StrictDirectPaths,
     };
     pub use nice_mc::{
-        CheckReport, CheckerConfig, ModelChecker, Scenario, SendPolicy, StateStorage, StrategyKind,
-        Violation,
+        CheckReport, CheckerConfig, ModelChecker, ReductionKind, Scenario, SendPolicy,
+        StateStorage, StrategyKind, Violation,
     };
     pub use nice_openflow::{
         Action, HostId, MacAddr, MatchPattern, NwAddr, Packet, PortId, SwitchId, Topology,
@@ -91,6 +93,19 @@ impl Nice {
     /// Selects how frontier states are stored (builder style).
     pub fn with_state_storage(mut self, storage: StateStorage) -> Self {
         self.config.state_storage = storage;
+        self
+    }
+
+    /// Selects the partial-order reduction layered on top of the strategy
+    /// (builder style).
+    pub fn with_reduction(mut self, reduction: ReductionKind) -> Self {
+        self.config.reduction = reduction;
+        self
+    }
+
+    /// Sets the number of search worker threads (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
         self
     }
 

@@ -53,6 +53,27 @@ pub trait HostModel: Send + Sync {
     /// True if the host's `send` transition is currently enabled.
     fn can_send(&self) -> bool;
 
+    /// True if delivering a packet to this host could ever make it inject
+    /// reply packets into the network. Hosts that merely absorb traffic
+    /// (e.g. a client without echo enabled) return `false`, which lets the
+    /// model checker's partial-order reduction treat their `receive`
+    /// transition as a purely host-local step. The default is `true` — the
+    /// conservative answer — so custom host models stay sound without
+    /// opting in.
+    fn may_reply(&self) -> bool {
+        true
+    }
+
+    /// True if receiving a packet can change whether (or what) this host can
+    /// send — e.g. the burst-credit replenishment of [`SendBudget`], where a
+    /// delivery re-enables a previously exhausted sender. Paired with
+    /// [`HostModel::may_reply`] by the partial-order reduction: a receive
+    /// that neither replies nor replenishes sending is invisible to every
+    /// other transition. Defaults to `true` (conservative).
+    fn receive_replenishes_sends(&self) -> bool {
+        true
+    }
+
     /// Accounts for one sent packet (called when the model checker executes a
     /// `send` transition for this host).
     fn note_sent(&mut self, packet: &Packet);
@@ -200,6 +221,14 @@ impl HostModel for ClientHost {
         if self.budget.max_burst.is_some() {
             self.burst_credit = self.burst_credit.saturating_sub(1);
         }
+    }
+
+    fn may_reply(&self) -> bool {
+        self.echo_l2_pings
+    }
+
+    fn receive_replenishes_sends(&self) -> bool {
+        self.budget.max_burst.is_some()
     }
 
     fn receive(&mut self, packet: &Packet, alloc_id: &mut dyn FnMut() -> u64) -> Vec<Packet> {
@@ -424,6 +453,14 @@ impl HostModel for MobileHost {
 
     fn note_sent(&mut self, packet: &Packet) {
         self.inner.note_sent(packet);
+    }
+
+    fn may_reply(&self) -> bool {
+        self.inner.may_reply()
+    }
+
+    fn receive_replenishes_sends(&self) -> bool {
+        self.inner.receive_replenishes_sends()
     }
 
     fn receive(&mut self, packet: &Packet, alloc_id: &mut dyn FnMut() -> u64) -> Vec<Packet> {

@@ -38,21 +38,26 @@
 //!   `interval - 1` transitions instead of the full depth.
 //!
 //! The explored set stores only 64-bit state fingerprints (Section 6 of the
-//! paper), in a `HashSet` keyed by an identity hasher: the fingerprints are
+//! paper), in a map keyed by an identity hasher: the fingerprints are
 //! already uniformly distributed, so re-hashing them through SipHash would be
-//! pure overhead.
+//! pure overhead. Under partial-order reduction
+//! ([`CheckerConfig::reduction`](crate::scenario::CheckerConfig)) each
+//! fingerprint additionally remembers the sleep set it was explored with —
+//! see [`FingerprintMap`] for why that keeps sleep sets sound under state
+//! matching.
 
 use crate::properties::{Event, Property};
 use crate::scenario::{CheckerConfig, Scenario, StateStorage};
 use crate::state::SystemState;
-use crate::strategy::{build_strategy, SearchStrategy};
+use crate::strategy::{build_reduction, build_strategy, SearchStrategy};
 use crate::transition::{
     drain_control_plane, enabled_transitions, execute, DiscoveryMemo, SharedDiscoveryCache,
     Transition,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -103,6 +108,15 @@ pub struct SearchStats {
     pub terminal_states: u64,
     /// Concolic explorations executed (cache misses of the discovery memo).
     pub symbolic_executions: u64,
+    /// Enabled transitions the search strategy filtered out before
+    /// execution (NO-DELAY/FLOW-IR/UNUSUAL restrictions).
+    pub pruned_by_strategy: u64,
+    /// Strategy-selected transitions the partial-order reduction pruned
+    /// before execution (sleep-set hits plus persistent-set exclusions).
+    pub pruned_by_por: u64,
+    /// Executed transitions whose successor state had already been explored
+    /// (fingerprint dedup after execution).
+    pub dedup_hits: u64,
     /// Deepest path explored.
     pub max_depth: usize,
     /// True if a budget (transition or depth limit) cut the search short.
@@ -149,6 +163,11 @@ impl fmt::Display for CheckReport {
                 ""
             }
         )?;
+        writeln!(
+            f,
+            "  pruned by strategy: {} | pruned by POR: {} | dedup hits: {}",
+            self.stats.pruned_by_strategy, self.stats.pruned_by_por, self.stats.dedup_hits
+        )?;
         for v in &self.violations {
             write!(f, "{v}")?;
         }
@@ -182,14 +201,91 @@ impl Hasher for FingerprintHasher {
     }
 }
 
-/// The explored set: 64-bit fingerprints with no re-hashing.
-type FingerprintSet = HashSet<u64, BuildHasherDefault<FingerprintHasher>>;
+/// The explored set: each 64-bit state fingerprint (no re-hashing) maps to
+/// the sorted digests of the sleep set the state was last explored with.
+///
+/// Without partial-order reduction every sleep set is empty and this behaves
+/// exactly like the plain fingerprint set it replaced. With POR, the stored
+/// sleep set makes state matching sound (Godefroid): a state revisited with
+/// a sleep set that is *not* a superset of the stored one was previously
+/// explored with more pruning than the new path permits, so it must be
+/// re-expanded — with the intersection of the two sleep sets, which only
+/// ever shrinks, guaranteeing termination.
+type FingerprintMap = HashMap<u64, Box<[u64]>, BuildHasherDefault<FingerprintHasher>>;
 
-/// The shared deduplication set of the parallel search: fingerprints sharded
-/// over independently locked sets, indexed by the top bits (hash tables use
+/// The verdict on one (fingerprint, sleep set) visit.
+enum Visit {
+    /// First time this state is seen: explore it.
+    New,
+    /// Already explored with a sleep set no larger than this one: skip.
+    Known,
+    /// Previously explored with a sleep set this visit does not subsume:
+    /// re-explore with the narrowed (intersected) sleep digests.
+    Widen(Vec<u64>),
+}
+
+/// True if every element of sorted `sub` occurs in sorted `sup`.
+fn sorted_subset(sub: &[u64], sup: &[u64]) -> bool {
+    let mut j = 0;
+    'outer: for &x in sub {
+        while j < sup.len() {
+            match sup[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Intersection of two sorted slices.
+fn sorted_intersection(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Records a visit of `fingerprint` under `sleep_digests` (sorted) and says
+/// whether the state needs (re-)exploring. See [`FingerprintMap`].
+fn visit_explored(map: &mut FingerprintMap, fingerprint: u64, sleep_digests: &[u64]) -> Visit {
+    match map.entry(fingerprint) {
+        Entry::Vacant(v) => {
+            v.insert(sleep_digests.into());
+            Visit::New
+        }
+        Entry::Occupied(mut o) => {
+            if sorted_subset(o.get(), sleep_digests) {
+                Visit::Known
+            } else {
+                let narrowed = sorted_intersection(o.get(), sleep_digests);
+                o.insert(narrowed.clone().into_boxed_slice());
+                Visit::Widen(narrowed)
+            }
+        }
+    }
+}
+
+/// The shared deduplication map of the parallel search: fingerprints sharded
+/// over independently locked maps, indexed by the top bits (hash tables use
 /// the low bits for bucketing, so the top bits are free for shard choice).
 struct ShardedFingerprints {
-    shards: Vec<Mutex<FingerprintSet>>,
+    shards: Vec<Mutex<FingerprintMap>>,
 }
 
 const FINGERPRINT_SHARDS: usize = 64;
@@ -198,15 +294,19 @@ impl ShardedFingerprints {
     fn new() -> Self {
         ShardedFingerprints {
             shards: (0..FINGERPRINT_SHARDS)
-                .map(|_| Mutex::new(FingerprintSet::default()))
+                .map(|_| Mutex::new(FingerprintMap::default()))
                 .collect(),
         }
     }
 
-    /// Inserts a fingerprint; true if it was new.
-    fn insert(&self, fingerprint: u64) -> bool {
+    /// Records a visit under the shard lock; see [`visit_explored`].
+    fn visit(&self, fingerprint: u64, sleep_digests: &[u64]) -> Visit {
         let shard = (fingerprint >> 58) as usize % FINGERPRINT_SHARDS;
-        self.shards[shard].lock().unwrap().insert(fingerprint)
+        visit_explored(
+            &mut self.shards[shard].lock().unwrap(),
+            fingerprint,
+            sleep_digests,
+        )
     }
 }
 
@@ -228,10 +328,24 @@ struct Snapshot {
 /// `Replay` the base is the initial state; under `Checkpoint` it is the
 /// nearest ancestor checkpoint, shared via `Arc` with every other descendant
 /// of that checkpoint.
+///
+/// The sleep set travels with the node (not with the snapshot), so it
+/// survives checkpoint/replay reconstruction unchanged: replaying the trace
+/// suffix rebuilds the state, while the pruning obligations were fixed when
+/// the node was generated.
 struct Node {
     base: Arc<Snapshot>,
     base_depth: usize,
     trace: Vec<Transition>,
+    /// Transitions whose exploration from this node is redundant (already
+    /// covered by a commuting sibling branch). Always empty without POR.
+    sleep: Vec<Transition>,
+    /// True if this node re-expands an already-visited state with a
+    /// narrowed sleep set (`Visit::Widen`). Re-expansions exist only to
+    /// cover successors the first visit pruned; the state itself was
+    /// already accounted for, so terminal counting and end-of-trace
+    /// property checks must not run again.
+    revisit: bool,
 }
 
 /// The NICE model checker.
@@ -296,6 +410,7 @@ impl ModelChecker {
         trace: Vec<Transition>,
         state: SystemState,
         properties: Vec<Box<dyn Property>>,
+        sleep: Vec<Transition>,
     ) -> Node {
         match self.config.state_storage {
             StateStorage::Full => {
@@ -304,12 +419,16 @@ impl ModelChecker {
                     base: Arc::new(Snapshot { state, properties }),
                     base_depth,
                     trace,
+                    sleep,
+                    revisit: false,
                 }
             }
             StateStorage::Replay => Node {
                 base: Arc::clone(root),
                 base_depth: 0,
                 trace,
+                sleep,
+                revisit: false,
             },
             StateStorage::Checkpoint { interval } => {
                 if trace.len().is_multiple_of(interval.max(1)) {
@@ -318,6 +437,8 @@ impl ModelChecker {
                         base: Arc::new(Snapshot { state, properties }),
                         base_depth,
                         trace,
+                        sleep,
+                        revisit: false,
                     }
                 } else {
                     let (base, base_depth) = parent_base
@@ -327,6 +448,8 @@ impl ModelChecker {
                         base: Arc::clone(base),
                         base_depth: *base_depth,
                         trace,
+                        sleep,
+                        revisit: false,
                     }
                 }
             }
@@ -380,16 +503,24 @@ impl ModelChecker {
     ///
     /// Consumes the node: under `Full` storage the snapshot is uniquely
     /// owned, so the state is moved out without any clone at all.
+    #[allow(clippy::type_complexity)]
     fn materialize(
         &self,
         node: Node,
         strategy: &dyn SearchStrategy,
         memo: &mut DiscoveryMemo,
-    ) -> (SystemState, Vec<Box<dyn Property>>, Vec<Transition>) {
+    ) -> (
+        SystemState,
+        Vec<Box<dyn Property>>,
+        Vec<Transition>,
+        Vec<Transition>,
+    ) {
         let Node {
             base,
             base_depth,
             trace,
+            sleep,
+            revisit: _,
         } = node;
         let (mut state, mut properties) = match Arc::try_unwrap(base) {
             Ok(snapshot) => (snapshot.state, snapshot.properties),
@@ -415,7 +546,7 @@ impl ModelChecker {
                 }
             }
         }
-        (state, properties, trace)
+        (state, properties, trace, sleep)
     }
 
     // -----------------------------------------------------------------------
@@ -425,13 +556,14 @@ impl ModelChecker {
     fn run_sequential(&self) -> CheckReport {
         let start = Instant::now();
         let strategy = build_strategy(self.config.strategy);
+        let reduction = build_reduction(self.config.reduction);
         let mut memo = DiscoveryMemo::default();
         let mut report = CheckReport::default();
-        let mut explored = FingerprintSet::default();
+        let mut explored = FingerprintMap::default();
 
         let initial_state = SystemState::initial(&self.scenario);
         let initial_properties: Vec<Box<dyn Property>> = self.scenario.properties.clone();
-        explored.insert(initial_state.fingerprint());
+        visit_explored(&mut explored, initial_state.fingerprint(), &[]);
         report.stats.unique_states = 1;
 
         let root = Arc::new(Snapshot {
@@ -442,25 +574,35 @@ impl ModelChecker {
             base: Arc::clone(&root),
             base_depth: 0,
             trace: Vec::new(),
+            sleep: Vec::new(),
+            revisit: false,
         }];
         let mut events: Vec<Event> = Vec::new();
 
         'search: while let Some(node) = stack.pop() {
             report.stats.max_depth = report.stats.max_depth.max(node.trace.len());
 
+            let revisit = node.revisit;
             let parent_base = self.parent_base(&node);
-            let (state, properties, trace) = self.materialize(node, strategy.as_ref(), &mut memo);
+            let (state, properties, trace, sleep) =
+                self.materialize(node, strategy.as_ref(), &mut memo);
 
             let enabled = enabled_transitions(&state, &self.scenario, &self.config);
+            let enabled_count = enabled.len();
             let enabled = strategy.select(&state, enabled);
+            report.stats.pruned_by_strategy += (enabled_count - enabled.len()) as u64;
 
             if enabled.is_empty() {
-                report.stats.terminal_states += 1;
-                for property in &properties {
-                    if let Some(message) = property.check_final(&state) {
-                        record_violation(&mut report, property.name(), message, &trace, None);
-                        if self.config.stop_at_first_violation {
-                            break 'search;
+                // A widened revisit of a terminal state was already counted
+                // (and final-checked) on its first visit.
+                if !revisit {
+                    report.stats.terminal_states += 1;
+                    for property in &properties {
+                        if let Some(message) = property.check_final(&state) {
+                            record_violation(&mut report, property.name(), message, &trace, None);
+                            if self.config.stop_at_first_violation {
+                                break 'search;
+                            }
                         }
                     }
                 }
@@ -472,7 +614,12 @@ impl ModelChecker {
                 continue;
             }
 
-            for transition in enabled {
+            let choice = reduction.select(&state, &self.scenario, enabled, &sleep);
+            report.stats.pruned_by_por += choice.pruned;
+            let mut child_sleeps =
+                reduction.child_sleeps(&state, &self.scenario, &choice.explore, &sleep);
+
+            for (index, transition) in choice.explore.into_iter().enumerate() {
                 if self.config.max_transitions > 0
                     && report.stats.transitions >= self.config.max_transitions
                 {
@@ -504,18 +651,53 @@ impl ModelChecker {
                     continue;
                 }
 
+                let child_sleep = std::mem::take(&mut child_sleeps[index]);
+                let mut child_digests: Vec<u64> =
+                    child_sleep.iter().map(Transition::digest).collect();
+                child_digests.sort_unstable();
+                child_digests.dedup();
+
                 let fingerprint = next_state.fingerprint();
-                if explored.insert(fingerprint) {
-                    report.stats.unique_states += 1;
-                    let mut child_trace = trace.clone();
-                    child_trace.push(transition);
-                    stack.push(self.make_node(
-                        &root,
-                        &parent_base,
-                        child_trace,
-                        next_state,
-                        next_properties,
-                    ));
+                match visit_explored(&mut explored, fingerprint, &child_digests) {
+                    Visit::New => {
+                        report.stats.unique_states += 1;
+                        let mut child_trace = trace.clone();
+                        child_trace.push(transition.clone());
+                        stack.push(self.make_node(
+                            &root,
+                            &parent_base,
+                            child_trace,
+                            next_state,
+                            next_properties,
+                            child_sleep,
+                        ));
+                    }
+                    Visit::Known => {
+                        report.stats.dedup_hits += 1;
+                    }
+                    Visit::Widen(narrowed) => {
+                        // The state was explored before, but with stronger
+                        // pruning than this path justifies: re-expand it
+                        // with the narrowed sleep set so nothing reachable
+                        // only through the previously pruned transitions is
+                        // missed.
+                        let narrowed_sleep: Vec<Transition> = child_sleep
+                            .into_iter()
+                            .filter(|t| narrowed.binary_search(&t.digest()).is_ok())
+                            .collect();
+                        let mut child_trace = trace.clone();
+                        child_trace.push(transition.clone());
+                        let mut node = self.make_node(
+                            &root,
+                            &parent_base,
+                            child_trace,
+                            next_state,
+                            next_properties,
+                            narrowed_sleep,
+                        );
+                        node.revisit = true;
+                        stack.push(node);
+                    }
                 }
             }
         }
@@ -550,6 +732,8 @@ impl ModelChecker {
                     base: Arc::clone(&root),
                     base_depth: 0,
                     trace: Vec::new(),
+                    sleep: Vec::new(),
+                    revisit: false,
                 }],
                 idle: 0,
                 stop: false,
@@ -561,11 +745,14 @@ impl ModelChecker {
             unique_states: AtomicU64::new(1),
             terminal_states: AtomicU64::new(0),
             symbolic_executions: AtomicU64::new(0),
+            pruned_by_strategy: AtomicU64::new(0),
+            pruned_by_por: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
             max_depth: AtomicUsize::new(0),
             truncated: AtomicBool::new(false),
             violations: Mutex::new(Vec::new()),
         };
-        shared.explored.insert(initial_fingerprint);
+        shared.explored.visit(initial_fingerprint, &[]);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -578,6 +765,9 @@ impl ModelChecker {
         report.stats.unique_states = shared.unique_states.load(Ordering::Relaxed);
         report.stats.terminal_states = shared.terminal_states.load(Ordering::Relaxed);
         report.stats.symbolic_executions = shared.symbolic_executions.load(Ordering::Relaxed);
+        report.stats.pruned_by_strategy = shared.pruned_by_strategy.load(Ordering::Relaxed);
+        report.stats.pruned_by_por = shared.pruned_by_por.load(Ordering::Relaxed);
+        report.stats.dedup_hits = shared.dedup_hits.load(Ordering::Relaxed);
         report.stats.max_depth = shared.max_depth.load(Ordering::Relaxed);
         report.stats.truncated = shared.truncated.load(Ordering::Relaxed);
         report.violations = shared
@@ -607,6 +797,7 @@ impl ModelChecker {
     fn worker_loop(&self, shared: &SharedSearch, root: &Arc<Snapshot>) {
         let _stop_on_panic = StopOnPanic(shared);
         let strategy = build_strategy(self.config.strategy);
+        let reduction = build_reduction(self.config.reduction);
         let mut memo = DiscoveryMemo::with_shared(Arc::clone(&shared.discoveries));
         let mut local: Vec<Node> = Vec::new();
         let mut events: Vec<Event> = Vec::new();
@@ -626,19 +817,29 @@ impl ModelChecker {
                 .max_depth
                 .fetch_max(node.trace.len(), Ordering::Relaxed);
 
+            let revisit = node.revisit;
             let parent_base = self.parent_base(&node);
-            let (state, properties, trace) = self.materialize(node, strategy.as_ref(), &mut memo);
+            let (state, properties, trace, sleep) =
+                self.materialize(node, strategy.as_ref(), &mut memo);
 
             let enabled = enabled_transitions(&state, &self.scenario, &self.config);
+            let enabled_count = enabled.len();
             let enabled = strategy.select(&state, enabled);
+            shared
+                .pruned_by_strategy
+                .fetch_add((enabled_count - enabled.len()) as u64, Ordering::Relaxed);
 
             if enabled.is_empty() {
-                shared.terminal_states.fetch_add(1, Ordering::Relaxed);
-                for property in &properties {
-                    if let Some(message) = property.check_final(&state) {
-                        shared.record_violation(property.name(), message, &trace, None);
-                        if self.config.stop_at_first_violation {
-                            shared.signal_stop();
+                // A widened revisit of a terminal state was already counted
+                // (and final-checked) on its first visit.
+                if !revisit {
+                    shared.terminal_states.fetch_add(1, Ordering::Relaxed);
+                    for property in &properties {
+                        if let Some(message) = property.check_final(&state) {
+                            shared.record_violation(property.name(), message, &trace, None);
+                            if self.config.stop_at_first_violation {
+                                shared.signal_stop();
+                            }
                         }
                     }
                 }
@@ -650,8 +851,15 @@ impl ModelChecker {
                 continue;
             }
 
+            let choice = reduction.select(&state, &self.scenario, enabled, &sleep);
+            shared
+                .pruned_by_por
+                .fetch_add(choice.pruned, Ordering::Relaxed);
+            let mut child_sleeps =
+                reduction.child_sleeps(&state, &self.scenario, &choice.explore, &sleep);
+
             let mut children = Vec::new();
-            for transition in enabled {
+            for (index, transition) in choice.explore.into_iter().enumerate() {
                 if shared.stop.load(Ordering::Relaxed) {
                     break 'work;
                 }
@@ -679,17 +887,50 @@ impl ModelChecker {
                     continue;
                 }
 
-                if shared.explored.insert(next_state.fingerprint()) {
-                    shared.unique_states.fetch_add(1, Ordering::Relaxed);
-                    let mut child_trace = trace.clone();
-                    child_trace.push(transition);
-                    children.push(self.make_node(
-                        root,
-                        &parent_base,
-                        child_trace,
-                        next_state,
-                        next_properties,
-                    ));
+                let child_sleep = std::mem::take(&mut child_sleeps[index]);
+                let mut child_digests: Vec<u64> =
+                    child_sleep.iter().map(Transition::digest).collect();
+                child_digests.sort_unstable();
+                child_digests.dedup();
+
+                match shared
+                    .explored
+                    .visit(next_state.fingerprint(), &child_digests)
+                {
+                    Visit::New => {
+                        shared.unique_states.fetch_add(1, Ordering::Relaxed);
+                        let mut child_trace = trace.clone();
+                        child_trace.push(transition.clone());
+                        children.push(self.make_node(
+                            root,
+                            &parent_base,
+                            child_trace,
+                            next_state,
+                            next_properties,
+                            child_sleep,
+                        ));
+                    }
+                    Visit::Known => {
+                        shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Visit::Widen(narrowed) => {
+                        let narrowed_sleep: Vec<Transition> = child_sleep
+                            .into_iter()
+                            .filter(|t| narrowed.binary_search(&t.digest()).is_ok())
+                            .collect();
+                        let mut child_trace = trace.clone();
+                        child_trace.push(transition.clone());
+                        let mut node = self.make_node(
+                            root,
+                            &parent_base,
+                            child_trace,
+                            next_state,
+                            next_properties,
+                            narrowed_sleep,
+                        );
+                        node.revisit = true;
+                        children.push(node);
+                    }
                 }
             }
 
@@ -721,13 +962,13 @@ impl ModelChecker {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut memo = DiscoveryMemo::default();
         let mut report = CheckReport::default();
-        let mut seen = FingerprintSet::default();
+        let mut seen = FingerprintMap::default();
 
         'walks: for _ in 0..walks {
             let mut state = SystemState::initial(&self.scenario);
             let mut properties = self.scenario.properties.clone();
             let mut trace: Vec<Transition> = Vec::new();
-            seen.insert(state.fingerprint());
+            visit_explored(&mut seen, state.fingerprint(), &[]);
 
             for _ in 0..max_steps {
                 let enabled = enabled_transitions(&state, &self.scenario, &self.config);
@@ -767,7 +1008,10 @@ impl ModelChecker {
                 report.stats.transitions += 1;
                 trace.push(transition.clone());
                 report.stats.max_depth = report.stats.max_depth.max(trace.len());
-                if seen.insert(state.fingerprint()) {
+                if matches!(
+                    visit_explored(&mut seen, state.fingerprint(), &[]),
+                    Visit::New
+                ) {
                     report.stats.unique_states += 1;
                 }
                 for event in &events {
@@ -827,6 +1071,9 @@ struct SharedSearch {
     unique_states: AtomicU64,
     terminal_states: AtomicU64,
     symbolic_executions: AtomicU64,
+    pruned_by_strategy: AtomicU64,
+    pruned_by_por: AtomicU64,
+    dedup_hits: AtomicU64,
     max_depth: AtomicUsize,
     truncated: AtomicBool,
     violations: Mutex<Vec<Violation>>,
@@ -1262,6 +1509,175 @@ mod tests {
         let checker = ModelChecker::new(scenario, CheckerConfig::default().with_workers(4));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checker.run()));
         assert!(result.is_err(), "the worker panic must propagate, not hang");
+    }
+
+    #[test]
+    fn por_prunes_transitions_but_preserves_the_verdict() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let full = ModelChecker::new(
+            scenario.clone(),
+            CheckerConfig::default().with_stop_at_first(false),
+        )
+        .run();
+        let por = ModelChecker::new(
+            scenario,
+            CheckerConfig::default()
+                .with_stop_at_first(false)
+                .with_reduction(crate::scenario::ReductionKind::Por),
+        )
+        .run();
+        assert_eq!(full.passed(), por.passed());
+        assert!(
+            por.stats.transitions < full.stats.transitions,
+            "POR must prune something on the hub workload: {} vs {}",
+            por.stats.transitions,
+            full.stats.transitions
+        );
+        assert!(por.stats.pruned_by_por > 0);
+        assert_eq!(full.stats.pruned_by_por, 0);
+        assert_eq!(full.stats.terminal_states, por.stats.terminal_states);
+    }
+
+    #[test]
+    fn por_finds_the_same_violated_properties() {
+        let scenario = testutil::ping_scenario_with_app(Box::new(testutil::ForgetfulApp), 2);
+        let properties = |report: &CheckReport| {
+            let mut names: Vec<String> = report
+                .violations
+                .iter()
+                .map(|v| v.property.clone())
+                .collect();
+            names.sort();
+            names.dedup();
+            names
+        };
+        let shortest = |report: &CheckReport| {
+            report
+                .violations
+                .iter()
+                .map(|v| v.trace.len())
+                .min()
+                .unwrap_or(0)
+        };
+        let full = ModelChecker::new(
+            scenario.clone(),
+            CheckerConfig::default().with_stop_at_first(false),
+        )
+        .run();
+        let por = ModelChecker::new(
+            scenario,
+            CheckerConfig::default()
+                .with_stop_at_first(false)
+                .with_reduction(crate::scenario::ReductionKind::Por),
+        )
+        .run();
+        assert!(!full.passed());
+        assert!(!por.passed());
+        assert_eq!(properties(&full), properties(&por));
+        assert_eq!(shortest(&full), shortest(&por));
+        assert!(por.stats.transitions <= full.stats.transitions);
+    }
+
+    #[test]
+    fn por_sleep_sets_survive_checkpoint_replay_reconstruction() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let reference = ModelChecker::new(
+            scenario.clone(),
+            CheckerConfig::default()
+                .with_stop_at_first(false)
+                .with_reduction(crate::scenario::ReductionKind::Por),
+        )
+        .run();
+        for storage in [
+            StateStorage::Replay,
+            StateStorage::Checkpoint { interval: 2 },
+            StateStorage::Checkpoint { interval: 5 },
+        ] {
+            let checkpointed = ModelChecker::new(
+                scenario.clone(),
+                CheckerConfig::default()
+                    .with_stop_at_first(false)
+                    .with_reduction(crate::scenario::ReductionKind::Por)
+                    .with_state_storage(storage),
+            )
+            .run();
+            assert_eq!(
+                reference.stats.transitions, checkpointed.stats.transitions,
+                "{storage:?}"
+            );
+            assert_eq!(
+                reference.stats.unique_states, checkpointed.stats.unique_states,
+                "{storage:?}"
+            );
+            assert_eq!(
+                reference.stats.pruned_by_por, checkpointed.stats.pruned_by_por,
+                "{storage:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn por_parallel_agrees_with_sequential_por() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let sequential = ModelChecker::new(
+            scenario.clone(),
+            CheckerConfig::default()
+                .with_stop_at_first(false)
+                .with_reduction(crate::scenario::ReductionKind::Por),
+        )
+        .run();
+        let parallel = ModelChecker::new(
+            scenario,
+            CheckerConfig::default()
+                .with_stop_at_first(false)
+                .with_reduction(crate::scenario::ReductionKind::Por)
+                .with_workers(4),
+        )
+        .run();
+        assert_eq!(sequential.passed(), parallel.passed());
+        // Workers race on sleep-set narrowing, so transition counts may
+        // wobble slightly, but the reduced search must stay well under the
+        // unreduced space and find the same terminal coverage.
+        let full = ModelChecker::new(
+            testutil::hub_ping_scenario(2),
+            CheckerConfig::default().with_stop_at_first(false),
+        )
+        .run();
+        assert!(parallel.stats.transitions <= full.stats.transitions);
+        assert_eq!(
+            sequential.stats.terminal_states,
+            parallel.stats.terminal_states
+        );
+    }
+
+    #[test]
+    fn strategy_prune_counter_reports_filtered_transitions() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let unusual = ModelChecker::new(
+            scenario,
+            CheckerConfig::default()
+                .with_stop_at_first(false)
+                .with_strategy(StrategyKind::Unusual),
+        )
+        .run();
+        assert!(
+            unusual.stats.pruned_by_strategy > 0,
+            "UNUSUAL must filter some process_of deliveries"
+        );
+    }
+
+    #[test]
+    fn report_display_includes_prune_counters() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let report = ModelChecker::new(
+            scenario,
+            CheckerConfig::default().with_reduction(crate::scenario::ReductionKind::Por),
+        )
+        .run();
+        let text = report.to_string();
+        assert!(text.contains("pruned by POR"));
+        assert!(text.contains("pruned by strategy"));
+        assert!(text.contains("dedup hits"));
     }
 
     #[test]

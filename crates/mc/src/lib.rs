@@ -15,7 +15,11 @@
 //! * [`state`] — the [`state::SystemState`]: every component plus the FIFO
 //!   channels between them, with a canonical 64-bit fingerprint.
 //! * [`transition`] — the system transitions and their semantics.
-//! * [`strategy`] — NICE-MC full search, NO-DELAY, FLOW-IR and UNUSUAL.
+//! * [`strategy`] — NICE-MC full search, NO-DELAY, FLOW-IR and UNUSUAL,
+//!   plus the composable partial-order [`Reduction`](strategy::Reduction)
+//!   layer.
+//! * [`por`] — transition footprints and the static independence relation
+//!   the reduction is built on.
 //! * [`properties`] — the correctness-property library of Section 5.2 plus
 //!   the trait for application-specific properties.
 //! * [`checker`] — the depth-first search loop of Figure 5, violation
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod por;
 pub mod properties;
 pub mod scenario;
 pub mod state;
@@ -33,11 +38,17 @@ pub mod testutil;
 pub mod transition;
 
 pub use checker::{CheckReport, ModelChecker, SearchStats, Violation};
+pub use por::{independent, Footprint};
 pub use properties::{
     DirectPaths, Event, FlowAffinity, NoBlackHoles, NoForgottenPackets, NoForwardingLoops,
     Property, StrictDirectPaths,
 };
-pub use scenario::{CheckerConfig, Scenario, SendPolicy, StateStorage, StrategyKind};
+pub use scenario::{
+    CheckerConfig, ReductionKind, Scenario, SendPolicy, StateStorage, StrategyKind,
+};
 pub use state::SystemState;
-pub use strategy::{FlowIr, FullDfs, NoDelay, SearchStrategy, Unusual};
+pub use strategy::{
+    FlowIr, FullDfs, NoDelay, NoReduction, PorReduction, Reduction, ReductionChoice,
+    SearchStrategy, Unusual,
+};
 pub use transition::Transition;

@@ -194,6 +194,28 @@ impl StrategyKind {
     }
 }
 
+/// Which partial-order reduction runs on top of the search strategy (see
+/// [`crate::strategy::Reduction`]).
+///
+/// Orthogonal to [`StrategyKind`]: the strategy first filters the enabled
+/// transitions (a heuristic, possibly unsound restriction of event
+/// orderings), then the reduction prunes interleavings of *independent*
+/// transitions that provably reach the same states (a sound reduction with
+/// respect to the strategy-restricted space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReductionKind {
+    /// No reduction: explore every strategy-selected transition (the
+    /// canonical NICE-MC behaviour).
+    #[default]
+    None,
+    /// Sleep-set partial-order reduction over the static independence
+    /// relation of [`Transition::footprint`](crate::transition::Transition),
+    /// plus a persistent-set-style selector for provably local transitions.
+    /// (The implementation's display name lives on
+    /// [`Reduction::name`](crate::strategy::Reduction::name).)
+    Por,
+}
+
 /// How states on the search frontier are stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StateStorage {
@@ -248,6 +270,9 @@ pub struct CheckerConfig {
     /// order violations are found in — and therefore the trace attached to
     /// each — may differ run to run.
     pub workers: usize,
+    /// Partial-order reduction layered on top of the strategy (see
+    /// [`ReductionKind`]).
+    pub reduction: ReductionKind,
     /// Benchmark-only switch: clone frontier states eagerly (pre-COW cost
     /// profile) instead of copy-on-write. Exists so `nice-bench` can measure
     /// the win of structural sharing; leave `false` for real searches.
@@ -267,6 +292,7 @@ impl Default for CheckerConfig {
             explore_rule_expiry: false,
             state_storage: StateStorage::Full,
             workers: 1,
+            reduction: ReductionKind::None,
             force_deep_clone: false,
             explore: ExploreConfig::default(),
         }
@@ -323,6 +349,13 @@ impl CheckerConfig {
     /// clamped to `1`.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Selects the partial-order reduction layered on top of the strategy
+    /// (builder style).
+    pub fn with_reduction(mut self, reduction: ReductionKind) -> Self {
+        self.reduction = reduction;
         self
     }
 }

@@ -52,6 +52,12 @@ type RelevantPacketsTable = BTreeMap<HostId, BTreeMap<u64, Vec<Packet>>>;
 /// switch.
 type DiscoveredStatsTable = BTreeMap<SwitchId, BTreeMap<u64, Vec<Vec<PortStatsEntry>>>>;
 
+impl<T: Default> Default for Cached<T> {
+    fn default() -> Self {
+        Cached::new(T::default())
+    }
+}
+
 impl<T> Cached<T> {
     fn new(value: T) -> Self {
         Cached {
@@ -87,15 +93,15 @@ pub struct SystemState {
     switches: BTreeMap<SwitchId, Arc<Cached<Switch>>>,
     hosts: BTreeMap<HostId, Arc<Cached<Box<dyn HostModel>>>>,
     /// Switch → controller OpenFlow channels (reliable, in order).
-    sw_to_ctrl: BTreeMap<SwitchId, Arc<FifoChannel<OfMessage>>>,
+    sw_to_ctrl: BTreeMap<SwitchId, Arc<Cached<FifoChannel<OfMessage>>>>,
     /// Controller → switch OpenFlow channels (reliable, in order).
-    ctrl_to_sw: BTreeMap<SwitchId, Arc<FifoChannel<OfMessage>>>,
+    ctrl_to_sw: BTreeMap<SwitchId, Arc<Cached<FifoChannel<OfMessage>>>>,
     /// Data-plane ingress channels: packets waiting to be processed by a
     /// switch, keyed by the port they will arrive on.
-    ingress: BTreeMap<(SwitchId, PortId), Arc<FifoChannel<Packet>>>,
+    ingress: BTreeMap<(SwitchId, PortId), Arc<Cached<FifoChannel<Packet>>>>,
     /// Packets in flight towards a host (delivered when the host's `receive`
     /// transition runs).
-    host_inbox: BTreeMap<HostId, Arc<FifoChannel<Packet>>>,
+    host_inbox: BTreeMap<HostId, Arc<Cached<FifoChannel<Packet>>>>,
     /// Switches with an outstanding statistics request from the controller.
     pending_stats: BTreeSet<SwitchId>,
     /// Per-host relevant packets, keyed by controller-state fingerprint
@@ -121,6 +127,38 @@ const CTRL_FP_SEED: u64 = 0xc0_11;
 const SWITCH_FP_SEED: u64 = 0x5_317c;
 /// Domain-separation seed of per-host digests.
 const HOST_FP_SEED: u64 = 0x40_57;
+/// Domain-separation seed of per-channel digests (the channel's *slot* in
+/// the combined fingerprint provides the per-kind separation).
+const CHANNEL_FP_SEED: u64 = 0xc4a_221;
+
+/// Slot tags distinguishing component kinds in the combined fingerprint.
+mod slot {
+    pub const CONTROLLER: u64 = 1;
+    pub const SWITCH: u64 = 2;
+    pub const HOST: u64 = 3;
+    pub const SW_TO_CTRL: u64 = 4;
+    pub const CTRL_TO_SW: u64 = 5;
+    pub const INGRESS: u64 = 6;
+    pub const HOST_INBOX: u64 = 7;
+    pub const PENDING_STATS: u64 = 8;
+    pub const RELEVANT_PACKETS: u64 = 9;
+    pub const DISCOVERED_STATS: u64 = 10;
+}
+
+/// Mixes a component digest with its slot (kind + key) so the combined
+/// XOR cannot confuse equal digests sitting in different places.
+fn mix(tag: u64, key: u64, digest: u64) -> u64 {
+    let mut h = Fnv64::with_seed(tag);
+    h.write_u64(key);
+    h.write_u64(digest);
+    h.finish()
+}
+
+/// The cached digest of one channel, recomputed only if the channel was
+/// mutated since it was last fingerprinted.
+fn channel_digest<T: Fingerprint>(ch: &Cached<FifoChannel<T>>) -> u64 {
+    ch.digest_with(CHANNEL_FP_SEED, |c, h| c.fingerprint(h))
+}
 
 impl std::fmt::Debug for SystemState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -151,11 +189,13 @@ impl SystemState {
             for &port in &spec.ports {
                 ingress.insert(
                     (spec.id, port),
-                    Arc::new(FifoChannel::with_faults(scenario.packet_faults)),
+                    Arc::new(Cached::new(FifoChannel::with_faults(
+                        scenario.packet_faults,
+                    ))),
                 );
             }
-            sw_to_ctrl.insert(spec.id, Arc::new(FifoChannel::reliable()));
-            ctrl_to_sw.insert(spec.id, Arc::new(FifoChannel::reliable()));
+            sw_to_ctrl.insert(spec.id, Arc::new(Cached::new(FifoChannel::reliable())));
+            ctrl_to_sw.insert(spec.id, Arc::new(Cached::new(FifoChannel::reliable())));
             switches.insert(spec.id, Arc::new(Cached::new(switch)));
         }
 
@@ -197,7 +237,7 @@ impl SystemState {
             let id = host.id();
             state
                 .host_inbox
-                .insert(id, Arc::new(FifoChannel::reliable()));
+                .insert(id, Arc::new(Cached::new(FifoChannel::reliable())));
             state
                 .hosts
                 .insert(id, Arc::new(Cached::new(host.clone_host())));
@@ -229,22 +269,22 @@ impl SystemState {
             sw_to_ctrl: self
                 .sw_to_ctrl
                 .iter()
-                .map(|(&id, ch)| (id, Arc::new(ch.as_ref().clone())))
+                .map(|(&id, ch)| (id, Arc::new(Cached::new(ch.value.clone()))))
                 .collect(),
             ctrl_to_sw: self
                 .ctrl_to_sw
                 .iter()
-                .map(|(&id, ch)| (id, Arc::new(ch.as_ref().clone())))
+                .map(|(&id, ch)| (id, Arc::new(Cached::new(ch.value.clone()))))
                 .collect(),
             ingress: self
                 .ingress
                 .iter()
-                .map(|(&key, ch)| (key, Arc::new(ch.as_ref().clone())))
+                .map(|(&key, ch)| (key, Arc::new(Cached::new(ch.value.clone()))))
                 .collect(),
             host_inbox: self
                 .host_inbox
                 .iter()
-                .map(|(&id, ch)| (id, Arc::new(ch.as_ref().clone())))
+                .map(|(&id, ch)| (id, Arc::new(Cached::new(ch.value.clone()))))
                 .collect(),
             pending_stats: self.pending_stats.clone(),
             relevant_packets: Arc::new(self.relevant_packets.as_ref().clone()),
@@ -328,47 +368,59 @@ impl SystemState {
         }
         self.of_enqueue_seq += 1;
         self.last_of_enqueue.insert(switch, self.of_enqueue_seq);
-        Arc::make_mut(self.ctrl_to_sw.entry(switch).or_default()).push(msg);
+        Arc::make_mut(self.ctrl_to_sw.entry(switch).or_default())
+            .value_mut()
+            .push(msg);
     }
 
     /// Enqueues an OpenFlow message from a switch towards the controller.
     pub fn enqueue_to_controller(&mut self, switch: SwitchId, msg: OfMessage) {
-        Arc::make_mut(self.sw_to_ctrl.entry(switch).or_default()).push(msg);
+        Arc::make_mut(self.sw_to_ctrl.entry(switch).or_default())
+            .value_mut()
+            .push(msg);
     }
 
     /// Enqueues a data packet on a switch ingress port.
     pub fn enqueue_ingress(&mut self, switch: SwitchId, port: PortId, packet: Packet) {
-        Arc::make_mut(self.ingress.entry((switch, port)).or_default()).push(packet);
+        Arc::make_mut(self.ingress.entry((switch, port)).or_default())
+            .value_mut()
+            .push(packet);
     }
 
     /// Enqueues a packet for delivery to a host.
     pub fn enqueue_host(&mut self, host: HostId, packet: Packet) {
-        Arc::make_mut(self.host_inbox.entry(host).or_default()).push(packet);
+        Arc::make_mut(self.host_inbox.entry(host).or_default())
+            .value_mut()
+            .push(packet);
     }
 
     /// The controller→switch channel of a switch.
     pub fn ctrl_to_sw(&self, switch: SwitchId) -> Option<&FifoChannel<OfMessage>> {
-        self.ctrl_to_sw.get(&switch).map(|ch| ch.as_ref())
+        self.ctrl_to_sw.get(&switch).map(|ch| &ch.value)
     }
 
     /// Mutable controller→switch channel (un-shares only that channel).
     pub fn ctrl_to_sw_mut(&mut self, switch: SwitchId) -> Option<&mut FifoChannel<OfMessage>> {
-        self.ctrl_to_sw.get_mut(&switch).map(Arc::make_mut)
+        self.ctrl_to_sw
+            .get_mut(&switch)
+            .map(|ch| Arc::make_mut(ch).value_mut())
     }
 
     /// The switch→controller channel of a switch.
     pub fn sw_to_ctrl(&self, switch: SwitchId) -> Option<&FifoChannel<OfMessage>> {
-        self.sw_to_ctrl.get(&switch).map(|ch| ch.as_ref())
+        self.sw_to_ctrl.get(&switch).map(|ch| &ch.value)
     }
 
     /// Mutable switch→controller channel (un-shares only that channel).
     pub fn sw_to_ctrl_mut(&mut self, switch: SwitchId) -> Option<&mut FifoChannel<OfMessage>> {
-        self.sw_to_ctrl.get_mut(&switch).map(Arc::make_mut)
+        self.sw_to_ctrl
+            .get_mut(&switch)
+            .map(|ch| Arc::make_mut(ch).value_mut())
     }
 
     /// The ingress channel of `(switch, port)`.
     pub fn ingress(&self, switch: SwitchId, port: PortId) -> Option<&FifoChannel<Packet>> {
-        self.ingress.get(&(switch, port)).map(|ch| ch.as_ref())
+        self.ingress.get(&(switch, port)).map(|ch| &ch.value)
     }
 
     /// Mutable ingress channel (un-shares only that channel).
@@ -377,33 +429,37 @@ impl SystemState {
         switch: SwitchId,
         port: PortId,
     ) -> Option<&mut FifoChannel<Packet>> {
-        self.ingress.get_mut(&(switch, port)).map(Arc::make_mut)
+        self.ingress
+            .get_mut(&(switch, port))
+            .map(|ch| Arc::make_mut(ch).value_mut())
     }
 
     /// Ports of `switch` whose ingress channel currently holds packets.
     pub fn busy_ingress_ports(&self, switch: SwitchId) -> Vec<PortId> {
         self.ingress
             .iter()
-            .filter(|((s, _), ch)| *s == switch && !ch.is_empty())
+            .filter(|((s, _), ch)| *s == switch && !ch.value.is_empty())
             .map(|((_, p), _)| *p)
             .collect()
     }
 
     /// The inbox channel of a host.
     pub fn host_inbox(&self, host: HostId) -> Option<&FifoChannel<Packet>> {
-        self.host_inbox.get(&host).map(|ch| ch.as_ref())
+        self.host_inbox.get(&host).map(|ch| &ch.value)
     }
 
     /// Mutable inbox channel of a host (un-shares only that channel).
     pub fn host_inbox_mut(&mut self, host: HostId) -> Option<&mut FifoChannel<Packet>> {
-        self.host_inbox.get_mut(&host).map(Arc::make_mut)
+        self.host_inbox
+            .get_mut(&host)
+            .map(|ch| Arc::make_mut(ch).value_mut())
     }
 
     /// True if any switch↔controller channel holds messages (used to drain
     /// the control plane under NO-DELAY).
     pub fn control_plane_busy(&self) -> bool {
-        self.sw_to_ctrl.values().any(|c| !c.is_empty())
-            || self.ctrl_to_sw.values().any(|c| !c.is_empty())
+        self.sw_to_ctrl.values().any(|c| !c.value.is_empty())
+            || self.ctrl_to_sw.values().any(|c| !c.value.is_empty())
     }
 
     /// Switches whose controller→switch channel is non-empty, with the
@@ -411,7 +467,7 @@ impl SystemState {
     pub fn of_backlog(&self) -> Vec<(SwitchId, u64)> {
         self.ctrl_to_sw
             .iter()
-            .filter(|(_, ch)| !ch.is_empty())
+            .filter(|(_, ch)| !ch.value.is_empty())
             .map(|(&sw, _)| (sw, self.last_of_enqueue.get(&sw).copied().unwrap_or(0)))
             .collect()
     }
@@ -496,43 +552,57 @@ impl SystemState {
     /// The canonical 64-bit fingerprint of this state, used for the explored
     /// set (Section 6: hashes instead of full states).
     ///
-    /// The heavyweight copy-on-write components (controller, switches,
-    /// hosts) contribute cached per-component digests, so a state that
-    /// shares most components with an already-fingerprinted ancestor only
-    /// re-hashes what actually changed. Channels and the small bookkeeping
-    /// fields are hashed directly — they change on nearly every transition,
-    /// so caching them would buy nothing.
+    /// Computed *incrementally* as an order-independent XOR over the cached
+    /// per-component digests: every copy-on-write component — the
+    /// controller, each switch, each host, and since the incremental
+    /// fingerprinting rework **each FIFO channel** — carries a lazily
+    /// recomputed digest ([`Cached`]) that survives as long as the component
+    /// is not mutated. Each digest is mixed with its slot (component kind +
+    /// key, Zobrist style) before being XORed into the accumulator, so equal
+    /// digests in different positions cannot cancel. A transition therefore
+    /// pays only for re-hashing the handful of components it actually
+    /// touched plus an O(#components) walk over cached 64-bit values —
+    /// instead of re-walking every packet in every channel map as the
+    /// pre-incremental implementation did. The small bookkeeping sets
+    /// (pending statistics, the discovery-cache rows of the *current*
+    /// controller state) are folded the same way; they are tiny.
+    ///
+    /// Golden-value tests in this module pin the per-channel digests to the
+    /// exact FNV-1a hash of the channel contents and the combined value to
+    /// an independent reference implementation, so the incremental path
+    /// cannot silently drift.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = Fnv64::with_seed(0x51a7e);
-        h.write_u64(self.controller_fingerprint());
+        let mut acc = 0u64;
+        acc ^= mix(slot::CONTROLLER, 0, self.controller_fingerprint());
         for (id, sw) in &self.switches {
-            id.fingerprint(&mut h);
-            h.write_u64(sw.digest_with(SWITCH_FP_SEED, |s, h| s.fingerprint(h)));
+            acc ^= mix(
+                slot::SWITCH,
+                id.0 as u64,
+                sw.digest_with(SWITCH_FP_SEED, |s, h| s.fingerprint(h)),
+            );
         }
         for (id, host) in &self.hosts {
-            id.fingerprint(&mut h);
-            h.write_u64(host.digest_with(HOST_FP_SEED, |x, h| x.fingerprint(h)));
+            acc ^= mix(
+                slot::HOST,
+                id.0 as u64,
+                host.digest_with(HOST_FP_SEED, |x, h| x.fingerprint(h)),
+            );
         }
         for (id, ch) in &self.sw_to_ctrl {
-            id.fingerprint(&mut h);
-            ch.fingerprint(&mut h);
+            acc ^= mix(slot::SW_TO_CTRL, id.0 as u64, channel_digest(ch));
         }
         for (id, ch) in &self.ctrl_to_sw {
-            id.fingerprint(&mut h);
-            ch.fingerprint(&mut h);
+            acc ^= mix(slot::CTRL_TO_SW, id.0 as u64, channel_digest(ch));
         }
         for ((sw, port), ch) in &self.ingress {
-            sw.fingerprint(&mut h);
-            port.fingerprint(&mut h);
-            ch.fingerprint(&mut h);
+            let key = ((sw.0 as u64) << 16) | port.0 as u64;
+            acc ^= mix(slot::INGRESS, key, channel_digest(ch));
         }
         for (id, ch) in &self.host_inbox {
-            id.fingerprint(&mut h);
-            ch.fingerprint(&mut h);
+            acc ^= mix(slot::HOST_INBOX, id.0 as u64, channel_digest(ch));
         }
-        h.write_usize(self.pending_stats.len());
         for sw in &self.pending_stats {
-            sw.fingerprint(&mut h);
+            acc ^= mix(slot::PENDING_STATS, sw.0 as u64, 1);
         }
         // Only the discovery-cache entries for the *current* controller state
         // matter for enabledness; including the full history would make
@@ -540,20 +610,22 @@ impl SystemState {
         let ctrl_fp = self.controller_fingerprint();
         for (host, cache) in self.relevant_packets.iter() {
             if let Some(packets) = cache.get(&ctrl_fp) {
-                host.fingerprint(&mut h);
+                let mut h = Fnv64::with_seed(ctrl_fp);
                 packets.fingerprint(&mut h);
+                acc ^= mix(slot::RELEVANT_PACKETS, host.0 as u64, h.finish());
             }
         }
         for (switch, cache) in self.discovered_stats.iter() {
             if let Some(entries) = cache.get(&ctrl_fp) {
-                switch.fingerprint(&mut h);
+                let mut h = Fnv64::with_seed(ctrl_fp);
                 h.write_usize(entries.len());
                 for reply in entries {
                     reply.fingerprint(&mut h);
                 }
+                acc ^= mix(slot::DISCOVERED_STATS, switch.0 as u64, h.finish());
             }
         }
-        h.finish()
+        acc
     }
 
     /// Total number of packets currently buffered at switches awaiting a
@@ -567,10 +639,21 @@ impl SystemState {
 
     /// Total number of messages currently queued on any channel.
     pub fn total_queued_messages(&self) -> usize {
-        self.sw_to_ctrl.values().map(|c| c.len()).sum::<usize>()
-            + self.ctrl_to_sw.values().map(|c| c.len()).sum::<usize>()
-            + self.ingress.values().map(|c| c.len()).sum::<usize>()
-            + self.host_inbox.values().map(|c| c.len()).sum::<usize>()
+        self.sw_to_ctrl
+            .values()
+            .map(|c| c.value.len())
+            .sum::<usize>()
+            + self
+                .ctrl_to_sw
+                .values()
+                .map(|c| c.value.len())
+                .sum::<usize>()
+            + self.ingress.values().map(|c| c.value.len()).sum::<usize>()
+            + self
+                .host_inbox
+                .values()
+                .map(|c| c.value.len())
+                .sum::<usize>()
     }
 }
 
@@ -706,6 +789,155 @@ mod tests {
         assert!(!Arc::ptr_eq(&a.relevant_packets, &b.relevant_packets));
         assert!(Arc::ptr_eq(&a.topology, &b.topology));
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Recomputes the combined fingerprint from scratch, bypassing every
+    /// digest cache: the independent reference the incremental path is
+    /// pinned against.
+    fn reference_fingerprint(state: &SystemState) -> u64 {
+        let fresh = |write: &dyn Fn(&mut Fnv64), seed: u64| -> u64 {
+            let mut h = Fnv64::with_seed(seed);
+            write(&mut h);
+            h.finish()
+        };
+        let mut acc = 0u64;
+        acc ^= mix(
+            slot::CONTROLLER,
+            0,
+            fresh(&|h| state.controller.value.fingerprint(h), CTRL_FP_SEED),
+        );
+        for (id, sw) in &state.switches {
+            acc ^= mix(
+                slot::SWITCH,
+                id.0 as u64,
+                fresh(&|h| sw.value.fingerprint(h), SWITCH_FP_SEED),
+            );
+        }
+        for (id, host) in &state.hosts {
+            acc ^= mix(
+                slot::HOST,
+                id.0 as u64,
+                fresh(&|h| host.value.fingerprint(h), HOST_FP_SEED),
+            );
+        }
+        for (id, ch) in &state.sw_to_ctrl {
+            acc ^= mix(
+                slot::SW_TO_CTRL,
+                id.0 as u64,
+                fresh(&|h| ch.value.fingerprint(h), CHANNEL_FP_SEED),
+            );
+        }
+        for (id, ch) in &state.ctrl_to_sw {
+            acc ^= mix(
+                slot::CTRL_TO_SW,
+                id.0 as u64,
+                fresh(&|h| ch.value.fingerprint(h), CHANNEL_FP_SEED),
+            );
+        }
+        for ((sw, port), ch) in &state.ingress {
+            let key = ((sw.0 as u64) << 16) | port.0 as u64;
+            acc ^= mix(
+                slot::INGRESS,
+                key,
+                fresh(&|h| ch.value.fingerprint(h), CHANNEL_FP_SEED),
+            );
+        }
+        for (id, ch) in &state.host_inbox {
+            acc ^= mix(
+                slot::HOST_INBOX,
+                id.0 as u64,
+                fresh(&|h| ch.value.fingerprint(h), CHANNEL_FP_SEED),
+            );
+        }
+        for sw in &state.pending_stats {
+            acc ^= mix(slot::PENDING_STATS, sw.0 as u64, 1);
+        }
+        let ctrl_fp = state.controller_fingerprint();
+        for (host, cache) in state.relevant_packets.iter() {
+            if let Some(packets) = cache.get(&ctrl_fp) {
+                let mut h = Fnv64::with_seed(ctrl_fp);
+                packets.fingerprint(&mut h);
+                acc ^= mix(slot::RELEVANT_PACKETS, host.0 as u64, h.finish());
+            }
+        }
+        for (switch, cache) in state.discovered_stats.iter() {
+            if let Some(entries) = cache.get(&ctrl_fp) {
+                let mut h = Fnv64::with_seed(ctrl_fp);
+                h.write_usize(entries.len());
+                for reply in entries {
+                    reply.fingerprint(&mut h);
+                }
+                acc ^= mix(slot::DISCOVERED_STATS, switch.0 as u64, h.finish());
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn incremental_fingerprint_matches_uncached_reference() {
+        let scenario = testutil::hub_ping_scenario(2);
+        let mut state = SystemState::initial(&scenario);
+        assert_eq!(state.fingerprint(), reference_fingerprint(&state));
+
+        // Drive a few mutations through the cached accessors and re-check
+        // after every step: the caches must never go stale.
+        let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
+        state.enqueue_ingress(SwitchId(1), PortId(1), pkt);
+        assert_eq!(state.fingerprint(), reference_fingerprint(&state));
+
+        state.enqueue_to_switch(SwitchId(2), OfMessage::BarrierRequest { request_id: 7 });
+        assert_eq!(state.fingerprint(), reference_fingerprint(&state));
+
+        // Fingerprint once (filling every cache), mutate a single channel,
+        // and verify only correct values come back out.
+        let _ = state.fingerprint();
+        state.ctrl_to_sw_mut(SwitchId(2)).unwrap().pop();
+        assert_eq!(state.fingerprint(), reference_fingerprint(&state));
+
+        state.enqueue_host(HostId(2), pkt);
+        let cloned = state.clone();
+        assert_eq!(cloned.fingerprint(), reference_fingerprint(&state));
+    }
+
+    #[test]
+    fn channel_digest_is_cached_and_invalidated() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let mut state = SystemState::initial(&scenario);
+        let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
+        state.enqueue_ingress(SwitchId(1), PortId(1), pkt);
+
+        let ch = &state.ingress[&(SwitchId(1), PortId(1))];
+        let direct = {
+            let mut h = Fnv64::with_seed(CHANNEL_FP_SEED);
+            ch.value.fingerprint(&mut h);
+            h.finish()
+        };
+        assert_eq!(channel_digest(ch), direct);
+        // Cached on the OnceLock now.
+        assert_eq!(ch.digest.get().copied(), Some(direct));
+
+        // Mutation through the accessor drops the cache...
+        state.ingress_mut(SwitchId(1), PortId(1)).unwrap().pop();
+        let ch = &state.ingress[&(SwitchId(1), PortId(1))];
+        assert_eq!(ch.digest.get(), None);
+        // ...and the recomputed digest reflects the new contents.
+        let direct_after = {
+            let mut h = Fnv64::with_seed(CHANNEL_FP_SEED);
+            ch.value.fingerprint(&mut h);
+            h.finish()
+        };
+        assert_ne!(direct, direct_after);
+        assert_eq!(channel_digest(ch), direct_after);
+    }
+
+    #[test]
+    fn golden_mix_values_are_stable() {
+        // Pins the slot-mix function (and thereby the whole combined
+        // fingerprint scheme) so refactors cannot silently change explored-
+        // set semantics or replay files.
+        assert_eq!(mix(slot::CONTROLLER, 0, 0), 0x5b2a969b42d238a4);
+        assert_eq!(mix(slot::SWITCH, 1, 0xdead_beef), 0xe06616201829fc28);
+        assert_eq!(mix(slot::PENDING_STATS, 3, 1), 0x25086686098fd86f);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! OpenFlow-specific search strategies (Section 4).
+//! OpenFlow-specific search strategies (Section 4) and the composable
+//! partial-order [`Reduction`] layer.
 //!
 //! A strategy restricts which of a state's enabled transitions the checker
 //! explores, trading completeness for a (much) smaller space of event
@@ -13,11 +14,55 @@
 //! * [`Unusual`] — deliver outstanding controller→switch messages in the
 //!   most unusual order (most recently issued first) to expose races like
 //!   the Figure 1 example.
+//!
+//! # How `Reduction` composes with the NICE strategies
+//!
+//! The two layers answer different questions and stack cleanly:
+//!
+//! 1. The **strategy** is a *heuristic* filter: it deliberately gives up
+//!    completeness (relative to the full interleaving space) to bias the
+//!    search towards bug-revealing orderings. It runs first, on the raw
+//!    enabled set of each state.
+//! 2. The **reduction** is a *sound* filter relative to whatever space the
+//!    strategy left: among the strategy-selected transitions it prunes
+//!    interleavings of provably independent transitions — orders that are
+//!    guaranteed (via [`Transition::footprint`]) to reach states the search
+//!    visits anyway through a sibling ordering. `FullDfs` + [`PorReduction`]
+//!    therefore finds exactly the violations of `FullDfs` alone while
+//!    executing strictly fewer transitions; `NoDelay`/`FlowIr`/`Unusual` +
+//!    POR prune the same commuting orders within each strategy's
+//!    already-restricted space.
+//!
+//! Concretely, [`PorReduction`] contributes two mechanisms:
+//!
+//! * **Sleep sets** (Godefroid): when a state's transitions `t1, t2, …` are
+//!   explored in order, the child reached by `t2` inherits `t1` in its
+//!   *sleep set* if `t1` and `t2` are independent — the `t2;t1` order is
+//!   pruned because `t1;t2` reaches the same state. Sleep sets travel with
+//!   frontier nodes (surviving checkpoint/replay reconstruction) and are
+//!   stored alongside explored-state fingerprints so that a state revisited
+//!   with a *smaller* sleep set is re-expanded (the classic fix that keeps
+//!   sleep sets sound under state matching).
+//! * **A persistent-set-style selector**: when an enabled `host_receive`
+//!   can neither generate replies nor re-enable sending (see
+//!   [`HostModel::may_reply`](nice_hosts::HostModel::may_reply)), it is
+//!   independent of every other present *and future* transition, so the
+//!   singleton `{receive}` is a valid persistent set — the state expands
+//!   through that one transition and every sibling interleaving is pruned.
+//!
+//! The checker threads both through [`CheckerConfig::reduction`]
+//! (builder: [`CheckerConfig::with_reduction`]); statistics report the
+//! pruned counts as `pruned_by_por`.
+//!
+//! [`CheckerConfig::reduction`]: crate::scenario::CheckerConfig
+//! [`CheckerConfig::with_reduction`]: crate::scenario::CheckerConfig::with_reduction
 
-use crate::scenario::StrategyKind;
+use crate::por::Footprint;
+use crate::scenario::{ReductionKind, Scenario, StrategyKind};
 use crate::state::SystemState;
 use crate::transition::Transition;
 use nice_openflow::Packet;
+use std::collections::BTreeSet;
 
 /// A search strategy: filters the enabled transitions of a state.
 ///
@@ -45,6 +90,191 @@ pub fn build_strategy(kind: StrategyKind) -> Box<dyn SearchStrategy> {
         StrategyKind::NoDelay => Box::new(NoDelay),
         StrategyKind::FlowIr => Box::new(FlowIr),
         StrategyKind::Unusual => Box::new(Unusual),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The partial-order reduction layer
+// ---------------------------------------------------------------------------
+
+/// What a [`Reduction`] decided to explore from one state.
+#[derive(Debug, Default)]
+pub struct ReductionChoice {
+    /// The transitions to actually execute, in exploration order.
+    pub explore: Vec<Transition>,
+    /// How many strategy-selected transitions the reduction pruned at this
+    /// state (sleep-set hits plus persistent-set exclusions).
+    pub pruned: u64,
+}
+
+/// A partial-order reduction layered *under* a [`SearchStrategy`]: the
+/// checker first lets the strategy filter the enabled set, then asks the
+/// reduction which of the surviving transitions to execute and which sleep
+/// set each child inherits. See the module docs for how the two layers
+/// compose and for the soundness argument.
+pub trait Reduction: Send + Sync {
+    /// The reduction's name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Selects which of the strategy-filtered `enabled` transitions to
+    /// execute from `state`, given the sleep set the frontier node carried.
+    fn select(
+        &self,
+        state: &SystemState,
+        scenario: &Scenario,
+        enabled: Vec<Transition>,
+        sleep: &[Transition],
+    ) -> ReductionChoice;
+
+    /// Computes, for every transition of `explore` (in exploration order),
+    /// the sleep set its child inherits: the node's `sleep` entries plus the
+    /// siblings explored before it, each kept only while independent of the
+    /// executed transition. Batched so an implementation can compute each
+    /// transition's footprint once per state instead of once per sibling
+    /// pair.
+    fn child_sleeps(
+        &self,
+        state: &SystemState,
+        scenario: &Scenario,
+        explore: &[Transition],
+        sleep: &[Transition],
+    ) -> Vec<Vec<Transition>>;
+}
+
+/// Builds the reduction implementation for a [`ReductionKind`].
+pub fn build_reduction(kind: ReductionKind) -> Box<dyn Reduction> {
+    match kind {
+        ReductionKind::None => Box::new(NoReduction),
+        ReductionKind::Por => Box::new(PorReduction),
+    }
+}
+
+/// The identity reduction: explore everything, carry no sleep sets. This is
+/// the canonical NICE-MC behaviour and the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoReduction;
+
+impl Reduction for NoReduction {
+    fn name(&self) -> &str {
+        "NONE"
+    }
+
+    fn select(
+        &self,
+        _state: &SystemState,
+        _scenario: &Scenario,
+        enabled: Vec<Transition>,
+        _sleep: &[Transition],
+    ) -> ReductionChoice {
+        ReductionChoice {
+            explore: enabled,
+            pruned: 0,
+        }
+    }
+
+    fn child_sleeps(
+        &self,
+        _state: &SystemState,
+        _scenario: &Scenario,
+        explore: &[Transition],
+        _sleep: &[Transition],
+    ) -> Vec<Vec<Transition>> {
+        vec![Vec::new(); explore.len()]
+    }
+}
+
+/// Sleep-set partial-order reduction over [`Transition::footprint`]'s static
+/// independence relation, plus a persistent-set-style selector for purely
+/// local receives. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PorReduction;
+
+impl PorReduction {
+    /// True if `t` is a `host_receive` that can neither inject replies nor
+    /// re-enable sending: such a receive is independent of every other
+    /// present and future transition, so `{t}` is a valid persistent set.
+    fn is_local_receive(t: &Transition, state: &SystemState) -> bool {
+        match t {
+            Transition::HostReceive { host } => state
+                .host(*host)
+                .is_some_and(|h| !h.may_reply() && !h.receive_replenishes_sends()),
+            _ => false,
+        }
+    }
+}
+
+impl Reduction for PorReduction {
+    fn name(&self) -> &str {
+        "POR"
+    }
+
+    fn select(
+        &self,
+        state: &SystemState,
+        _scenario: &Scenario,
+        enabled: Vec<Transition>,
+        sleep: &[Transition],
+    ) -> ReductionChoice {
+        // Sleep-set pruning: a transition in the node's sleep set was
+        // already executed on a sibling branch that commutes with the path
+        // to this node; re-executing it here would only rediscover states
+        // the search reaches anyway.
+        let sleeping: BTreeSet<u64> = sleep.iter().map(Transition::digest).collect();
+        let before = enabled.len();
+        let awake: Vec<Transition> = enabled
+            .into_iter()
+            .filter(|t| !sleeping.contains(&t.digest()))
+            .collect();
+        let mut pruned = (before - awake.len()) as u64;
+
+        // Persistent-set-style selector: a purely local receive commutes
+        // with everything, so exploring it alone covers the whole state
+        // space reachable from here (the deferred siblings stay enabled in
+        // the child and are explored there).
+        if awake.len() > 1 {
+            if let Some(pos) = awake.iter().position(|t| Self::is_local_receive(t, state)) {
+                pruned += (awake.len() - 1) as u64;
+                let chosen = awake[pos].clone();
+                return ReductionChoice {
+                    explore: vec![chosen],
+                    pruned,
+                };
+            }
+        }
+
+        ReductionChoice {
+            explore: awake,
+            pruned,
+        }
+    }
+
+    fn child_sleeps(
+        &self,
+        state: &SystemState,
+        scenario: &Scenario,
+        explore: &[Transition],
+        sleep: &[Transition],
+    ) -> Vec<Vec<Transition>> {
+        // One footprint per transition per state; the O(k^2) part is only
+        // the cheap sorted-merge disjointness checks.
+        let sleep_fps: Vec<Footprint> =
+            sleep.iter().map(|t| t.footprint(state, scenario)).collect();
+        let explore_fps: Vec<Footprint> = explore
+            .iter()
+            .map(|t| t.footprint(state, scenario))
+            .collect();
+        (0..explore.len())
+            .map(|i| {
+                let executed_fp = &explore_fps[i];
+                sleep
+                    .iter()
+                    .zip(sleep_fps.iter())
+                    .chain(explore[..i].iter().zip(explore_fps[..i].iter()))
+                    .filter(|(_, fp)| fp.independent_of(executed_fp))
+                    .map(|(t, _)| t.clone())
+                    .collect()
+            })
+            .collect()
     }
 }
 
@@ -180,6 +410,12 @@ mod tests {
             let strategy = build_strategy(kind);
             assert_eq!(strategy.name(), kind.name());
         }
+    }
+
+    #[test]
+    fn build_reduction_matches_kind() {
+        assert_eq!(build_reduction(ReductionKind::None).name(), "NONE");
+        assert_eq!(build_reduction(ReductionKind::Por).name(), "POR");
     }
 
     #[test]

@@ -55,6 +55,17 @@ impl Default for SwitchConfig {
     }
 }
 
+/// The statically predicted effect of processing a packet (see
+/// [`Switch::predict_packet_fate`]): where copies would be emitted and
+/// whether the controller would be involved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacketFate {
+    /// Ports the packet would be emitted on (flood expanded, deduplicated).
+    pub out_ports: Vec<PortId>,
+    /// True if a message would (or could) be sent to the controller.
+    pub to_controller: bool,
+}
+
 /// Everything produced by one switch transition: messages destined for the
 /// controller and data-plane forwarding decisions.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -155,6 +166,50 @@ impl Switch {
     /// Per-port statistics in port order.
     pub fn port_stats(&self) -> Vec<PortStatsEntry> {
         self.port_stats.values().copied().collect()
+    }
+
+    /// Predicts, without mutating anything, what [`Switch::process_packet`]
+    /// would do with `packet` arriving on `in_port` in the switch's current
+    /// state: the ports the packet would be emitted on and whether a message
+    /// would be sent to the controller.
+    ///
+    /// Used by the model checker's partial-order reduction to compute
+    /// transition footprints, so it must stay in lock step with
+    /// [`Switch::process_packet`] / [`Switch::apply_actions`]. It may
+    /// over-approximate (e.g. it reports `to_controller` even when the
+    /// buffer is full and the packet would actually be dropped) but must
+    /// never under-approximate the set of components the real execution can
+    /// touch.
+    pub fn predict_packet_fate(&self, packet: &Packet, in_port: PortId) -> PacketFate {
+        match self.flow_table.lookup(packet, in_port) {
+            TableLookup::Match { actions, .. } => self.predict_actions_fate(&actions, in_port),
+            TableLookup::Miss => PacketFate {
+                out_ports: Vec::new(),
+                to_controller: true,
+            },
+        }
+    }
+
+    /// Predicts the fate of applying an explicit action list (the
+    /// `packet_out` path) — see [`Switch::predict_packet_fate`].
+    pub fn predict_actions_fate(&self, actions: &[Action], in_port: PortId) -> PacketFate {
+        let mut fate = PacketFate {
+            out_ports: Vec::new(),
+            to_controller: false,
+        };
+        for action in actions {
+            match action {
+                Action::Output(port) => fate.out_ports.push(*port),
+                Action::Flood => fate
+                    .out_ports
+                    .extend(self.ports.iter().copied().filter(|&p| p != in_port)),
+                Action::Drop => {}
+                Action::ToController => fate.to_controller = true,
+            }
+        }
+        fate.out_ports.sort();
+        fate.out_ports.dedup();
+        fate
     }
 
     /// Processes one data packet arriving on `in_port` — the `process_pkt`

@@ -147,7 +147,12 @@ fn parallel_workers_find_the_same_violations_order_insensitive() {
             .check()
     };
     let sequential = run(1);
-    let parallel = run(4);
+    // CI pins NICE_TEST_WORKERS=4 to exercise the parallel engine there.
+    let workers = std::env::var("NICE_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let parallel = run(workers);
     assert!(!sequential.passed());
     assert!(!parallel.passed());
     assert_eq!(

@@ -1,0 +1,198 @@
+//! Equivalence of the reduced and unreduced searches, exercised through the
+//! public API on the bundled application scenarios.
+//!
+//! The partial-order reduction must be *transparent*: FullDfs+POR explores a
+//! subset of the transitions of FullDfs alone, but reports the same verdict,
+//! the same set of violated properties, and a shortest violation trace of
+//! the same length (pruned interleavings are commutations, so they cannot
+//! shorten a witness). The suite runs every scenario under 1 worker and
+//! under `NICE_TEST_WORKERS` (default 4) workers, so CI exercises the sleep
+//! sets both in the deterministic sequential engine and in the racy parallel
+//! one.
+
+use nice::apps::pyswitch::{PySwitchApp, PySwitchVariant};
+use nice::prelude::*;
+use nice::scenarios::{bug_scenario, BugId};
+
+/// Worker count for the parallel legs (CI sets `NICE_TEST_WORKERS=4`).
+fn test_workers() -> usize {
+    std::env::var("NICE_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// The pyswitch ping workload stretched over a chain of `switches` switches
+/// (the exploration-engine benchmark scenario): host A at one end, the
+/// echoing host B at the other, MAC-learning along the way.
+fn chain_ping_scenario(switches: u32, pings: u32) -> Scenario {
+    let mut builder = Topology::builder();
+    for s in 1..=switches {
+        builder = builder.switch(SwitchId(s), &[1, 2, 3]);
+    }
+    builder = builder.host(HostId(1), SwitchId(1), PortId(1)).host(
+        HostId(2),
+        SwitchId(switches),
+        PortId(1),
+    );
+    for s in 1..switches {
+        builder = builder.link(SwitchId(s), PortId(2), SwitchId(s + 1), PortId(3));
+    }
+    let topology = builder.build();
+    let host_a = *topology.host(HostId(1)).unwrap();
+    let host_b = *topology.host(HostId(2)).unwrap();
+    let hosts: Vec<Box<dyn HostModel>> = vec![
+        Box::new(ClientHost::new(host_a, SendBudget::sends(pings))),
+        Box::new(ClientHost::new(host_b, SendBudget::SILENT).with_echo()),
+    ];
+    let script: Vec<Packet> = (0..pings)
+        .map(|i| Packet::l2_ping(i as u64 + 1, host_a.mac, host_b.mac, i))
+        .collect();
+    Scenario::new(
+        format!("chain{switches}-ping-{pings}"),
+        topology,
+        Box::new(PySwitchApp::new(PySwitchVariant::Original)),
+        hosts,
+        SendPolicy::scripted([(HostId(1), script)]),
+    )
+}
+
+/// Violated property names, sorted and deduplicated.
+fn violated_properties(report: &CheckReport) -> Vec<String> {
+    let mut names: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| v.property.clone())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Length of the shortest violation trace per property.
+fn shortest_traces(report: &CheckReport) -> Vec<(String, usize)> {
+    let mut out: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for v in &report.violations {
+        let entry = out.entry(v.property.clone()).or_insert(usize::MAX);
+        *entry = (*entry).min(v.trace.len());
+    }
+    out.into_iter().collect()
+}
+
+fn run(scenario: Scenario, reduction: ReductionKind, workers: usize) -> CheckReport {
+    Nice::new(scenario)
+        .collect_all_violations()
+        .with_reduction(reduction)
+        .with_workers(workers)
+        .check()
+}
+
+/// The core equivalence assertion: FullDfs+POR vs FullDfs on one scenario
+/// under one worker count.
+fn assert_equivalent(make: impl Fn() -> Scenario, workers: usize, label: &str) {
+    let full = run(make(), ReductionKind::None, workers);
+    let por = run(make(), ReductionKind::Por, workers);
+    assert!(
+        !full.stats.truncated && !por.stats.truncated,
+        "{label}: equivalence requires exhaustive searches"
+    );
+    assert_eq!(full.passed(), por.passed(), "{label}: verdicts differ");
+    assert_eq!(
+        violated_properties(&full),
+        violated_properties(&por),
+        "{label}: violated property sets differ"
+    );
+    assert_eq!(
+        shortest_traces(&full),
+        shortest_traces(&por),
+        "{label}: shortest witnesses differ"
+    );
+    assert!(
+        por.stats.transitions <= full.stats.transitions,
+        "{label}: POR explored more transitions ({}) than the full search ({})",
+        por.stats.transitions,
+        full.stats.transitions
+    );
+    assert_eq!(
+        full.stats.terminal_states, por.stats.terminal_states,
+        "{label}: terminal coverage differs"
+    );
+}
+
+#[test]
+fn pyswitch_chain_equivalence_under_one_and_many_workers() {
+    for workers in [1, test_workers()] {
+        assert_equivalent(
+            || chain_ping_scenario(5, 2),
+            workers,
+            &format!("pyswitch-chain x{workers}"),
+        );
+    }
+}
+
+#[test]
+fn pyswitch_chain_reduction_meets_the_thirty_percent_bar() {
+    let full = run(chain_ping_scenario(5, 2), ReductionKind::None, 1);
+    let por = run(chain_ping_scenario(5, 2), ReductionKind::Por, 1);
+    assert_eq!(full.stats.transitions, 11044, "baseline moved; update docs");
+    let reduction = 1.0 - por.stats.transitions as f64 / full.stats.transitions as f64;
+    assert!(
+        reduction >= 0.30,
+        "POR must prune >=30% of the chain transitions, got {:.1}% ({} vs {})",
+        reduction * 100.0,
+        por.stats.transitions,
+        full.stats.transitions
+    );
+    assert!(por.stats.pruned_by_por > 0);
+}
+
+#[test]
+fn load_balancer_bug_v_equivalence() {
+    for workers in [1, test_workers()] {
+        assert_equivalent(
+            || bug_scenario(BugId::BugV),
+            workers,
+            &format!("loadbalancer-bug-v x{workers}"),
+        );
+    }
+}
+
+#[test]
+fn energyte_equivalence() {
+    for workers in [1, test_workers()] {
+        assert_equivalent(
+            || bug_scenario(BugId::BugXI),
+            workers,
+            &format!("energyte-bug-xi x{workers}"),
+        );
+    }
+}
+
+#[test]
+fn por_composes_with_heuristic_strategies() {
+    // The heuristic strategies are themselves unsound-by-design filters, so
+    // POR on top is only required to stay within each strategy's space and
+    // keep its verdict on the bundled pass/fail scenarios.
+    for strategy in [
+        StrategyKind::NoDelay,
+        StrategyKind::FlowIr,
+        StrategyKind::Unusual,
+    ] {
+        let base = Nice::new(chain_ping_scenario(4, 2))
+            .collect_all_violations()
+            .with_strategy(strategy)
+            .check();
+        let reduced = Nice::new(chain_ping_scenario(4, 2))
+            .collect_all_violations()
+            .with_strategy(strategy)
+            .with_reduction(ReductionKind::Por)
+            .check();
+        assert_eq!(base.passed(), reduced.passed(), "{strategy:?}");
+        assert!(
+            reduced.stats.transitions <= base.stats.transitions,
+            "{strategy:?}: {} vs {}",
+            reduced.stats.transitions,
+            base.stats.transitions
+        );
+    }
+}
