@@ -1,9 +1,16 @@
-//! Ready-to-check scenarios for the eleven bugs of Section 8 (Table 2).
+//! Ready-to-check scenarios for the eleven bugs of Section 8 (Table 2),
+//! plus the enumerable **scenario registry**.
 //!
 //! Each scenario pairs the application variant containing the bug with the
 //! topology, host models, send policy and the correctness property that the
 //! paper reports as detecting it. The benchmark harness iterates over
 //! [`BugId::ALL`] × the four search strategies to regenerate Table 2.
+//!
+//! [`registry`] enumerates every bug/fixed pair as a [`ScenarioEntry`] —
+//! name, application, bug, expected violation and a `build()` constructor —
+//! so sweeps, CLIs and CI jobs can iterate over "everything NICE knows how
+//! to check" without hand-wiring [`bug_scenario`]/[`fixed_scenario`] call
+//! sites.
 
 use crate::energyte::{EnergyTeApp, EnergyTeConfig, UseCorrectRoutingTable};
 use crate::loadbalancer::{LoadBalancerApp, LoadBalancerConfig};
@@ -88,6 +95,36 @@ impl BugId {
         }
     }
 
+    /// The registry name of the scenario exhibiting this bug (what
+    /// [`bug_scenario`] builds and `nice run` takes).
+    pub fn scenario_name(&self) -> &'static str {
+        match self {
+            BugId::BugI => "bug-i-host-unreachable-after-moving",
+            BugId::BugII => "bug-ii-delayed-direct-path",
+            BugId::BugIII => "bug-iii-excess-flooding",
+            BugId::BugIV => "bug-iv-next-packet-dropped",
+            BugId::BugV => "bug-v-packets-dropped-in-transition",
+            BugId::BugVI => "bug-vi-arp-packets-forgotten",
+            BugId::BugVII => "bug-vii-duplicate-syn",
+            BugId::BugVIII => "bug-viii-first-packet-dropped",
+            BugId::BugIX => "bug-ix-intermediate-switch-packets-dropped",
+            BugId::BugX => "bug-x-only-on-demand-routes",
+            BugId::BugXI => "bug-xi-packets-dropped-on-scale-down",
+        }
+    }
+
+    /// The registry name of the fixed counterpart, where one exists.
+    pub fn fixed_scenario_name(&self) -> Option<&'static str> {
+        match self {
+            BugId::BugII => Some("bug-ii-fixed"),
+            BugId::BugIV => Some("bug-iv-fixed"),
+            BugId::BugVI => Some("bug-vi-fixed"),
+            BugId::BugVIII => Some("bug-viii-fixed"),
+            BugId::BugX => Some("bug-x-fixed"),
+            _ => None,
+        }
+    }
+
     /// A one-line description (from Section 8).
     pub fn description(&self) -> &'static str {
         match self {
@@ -161,15 +198,14 @@ fn pyswitch_scenario(
         b,
     ];
 
-    Scenario::new(
-        name,
-        topology,
-        Box::new(PySwitchApp::new(variant)),
-        hosts,
-        SendPolicy::Discover,
-    )
-    .with_packet_domains(domains)
-    .with_property(property)
+    Scenario::builder(name)
+        .topology(topology)
+        .app(Box::new(PySwitchApp::new(variant)))
+        .hosts(hosts)
+        .send_policy(SendPolicy::Discover)
+        .packet_domains(domains)
+        .property(property)
+        .build()
 }
 
 fn load_balancer_scenario(
@@ -194,15 +230,14 @@ fn load_balancer_scenario(
         Box::new(ServerHost::new(replica2).with_virtual_ip(vip)),
     ];
 
-    Scenario::new(
-        name,
-        topology,
-        Box::new(LoadBalancerApp::new(config)),
-        hosts,
-        SendPolicy::Discover,
-    )
-    .with_packet_domains(domains)
-    .with_property(property)
+    Scenario::builder(name)
+        .topology(topology)
+        .app(Box::new(LoadBalancerApp::new(config)))
+        .hosts(hosts)
+        .send_policy(SendPolicy::Discover)
+        .packet_domains(domains)
+        .property(property)
+        .build()
 }
 
 fn energy_te_scenario(
@@ -237,22 +272,22 @@ fn energy_te_scenario(
     ];
 
     let threshold = config.utilization_threshold;
-    Scenario::new(
-        name,
-        topology,
-        Box::new(EnergyTeApp::new(config)),
-        hosts,
-        SendPolicy::scripted([(HostId(1), script)]),
-    )
-    .with_stats_domains(StatsDomains::around_threshold(threshold))
-    .with_property(property)
+    Scenario::builder(name)
+        .topology(topology)
+        .app(Box::new(EnergyTeApp::new(config)))
+        .hosts(hosts)
+        .scripted_sends([(HostId(1), script)])
+        .stats_domains(StatsDomains::around_threshold(threshold))
+        .property(property)
+        .build()
 }
 
 /// Builds the scenario that exhibits `bug` (Table 2 row).
 pub fn bug_scenario(bug: BugId) -> Scenario {
+    let name = bug.scenario_name();
     match bug {
         BugId::BugI => pyswitch_scenario(
-            "bug-i-host-unreachable-after-moving",
+            name,
             PySwitchVariant::Original,
             Topology::linear_two_switches(),
             true,
@@ -260,7 +295,7 @@ pub fn bug_scenario(bug: BugId) -> Scenario {
             Box::new(NoBlackHoles::new()),
         ),
         BugId::BugII => pyswitch_scenario(
-            "bug-ii-delayed-direct-path",
+            name,
             PySwitchVariant::Original,
             Topology::linear_two_switches(),
             false,
@@ -268,7 +303,7 @@ pub fn bug_scenario(bug: BugId) -> Scenario {
             Box::new(StrictDirectPaths::new()),
         ),
         BugId::BugIII => pyswitch_scenario(
-            "bug-iii-excess-flooding",
+            name,
             PySwitchVariant::Original,
             Topology::triangle(),
             false,
@@ -278,39 +313,24 @@ pub fn bug_scenario(bug: BugId) -> Scenario {
         BugId::BugIV => {
             let mut config = LoadBalancerConfig::correct(load_balancer_vip());
             config.bug_forget_packet_out = true;
-            load_balancer_scenario(
-                "bug-iv-next-packet-dropped",
-                config,
-                1,
-                Box::new(NoForgottenPackets::new()),
-            )
+            load_balancer_scenario(name, config, 1, Box::new(NoForgottenPackets::new()))
         }
         BugId::BugV => {
             let mut config =
                 LoadBalancerConfig::correct(load_balancer_vip()).with_reconfiguration_after(1);
             config.bug_ignore_unexpected_reason = true;
-            load_balancer_scenario(
-                "bug-v-packets-dropped-in-transition",
-                config,
-                2,
-                Box::new(NoForgottenPackets::new()),
-            )
+            load_balancer_scenario(name, config, 2, Box::new(NoForgottenPackets::new()))
         }
         BugId::BugVI => {
             let mut config = LoadBalancerConfig::correct(load_balancer_vip());
             config.bug_forget_arp_buffer = true;
-            load_balancer_scenario(
-                "bug-vi-arp-packets-forgotten",
-                config,
-                1,
-                Box::new(NoForgottenPackets::new()),
-            )
+            load_balancer_scenario(name, config, 1, Box::new(NoForgottenPackets::new()))
         }
         BugId::BugVII => {
             let config =
                 LoadBalancerConfig::correct(load_balancer_vip()).with_reconfiguration_after(1);
             load_balancer_scenario(
-                "bug-vii-duplicate-syn",
+                name,
                 config,
                 3,
                 Box::new(FlowAffinity::new([HostId(2), HostId(3)])),
@@ -319,28 +339,18 @@ pub fn bug_scenario(bug: BugId) -> Scenario {
         BugId::BugVIII => {
             let mut config = EnergyTeConfig::triangle_default();
             config.bug_forget_packet_out = true;
-            energy_te_scenario(
-                "bug-viii-first-packet-dropped",
-                config,
-                &[(1, 2)],
-                Box::new(NoForgottenPackets::new()),
-            )
+            energy_te_scenario(name, config, &[(1, 2)], Box::new(NoForgottenPackets::new()))
         }
         BugId::BugIX => {
             let mut config = EnergyTeConfig::triangle_default();
             config.bug_ignore_intermediate = true;
-            energy_te_scenario(
-                "bug-ix-intermediate-switch-packets-dropped",
-                config,
-                &[(1, 2)],
-                Box::new(NoForgottenPackets::new()),
-            )
+            energy_te_scenario(name, config, &[(1, 2)], Box::new(NoForgottenPackets::new()))
         }
         BugId::BugX => {
             let mut config = EnergyTeConfig::triangle_default();
             config.bug_single_table_pointer = true;
             energy_te_scenario(
-                "bug-x-only-on-demand-routes",
+                name,
                 config,
                 &[(1, 2), (1, 3)],
                 Box::new(UseCorrectRoutingTable::new()),
@@ -351,7 +361,7 @@ pub fn bug_scenario(bug: BugId) -> Scenario {
             config.bug_ignore_after_scale_down = true;
             config.stats_polls = 2;
             energy_te_scenario(
-                "bug-xi-packets-dropped-on-scale-down",
+                name,
                 config,
                 &[(1, 2), (1, 3)],
                 Box::new(NoForgottenPackets::new()),
@@ -366,7 +376,7 @@ pub fn bug_scenario(bug: BugId) -> Scenario {
 pub fn fixed_scenario(bug: BugId) -> Option<Scenario> {
     match bug {
         BugId::BugII => Some(pyswitch_scenario(
-            "bug-ii-fixed",
+            bug.fixed_scenario_name().unwrap(),
             PySwitchVariant::FixedTwoWayInstall,
             Topology::linear_two_switches(),
             false,
@@ -374,25 +384,25 @@ pub fn fixed_scenario(bug: BugId) -> Option<Scenario> {
             Box::new(StrictDirectPaths::new()),
         )),
         BugId::BugIV => Some(load_balancer_scenario(
-            "bug-iv-fixed",
+            bug.fixed_scenario_name().unwrap(),
             LoadBalancerConfig::correct(load_balancer_vip()),
             1,
             Box::new(NoForgottenPackets::new()),
         )),
         BugId::BugVI => Some(load_balancer_scenario(
-            "bug-vi-fixed",
+            bug.fixed_scenario_name().unwrap(),
             LoadBalancerConfig::correct(load_balancer_vip()),
             1,
             Box::new(NoForgottenPackets::new()),
         )),
         BugId::BugVIII => Some(energy_te_scenario(
-            "bug-viii-fixed",
+            bug.fixed_scenario_name().unwrap(),
             EnergyTeConfig::triangle_default(),
             &[(1, 2)],
             Box::new(NoForgottenPackets::new()),
         )),
         BugId::BugX => Some(energy_te_scenario(
-            "bug-x-fixed",
+            bug.fixed_scenario_name().unwrap(),
             EnergyTeConfig::triangle_default(),
             &[(1, 2), (1, 3)],
             Box::new(UseCorrectRoutingTable::new()),
@@ -401,10 +411,133 @@ pub fn fixed_scenario(bug: BugId) -> Option<Scenario> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The scenario registry
+// ---------------------------------------------------------------------------
+
+/// Whether a registry entry carries the published bug or its fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// The application variant containing the bug: the check is expected to
+    /// find the violation named by [`ScenarioEntry::expected_violation`].
+    Buggy,
+    /// The fixed counterpart: the same workload is expected to pass.
+    Fixed,
+}
+
+/// One enumerable, ready-to-build scenario of the registry.
+#[derive(Debug, Clone)]
+pub struct ScenarioEntry {
+    /// The scenario's unique name (identical to the built
+    /// [`Scenario::name`]) — what `nice run <name>` takes.
+    pub name: String,
+    /// Which application the scenario exercises ("pyswitch",
+    /// "load-balancer" or "energy-te").
+    pub app: &'static str,
+    /// The Section 8 bug the scenario reproduces (or whose fix it verifies).
+    pub bug: BugId,
+    /// Bug or fixed variant.
+    pub kind: ScenarioKind,
+    /// The property the check is expected to report violated, or `None`
+    /// when the scenario is expected to pass (the fixed variants).
+    pub expected_violation: Option<&'static str>,
+}
+
+impl ScenarioEntry {
+    /// Builds a fresh copy of the scenario.
+    pub fn build(&self) -> Scenario {
+        match self.kind {
+            ScenarioKind::Buggy => bug_scenario(self.bug),
+            ScenarioKind::Fixed => fixed_scenario(self.bug)
+                .expect("registry only lists fixed entries for bugs with a fix"),
+        }
+    }
+
+    /// The property this scenario checks (violated by the buggy variant,
+    /// satisfied by the fixed one).
+    pub fn property(&self) -> &'static str {
+        self.bug.property_name()
+    }
+}
+
+/// Every scenario NICE ships: a bug entry per [`BugId`] (Table 2 order)
+/// followed by the fixed counterpart where one exists. Names are unique, so
+/// [`find_scenario`] can resolve them.
+pub fn registry() -> Vec<ScenarioEntry> {
+    // Names come from the static tables on `BugId`, so enumerating (or
+    // resolving) the registry never constructs a scenario; the registry
+    // test pins `entry.build().name == entry.name` for every entry.
+    let mut entries = Vec::new();
+    for bug in BugId::ALL {
+        entries.push(ScenarioEntry {
+            name: bug.scenario_name().to_string(),
+            app: bug.application(),
+            bug,
+            kind: ScenarioKind::Buggy,
+            expected_violation: Some(bug.property_name()),
+        });
+        if let Some(fixed_name) = bug.fixed_scenario_name() {
+            entries.push(ScenarioEntry {
+                name: fixed_name.to_string(),
+                app: bug.application(),
+                bug,
+                kind: ScenarioKind::Fixed,
+                expected_violation: None,
+            });
+        }
+    }
+    entries
+}
+
+/// Looks a scenario up by its registry name.
+pub fn find_scenario(name: &str) -> Option<ScenarioEntry> {
+    registry().into_iter().find(|e| e.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nice_mc::{CheckerConfig, ModelChecker};
+
+    #[test]
+    fn registry_is_complete_and_names_are_unique() {
+        let entries = registry();
+        // Every bug has exactly one Buggy entry with the right expectation.
+        for bug in BugId::ALL {
+            let buggy: Vec<_> = entries
+                .iter()
+                .filter(|e| e.bug == bug && e.kind == ScenarioKind::Buggy)
+                .collect();
+            assert_eq!(buggy.len(), 1, "{bug:?}");
+            assert_eq!(buggy[0].expected_violation, Some(bug.property_name()));
+            assert_eq!(buggy[0].app, bug.application());
+            // Fixed entries exist exactly where a fixed scenario does.
+            let has_fixed = entries
+                .iter()
+                .any(|e| e.bug == bug && e.kind == ScenarioKind::Fixed);
+            assert_eq!(has_fixed, fixed_scenario(bug).is_some(), "{bug:?}");
+        }
+        // Names are unique and resolvable, and building an entry yields a
+        // scenario of the same name with exactly one property.
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "registry names must be unique");
+        for entry in &entries {
+            let scenario = entry.build();
+            assert_eq!(scenario.name, entry.name);
+            assert_eq!(scenario.properties.len(), 1, "{}", entry.name);
+            assert_eq!(scenario.properties[0].name(), entry.property());
+            assert_eq!(
+                find_scenario(&entry.name).map(|e| e.kind),
+                Some(entry.kind),
+                "{}",
+                entry.name
+            );
+        }
+        assert!(find_scenario("no-such-scenario").is_none());
+    }
 
     #[test]
     fn every_bug_has_a_scenario_with_one_property() {

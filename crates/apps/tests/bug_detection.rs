@@ -2,7 +2,7 @@
 //! (PKT-SEQ) search within a modest transition budget, the violated property
 //! matches the paper, and the available fixes eliminate the violations.
 
-use nice_apps::scenarios::{bug_scenario, fixed_scenario, BugId};
+use nice_apps::scenarios::{bug_scenario, fixed_scenario, registry, BugId, ScenarioKind};
 use nice_mc::{CheckerConfig, ModelChecker, StrategyKind};
 
 fn detect(bug: BugId, strategy: StrategyKind, budget: u64) -> Option<String> {
@@ -72,19 +72,68 @@ fn no_delay_misses_the_rule_installation_race() {
 
 #[test]
 fn fixed_variants_pass() {
-    for bug in [
-        BugId::BugII,
-        BugId::BugIV,
-        BugId::BugVI,
-        BugId::BugVIII,
-        BugId::BugX,
-    ] {
-        let scenario = fixed_scenario(bug).expect("fixed scenario exists");
+    // Driven by the registry rather than a hand-kept list, so a new fixed
+    // scenario is automatically covered (and `fixed_scenario` stays in sync
+    // with the registry's Fixed entries).
+    let fixed: Vec<_> = registry()
+        .into_iter()
+        .filter(|e| e.kind == ScenarioKind::Fixed)
+        .collect();
+    assert!(fixed.len() >= 5, "the five published fixes are registered");
+    for entry in fixed {
+        assert!(fixed_scenario(entry.bug).is_some(), "{:?}", entry.bug);
         let report = ModelChecker::new(
-            scenario,
+            entry.build(),
             CheckerConfig::default().with_max_transitions(500_000),
         )
         .run();
-        assert!(report.passed(), "fix for {bug:?} still violates: {report}");
+        assert!(
+            report.passed(),
+            "fix '{}' still violates {}: {report}",
+            entry.name,
+            entry.property()
+        );
+        assert!(
+            !report.stats.truncated,
+            "{}: the budget must suffice",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn registry_bug_entries_detect_their_expected_violation_via_sessions() {
+    // The registry's cheap bug entries, checked through the session API:
+    // the streamed ViolationFound events and the final report agree, and
+    // the violated property is the one the entry advertises.
+    use nice_mc::{CheckEvent, CheckObserver};
+
+    #[derive(Default)]
+    struct FirstViolation(Option<String>);
+    impl CheckObserver for FirstViolation {
+        fn on_event(&mut self, event: &CheckEvent) {
+            if let CheckEvent::ViolationFound(v) = event {
+                self.0.get_or_insert_with(|| v.property.clone());
+            }
+        }
+    }
+
+    for bug in [BugId::BugIV, BugId::BugVIII] {
+        let entry = registry()
+            .into_iter()
+            .find(|e| e.bug == bug && e.kind == ScenarioKind::Buggy)
+            .expect("every bug has a registry entry");
+        let checker = ModelChecker::new(
+            entry.build(),
+            CheckerConfig::default().with_max_transitions(200_000),
+        );
+        let mut observer = FirstViolation::default();
+        let report = checker.session().run_with(&mut observer);
+        assert!(!report.passed(), "{bug:?}");
+        assert_eq!(
+            observer.0.as_deref(),
+            entry.expected_violation,
+            "{bug:?}: streamed violation matches the registry expectation"
+        );
     }
 }

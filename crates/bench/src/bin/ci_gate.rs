@@ -21,8 +21,9 @@
 //! Regenerate the committed baseline with
 //! `cargo run --release -p nice-bench --bin ci_gate -- --out bench/baseline.json`.
 
-use nice_bench::{chain_ping_workload, exhaustive, load_balancer_workload};
-use nice_mc::{CheckerConfig, ReductionKind, Scenario};
+use nice_bench::jsonv::validate_json;
+use nice_bench::{chain_ping_workload, engine_configs, exhaustive, load_balancer_workload};
+use nice_mc::Scenario;
 
 /// One engine's measurements on one workload.
 struct EngineRow {
@@ -49,36 +50,9 @@ const TRANSITIONS_TOLERANCE: f64 = 1.15;
 /// Allowed relative slowdown of an engine's normalised rate.
 const RATE_TOLERANCE: f64 = 0.85;
 
-fn engine_configs() -> Vec<(String, CheckerConfig)> {
-    vec![
-        (
-            "sequential-seed (deep clone)".into(),
-            CheckerConfig {
-                force_deep_clone: true,
-                ..CheckerConfig::default()
-            },
-        ),
-        ("cow-snapshot".into(), CheckerConfig::default()),
-        (
-            "checkpoint-replay (K=8)".into(),
-            CheckerConfig::default().with_checkpoint_interval(8),
-        ),
-        (
-            "parallel (4 workers)".into(),
-            CheckerConfig::default().with_workers(4),
-        ),
-        (
-            "por (sleep sets)".into(),
-            CheckerConfig::default().with_reduction(ReductionKind::Por),
-        ),
-        (
-            "por + parallel (4 workers)".into(),
-            CheckerConfig::default()
-                .with_reduction(ReductionKind::Por)
-                .with_workers(4),
-        ),
-    ]
-}
+/// Workers for the parallel legs; fixed so the engine labels (and therefore
+/// the baseline keys) never drift with runner hardware.
+const GATE_WORKERS: usize = 4;
 
 /// Measurement cycles per profile; each cycle runs every engine once
 /// (round-robin) and each engine reports its best cycle. Interleaving the
@@ -88,7 +62,7 @@ fn engine_configs() -> Vec<(String, CheckerConfig)> {
 const MEASUREMENT_CYCLES: usize = 5;
 
 fn profile(label: &str, rate_gated: bool, scenario: impl Fn() -> Scenario) -> Profile {
-    let configs = engine_configs();
+    let configs = engine_configs(GATE_WORKERS);
     let mut best_rates = vec![0.0f64; configs.len()];
     let mut stats = Vec::new();
     for cycle in 0..MEASUREMENT_CYCLES {
@@ -214,6 +188,7 @@ fn main() {
     ];
 
     let json = render_json(&profiles);
+    validate_json(&json).expect("ci_gate emitted malformed JSON");
     std::fs::write(&out_path, &json).expect("write results");
     println!("wrote {out_path}");
     for p in &profiles {

@@ -1,49 +1,37 @@
 //! States/sec comparison of the exploration engines on the pyswitch FullDfs
-//! chain-ping workload and the load-balancer workload: the pre-COW
-//! sequential baseline (eager deep clones), copy-on-write snapshots,
-//! checkpointed replay, and the parallel engine.
+//! chain-ping workload and the load-balancer workload (the BUG-V registry
+//! entry): the pre-COW sequential baseline (eager deep clones),
+//! copy-on-write snapshots, checkpointed replay, the parallel engine and
+//! the POR legs — the shared [`nice_bench::engine_configs`] matrix.
 //!
-//! Usage: `parallel [switches] [pings] [workers]`
+//! Usage: `parallel [switches] [pings] [workers] [--progress]`
+//!
+//! With `--progress`, each run streams its session's `Progress` events to
+//! stderr while it explores.
 
-use nice_bench::{chain_ping_workload, exhaustive, load_balancer_workload};
-use nice_mc::{CheckerConfig, ReductionKind, Scenario, SearchStats};
+use nice_bench::{chain_ping_workload, engine_configs, exhaustive_with, load_balancer_workload};
+use nice_mc::{CheckEvent, NoopObserver, Scenario, SearchStats};
 
 fn states_per_sec(stats: &SearchStats) -> f64 {
     stats.unique_states as f64 / stats.duration.as_secs_f64()
 }
 
-fn engine_configs(workers: usize) -> Vec<(String, CheckerConfig)> {
-    vec![
-        (
-            "sequential-seed (deep clone)".into(),
-            CheckerConfig {
-                force_deep_clone: true,
-                ..CheckerConfig::default()
-            },
-        ),
-        ("cow-snapshot".into(), CheckerConfig::default()),
-        (
-            "checkpoint-replay (K=8)".into(),
-            CheckerConfig::default().with_checkpoint_interval(8),
-        ),
-        (
-            format!("parallel ({workers} workers)"),
-            CheckerConfig::default().with_workers(workers),
-        ),
-        (
-            "por (sleep sets)".into(),
-            CheckerConfig::default().with_reduction(ReductionKind::Por),
-        ),
-        (
-            format!("por + parallel ({workers} workers)"),
-            CheckerConfig::default()
-                .with_reduction(ReductionKind::Por)
-                .with_workers(workers),
-        ),
-    ]
+/// Prints `Progress` events to stderr; everything else is ignored.
+fn progress_printer(engine: String) -> impl FnMut(&CheckEvent) + Send {
+    move |event: &CheckEvent| {
+        if let CheckEvent::Progress {
+            states,
+            transitions,
+            rate,
+            ..
+        } = event
+        {
+            eprintln!("  [{engine}] {states} states / {transitions} transitions ({rate:.0}/s)");
+        }
+    }
 }
 
-fn run(label: &str, scenario: impl Fn() -> Scenario, workers: usize) {
+fn run(label: &str, scenario: impl Fn() -> Scenario, workers: usize, progress: bool) {
     println!("{label}");
     println!(
         "{:<32} {:>12} {:>12} {:>12} {:>14}",
@@ -52,7 +40,11 @@ fn run(label: &str, scenario: impl Fn() -> Scenario, workers: usize) {
     println!("{}", "-".repeat(86));
     let mut baseline: Option<f64> = None;
     for (name, config) in engine_configs(workers) {
-        let stats = exhaustive(scenario(), config);
+        let stats = if progress {
+            exhaustive_with(scenario(), config, &mut progress_printer(name.clone()))
+        } else {
+            exhaustive_with(scenario(), config, &mut NoopObserver)
+        };
         let rate = states_per_sec(&stats);
         let speedup = baseline.map(|b| rate / b).unwrap_or(1.0);
         baseline.get_or_insert(rate);
@@ -65,7 +57,9 @@ fn run(label: &str, scenario: impl Fn() -> Scenario, workers: usize) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let progress = args.iter().any(|a| a == "--progress");
+    args.retain(|a| a != "--progress");
     let switches: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     let pings: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
     let workers: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -74,10 +68,12 @@ fn main() {
         &format!("pyswitch FullDfs chain workload, {switches} switches, {pings} pings"),
         || chain_ping_workload(switches, pings),
         workers,
+        progress,
     );
     run(
         "load balancer (BUG-V scenario), FullDfs",
         load_balancer_workload,
         workers,
+        progress,
     );
 }

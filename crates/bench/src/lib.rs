@@ -23,13 +23,16 @@
 #![warn(missing_docs)]
 
 use nice_apps::pyswitch::{PySwitchApp, PySwitchVariant};
-use nice_apps::scenarios::{bug_scenario, BugId};
+use nice_apps::scenarios::{bug_scenario, find_scenario, BugId};
 use nice_hosts::{ClientHost, HostModel, SendBudget};
 use nice_mc::{
-    CheckerConfig, ModelChecker, Scenario, SearchStats, SendPolicy, StateStorage, StrategyKind,
+    CheckObserver, CheckerConfig, ModelChecker, NoopObserver, ReductionKind, Scenario, SearchStats,
+    StateStorage, StrategyKind,
 };
 use nice_openflow::{HostId, Packet, PortId, SwitchConfig, SwitchId, Topology};
 use std::time::Duration;
+
+pub mod jsonv;
 
 /// The layer-2 ping workload of Section 7: host A sends `pings` pings to
 /// host B over the Figure 1 topology, host B echoes each one, and the
@@ -46,17 +49,16 @@ pub fn ping_workload(pings: u32, canonical_switch_model: bool) -> Scenario {
     let script: Vec<Packet> = (0..pings)
         .map(|i| Packet::l2_ping(i as u64 + 1, host_a.mac, host_b.mac, i))
         .collect();
-    Scenario::new(
-        format!("ping-{pings}"),
-        topology,
-        Box::new(PySwitchApp::new(PySwitchVariant::Original)),
-        hosts,
-        SendPolicy::scripted([(HostId(1), script)]),
-    )
-    .with_switch_config(SwitchConfig {
-        canonical_flow_table: canonical_switch_model,
-        ..SwitchConfig::default()
-    })
+    Scenario::builder(format!("ping-{pings}"))
+        .topology(topology)
+        .app(Box::new(PySwitchApp::new(PySwitchVariant::Original)))
+        .hosts(hosts)
+        .scripted_sends([(HostId(1), script)])
+        .switch_config(SwitchConfig {
+            canonical_flow_table: canonical_switch_model,
+            ..SwitchConfig::default()
+        })
+        .build()
 }
 
 /// The ping workload stretched over a chain of `switches` switches: host A
@@ -91,29 +93,80 @@ pub fn chain_ping_workload(switches: u32, pings: u32) -> Scenario {
     let script: Vec<Packet> = (0..pings)
         .map(|i| Packet::l2_ping(i as u64 + 1, host_a.mac, host_b.mac, i))
         .collect();
-    Scenario::new(
-        format!("chain{switches}-ping-{pings}"),
-        topology,
-        Box::new(PySwitchApp::new(PySwitchVariant::Original)),
-        hosts,
-        SendPolicy::scripted([(HostId(1), script)]),
-    )
+    Scenario::builder(format!("chain{switches}-ping-{pings}"))
+        .topology(topology)
+        .app(Box::new(PySwitchApp::new(PySwitchVariant::Original)))
+        .hosts(hosts)
+        .scripted_sends([(HostId(1), script)])
+        .build()
 }
 
 /// The load-balancer bug-hunt scenario (BUG-V) explored exhaustively — the
 /// second workload the exploration-engine benches must demonstrate wins on.
+/// Resolved through the scenario registry, so the bench bins exercise the
+/// same entry `nice run` does.
 pub fn load_balancer_workload() -> Scenario {
-    bug_scenario(BugId::BugV)
+    find_scenario("bug-v-packets-dropped-in-transition")
+        .expect("BUG-V is registered")
+        .build()
+}
+
+/// The engine matrix the exploration benches and the CI bench gate profile:
+/// the pre-COW deep-clone baseline, copy-on-write snapshots, checkpointed
+/// replay, the parallel engine, and the POR legs. Shared by the `parallel`
+/// and `ci_gate` bins so their rows can never drift apart.
+pub fn engine_configs(workers: usize) -> Vec<(String, CheckerConfig)> {
+    vec![
+        (
+            "sequential-seed (deep clone)".into(),
+            CheckerConfig {
+                force_deep_clone: true,
+                ..CheckerConfig::default()
+            },
+        ),
+        ("cow-snapshot".into(), CheckerConfig::default()),
+        (
+            "checkpoint-replay (K=8)".into(),
+            CheckerConfig::default().with_checkpoint_interval(8),
+        ),
+        (
+            format!("parallel ({workers} workers)"),
+            CheckerConfig::default().with_workers(workers),
+        ),
+        (
+            "por (sleep sets)".into(),
+            CheckerConfig::default().with_reduction(ReductionKind::Por),
+        ),
+        (
+            format!("por + parallel ({workers} workers)"),
+            CheckerConfig::default()
+                .with_reduction(ReductionKind::Por)
+                .with_workers(workers),
+        ),
+    ]
 }
 
 /// Runs an exhaustive search (no property checking, no early stop) and
 /// returns the search statistics.
 pub fn exhaustive(scenario: Scenario, config: CheckerConfig) -> SearchStats {
+    exhaustive_with(scenario, config, &mut NoopObserver)
+}
+
+/// [`exhaustive`], but driven as a check session streaming events to
+/// `observer` — how the bench bins surface live progress.
+pub fn exhaustive_with(
+    scenario: Scenario,
+    config: CheckerConfig,
+    observer: &mut dyn CheckObserver,
+) -> SearchStats {
     let config = CheckerConfig {
         stop_at_first_violation: false,
         ..config
     };
-    ModelChecker::new(scenario, config).run().stats
+    ModelChecker::new(scenario, config)
+        .session()
+        .run_with(observer)
+        .stats
 }
 
 /// One row of Table 1.

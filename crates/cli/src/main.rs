@@ -1,0 +1,538 @@
+//! The `nice` command line.
+//!
+//! Built on the scenario registry and the session-based checking API:
+//!
+//! * `nice list` — every bug/fixed scenario the registry knows, with the
+//!   application and the property each one is expected to violate (or pass).
+//! * `nice run <scenario>` — an observable, cancellable check of one
+//!   registry scenario: streams progress to stderr, honours a wall-clock
+//!   budget (`--time-budget-ms`), and with `--json` emits one
+//!   machine-readable object (schema `nice-cli-run-v1`, documented in
+//!   `bench/README.md`).
+//! * `nice sweep <scenario>` — the strategies × reductions matrix on one
+//!   scenario, as a JSON report in the same hand-rolled style as the bench
+//!   gate's `BENCH_ci.json` (schema `nice-cli-sweep-v1`).
+//! * `nice validate-json` — reads stdin and exits non-zero unless it is one
+//!   well-formed JSON value (what CI pipes `--json` output through).
+//!
+//! Every emitted JSON document is self-checked with the same validator
+//! before it is printed, so the CLI can never ship what `validate-json`
+//! would reject.
+
+use nice_apps::scenarios::{find_scenario, registry, ScenarioEntry, ScenarioKind};
+use nice_bench::jsonv::{escape_json, validate_json};
+use nice_mc::{CheckEvent, CheckReport, CheckerConfig, ModelChecker, ReductionKind, StrategyKind};
+use std::io::Read;
+use std::time::Duration;
+
+const USAGE: &str = "\
+nice — model-check OpenFlow controller programs (NICE, NSDI'12)
+
+USAGE:
+  nice list [--names]
+  nice run <scenario> [OPTIONS]
+  nice sweep <scenario> [OPTIONS]
+  nice validate-json            (reads stdin)
+
+RUN / SWEEP OPTIONS:
+  --strategy <pkt-seq|no-delay|flow-ir|unusual>   search strategy (run only; default pkt-seq)
+  --reduction <none|por>                          partial-order reduction (run only; default none)
+  --workers <N>                                   search worker threads (default 1)
+  --max-transitions <N>                           transition budget (default 500000; 0 = unlimited)
+  --max-depth <N>                                 depth bound (default 400)
+  --time-budget-ms <N>                            interrupt the search (each sweep cell) after N wall-clock ms
+  --progress-every <N>                            Progress event cadence in transitions (run only; default 8192)
+  --all-violations                                keep searching after the first violation
+  --expect                                        exit non-zero unless the registry expectation holds
+                                                  (bug found its property / fixed variant passed; run only)
+  --matrix strategies-x-reductions                sweep matrix selector (sweep only; the default)
+  --json                                          emit machine-readable JSON on stdout
+  --quiet                                         suppress streamed progress on stderr
+
+Scenario names come from `nice list`; schemas are documented in bench/README.md.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("validate-json") => cmd_validate_json(),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+// ---------------------------------------------------------------------------
+// Option parsing (hand-rolled; the offline build has no clap)
+// ---------------------------------------------------------------------------
+
+/// Which subcommand is parsing: `run` rejects sweep-only flags and vice
+/// versa, so no option is ever silently ignored.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Run,
+    Sweep,
+}
+
+struct RunOptions {
+    scenario: Option<String>,
+    strategy: StrategyKind,
+    reduction: ReductionKind,
+    workers: usize,
+    max_transitions: u64,
+    max_depth: usize,
+    time_budget: Option<Duration>,
+    progress_every: u64,
+    all_violations: bool,
+    expect: bool,
+    json: bool,
+    quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scenario: None,
+            strategy: StrategyKind::FullDfs,
+            reduction: ReductionKind::None,
+            workers: 1,
+            max_transitions: 500_000,
+            max_depth: 400,
+            time_budget: None,
+            progress_every: nice_mc::session::DEFAULT_PROGRESS_EVERY,
+            all_violations: false,
+            expect: false,
+            json: false,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_run_options(args: &[String], mode: Mode) -> Result<RunOptions, String> {
+    let mut opts = RunOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--strategy" => {
+                if mode == Mode::Sweep {
+                    return Err("--strategy is run-only; sweep covers every strategy".into());
+                }
+                let v = take_value(i)?;
+                opts.strategy = StrategyKind::parse(v).ok_or_else(|| {
+                    format!("unknown strategy '{v}' (pkt-seq, no-delay, flow-ir, unusual)")
+                })?;
+                i += 2;
+            }
+            "--reduction" => {
+                if mode == Mode::Sweep {
+                    return Err("--reduction is run-only; sweep covers every reduction".into());
+                }
+                let v = take_value(i)?;
+                opts.reduction = ReductionKind::parse(v)
+                    .ok_or_else(|| format!("unknown reduction '{v}' (none, por)"))?;
+                i += 2;
+            }
+            "--workers" => {
+                opts.workers = parse_number(take_value(i)?, "--workers")? as usize;
+                i += 2;
+            }
+            "--max-transitions" => {
+                opts.max_transitions = parse_number(take_value(i)?, "--max-transitions")?;
+                i += 2;
+            }
+            "--max-depth" => {
+                opts.max_depth = parse_number(take_value(i)?, "--max-depth")? as usize;
+                i += 2;
+            }
+            "--time-budget-ms" => {
+                let ms = parse_number(take_value(i)?, "--time-budget-ms")?;
+                opts.time_budget = Some(Duration::from_millis(ms));
+                i += 2;
+            }
+            "--progress-every" => {
+                if mode == Mode::Sweep {
+                    return Err("--progress-every is run-only (sweep streams no progress)".into());
+                }
+                opts.progress_every = parse_number(take_value(i)?, "--progress-every")?;
+                i += 2;
+            }
+            "--matrix" => {
+                if mode == Mode::Run {
+                    return Err("--matrix is sweep-only".into());
+                }
+                let v = take_value(i)?;
+                // One matrix is supported today; accept both spellings of ×.
+                if v != "strategies-x-reductions" && v != "strategies×reductions" {
+                    return Err(format!("unknown matrix '{v}' (strategies-x-reductions)"));
+                }
+                i += 2;
+            }
+            "--all-violations" => {
+                opts.all_violations = true;
+                i += 1;
+            }
+            "--expect" => {
+                if mode == Mode::Sweep {
+                    return Err(
+                        "--expect is run-only (heuristic sweep cells legitimately miss bugs)"
+                            .into(),
+                    );
+                }
+                opts.expect = true;
+                i += 1;
+            }
+            "--json" => {
+                opts.json = true;
+                i += 1;
+            }
+            "--quiet" => {
+                opts.quiet = true;
+                i += 1;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            name => {
+                if opts.scenario.replace(name.to_string()).is_some() {
+                    return Err("more than one scenario name given".into());
+                }
+                i += 1;
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_number(value: &str, flag: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: '{value}' is not a number"))
+}
+
+fn usage_error(message: &str) -> i32 {
+    eprintln!("error: {message}\n\n{USAGE}");
+    2
+}
+
+fn config_from(
+    opts: &RunOptions,
+    strategy: StrategyKind,
+    reduction: ReductionKind,
+) -> CheckerConfig {
+    CheckerConfig::default()
+        .with_strategy(strategy)
+        .with_reduction(reduction)
+        .with_workers(opts.workers)
+        .with_max_transitions(opts.max_transitions)
+        .with_stop_at_first(!opts.all_violations)
+        .with_max_depth(opts.max_depth)
+}
+
+// ---------------------------------------------------------------------------
+// nice list
+// ---------------------------------------------------------------------------
+
+fn cmd_list(args: &[String]) -> i32 {
+    let names_only = args.iter().any(|a| a == "--names");
+    if let Some(bad) = args.iter().find(|a| *a != "--names") {
+        return usage_error(&format!("unknown option '{bad}'"));
+    }
+    let entries = registry();
+    if names_only {
+        for e in &entries {
+            println!("{}", e.name);
+        }
+        return 0;
+    }
+    println!(
+        "{:<42} {:<14} {:>5}  {:<8} expected violation",
+        "scenario", "app", "bug", "kind"
+    );
+    println!("{}", "-".repeat(100));
+    for e in &entries {
+        println!(
+            "{:<42} {:<14} {:>5}  {:<8} {}",
+            e.name,
+            e.app,
+            e.bug.label(),
+            match e.kind {
+                ScenarioKind::Buggy => "bug",
+                ScenarioKind::Fixed => "fixed",
+            },
+            e.expected_violation.unwrap_or("none (expected to pass)")
+        );
+    }
+    println!("{} scenarios", entries.len());
+    0
+}
+
+// ---------------------------------------------------------------------------
+// nice run
+// ---------------------------------------------------------------------------
+
+fn cmd_run(args: &[String]) -> i32 {
+    let opts = match parse_run_options(args, Mode::Run) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let Some(name) = opts.scenario.clone() else {
+        return usage_error("run needs a scenario name (see `nice list`)");
+    };
+    let Some(entry) = find_scenario(&name) else {
+        eprintln!("unknown scenario '{name}'; `nice list` enumerates them");
+        return 2;
+    };
+
+    let config = config_from(&opts, opts.strategy, opts.reduction);
+    let checker = ModelChecker::new(entry.build(), config);
+    let mut session = checker.session().with_progress_every(opts.progress_every);
+    if let Some(budget) = opts.time_budget {
+        session = session.with_time_budget(budget);
+    }
+
+    let stream_to_stderr = !opts.quiet;
+    let report = session.run_with(&mut |event: &CheckEvent| {
+        if !stream_to_stderr {
+            return;
+        }
+        match event {
+            CheckEvent::Started {
+                scenario,
+                workers,
+                strategy,
+                reduction,
+            } => eprintln!(
+                "checking {scenario} (strategy {strategy}, reduction {reduction}, {workers} worker{})",
+                if *workers == 1 { "" } else { "s" }
+            ),
+            CheckEvent::Progress {
+                states,
+                transitions,
+                rate,
+                depth,
+            } => eprintln!(
+                "  {states} states / {transitions} transitions, depth {depth} ({rate:.0} states/s)"
+            ),
+            CheckEvent::ViolationFound(v) => {
+                eprintln!("  violation: {} — {}", v.property, v.message)
+            }
+            CheckEvent::Finished(_) => {}
+        }
+    });
+
+    if opts.json {
+        let json = render_run_json(&entry, &opts, &report);
+        validate_json(&json).expect("nice run emitted malformed JSON");
+        println!("{json}");
+    } else {
+        print!("{report}");
+        match entry.expected_violation {
+            Some(property) if report.passed() => eprintln!(
+                "note: expected a {property} violation but none was found \
+                 (budget too small, or an over-restrictive strategy?)"
+            ),
+            None if !report.passed() => {
+                eprintln!("note: this fixed scenario was expected to pass")
+            }
+            _ => {}
+        }
+    }
+    if opts.expect && !expectation_met(&entry, &report) {
+        eprintln!(
+            "expectation not met for '{}': {}",
+            entry.name,
+            match entry.expected_violation {
+                Some(property) => format!("expected a {property} violation, found none"),
+                None => "this fixed scenario was expected to pass".to_string(),
+            }
+        );
+        return 1;
+    }
+    0
+}
+
+/// True if the report matches what the registry entry predicts: the buggy
+/// variants find their expected property, the fixed ones pass.
+fn expectation_met(entry: &ScenarioEntry, report: &CheckReport) -> bool {
+    match entry.expected_violation {
+        Some(property) => report.violations.iter().any(|v| v.property == property),
+        None => report.passed(),
+    }
+}
+
+fn render_run_json(entry: &ScenarioEntry, opts: &RunOptions, report: &CheckReport) -> String {
+    let mut violated: Vec<&str> = report
+        .violations
+        .iter()
+        .map(|v| v.property.as_str())
+        .collect();
+    violated.sort_unstable();
+    violated.dedup();
+    let violated = violated
+        .iter()
+        .map(|p| format!("\"{}\"", escape_json(p)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let stats = &report.stats;
+    format!(
+        "{{\n  \"schema\": \"nice-cli-run-v1\",\n  \"scenario\": \"{}\",\n  \"app\": \"{}\",\n  \
+         \"bug\": \"{}\",\n  \"kind\": \"{}\",\n  \"expected_violation\": {},\n  \
+         \"strategy\": \"{}\",\n  \"reduction\": \"{}\",\n  \"workers\": {},\n  \
+         \"outcome\": \"{}\",\n  \"passed\": {},\n  \"expectation_met\": {},\n  \
+         \"violated_properties\": [{}],\n  \"first_trace_len\": {},\n  \
+         \"states\": {},\n  \"transitions\": {},\n  \"terminal_states\": {},\n  \
+         \"pruned_by_strategy\": {},\n  \"pruned_by_por\": {},\n  \"dedup_hits\": {},\n  \
+         \"max_depth\": {},\n  \"duration_secs\": {:.6},\n  \"states_per_sec\": {:.1}\n}}",
+        escape_json(&entry.name),
+        escape_json(entry.app),
+        entry.bug.label(),
+        match entry.kind {
+            ScenarioKind::Buggy => "bug",
+            ScenarioKind::Fixed => "fixed",
+        },
+        entry
+            .expected_violation
+            .map_or("null".to_string(), |p| format!("\"{}\"", escape_json(p))),
+        opts.strategy.name(),
+        opts.reduction.name(),
+        opts.workers.max(1),
+        report.outcome.label(stats.truncated),
+        report.passed(),
+        expectation_met(entry, report),
+        violated,
+        report
+            .first_violation()
+            .map_or("null".to_string(), |v| v.trace.len().to_string()),
+        stats.unique_states,
+        stats.transitions,
+        stats.terminal_states,
+        stats.pruned_by_strategy,
+        stats.pruned_by_por,
+        stats.dedup_hits,
+        stats.max_depth,
+        stats.duration.as_secs_f64(),
+        stats.unique_states as f64 / stats.duration.as_secs_f64().max(1e-9),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// nice sweep
+// ---------------------------------------------------------------------------
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let opts = match parse_run_options(args, Mode::Sweep) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let Some(name) = opts.scenario.clone() else {
+        return usage_error("sweep needs a scenario name (see `nice list`)");
+    };
+    let Some(entry) = find_scenario(&name) else {
+        eprintln!("unknown scenario '{name}'; `nice list` enumerates them");
+        return 2;
+    };
+
+    let mut cells = Vec::new();
+    for strategy in StrategyKind::ALL {
+        for reduction in ReductionKind::ALL {
+            let config = config_from(&opts, strategy, reduction);
+            let checker = ModelChecker::new(entry.build(), config);
+            let mut session = checker.session();
+            if let Some(budget) = opts.time_budget {
+                // Each cell gets its own budget, so one pathological
+                // strategy×reduction pair cannot starve the rest of the
+                // matrix of their share.
+                session = session.with_time_budget(budget);
+            }
+            let report = session.run();
+            if !opts.quiet {
+                eprintln!(
+                    "  {:<9} × {:<4}: {} states, {} transitions, {}",
+                    strategy.name(),
+                    reduction.name(),
+                    report.stats.unique_states,
+                    report.stats.transitions,
+                    if report.passed() { "pass" } else { "violation" },
+                );
+            }
+            cells.push((strategy, reduction, report));
+        }
+    }
+
+    let json = render_sweep_json(&entry, &opts, &cells);
+    if opts.json {
+        validate_json(&json).expect("nice sweep emitted malformed JSON");
+        println!("{json}");
+    } else {
+        println!(
+            "swept {} over {} strategy×reduction cells (re-run with --json for the report)",
+            entry.name,
+            cells.len()
+        );
+    }
+    0
+}
+
+fn render_sweep_json(
+    entry: &ScenarioEntry,
+    opts: &RunOptions,
+    cells: &[(StrategyKind, ReductionKind, CheckReport)],
+) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"nice-cli-sweep-v1\",\n  \"scenario\": \"{}\",\n  \
+         \"matrix\": \"strategies-x-reductions\",\n  \"workers\": {},\n  \"cells\": [\n",
+        escape_json(&entry.name),
+        opts.workers.max(1),
+    );
+    for (i, (strategy, reduction, report)) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"reduction\": \"{}\", \"outcome\": \"{}\", \
+             \"passed\": {}, \"expectation_met\": {}, \"states\": {}, \"transitions\": {}, \
+             \"pruned_by_por\": {}, \"duration_secs\": {:.6}}}{}\n",
+            strategy.name(),
+            reduction.name(),
+            report.outcome.label(report.stats.truncated),
+            report.passed(),
+            expectation_met(entry, report),
+            report.stats.unique_states,
+            report.stats.transitions,
+            report.stats.pruned_by_por,
+            report.stats.duration.as_secs_f64(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// nice validate-json
+// ---------------------------------------------------------------------------
+
+fn cmd_validate_json() -> i32 {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("cannot read stdin: {e}");
+        return 2;
+    }
+    match validate_json(&input) {
+        Ok(()) => {
+            eprintln!("valid JSON ({} bytes)", input.len());
+            0
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            1
+        }
+    }
+}

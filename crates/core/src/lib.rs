@@ -30,7 +30,8 @@ pub use nice_openflow as openflow;
 pub use nice_sym as sym;
 
 use nice_mc::{
-    CheckReport, CheckerConfig, ModelChecker, ReductionKind, Scenario, StateStorage, StrategyKind,
+    CheckObserver, CheckReport, CheckerConfig, ModelChecker, ReductionKind, Scenario, StateStorage,
+    StrategyKind,
 };
 
 /// Commonly used items, for glob import in examples and tests.
@@ -43,8 +44,9 @@ pub mod prelude {
         StrictDirectPaths,
     };
     pub use nice_mc::{
-        CheckReport, CheckerConfig, ModelChecker, ReductionKind, Scenario, SendPolicy,
-        StateStorage, StrategyKind, Violation,
+        CancelToken, CheckEvent, CheckObserver, CheckReport, CheckSession, CheckerConfig,
+        InterruptReason, ModelChecker, NoopObserver, Outcome, ReductionKind, Scenario,
+        ScenarioBuilder, SendPolicy, StateStorage, StrategyKind, Violation,
     };
     pub use nice_openflow::{
         Action, HostId, MacAddr, MatchPattern, NwAddr, Packet, PortId, SwitchId, Topology,
@@ -125,9 +127,40 @@ impl Nice {
         &self.config
     }
 
+    /// Builds the underlying [`ModelChecker`] (cloning the scenario and
+    /// configuration). Open a session on it for streaming events,
+    /// cancellation or deadlines:
+    ///
+    /// ```no_run
+    /// # use nice_core::prelude::*;
+    /// # let scenario = nice_core::scenarios::bug_scenario(nice_core::scenarios::BugId::BugII);
+    /// let checker = Nice::new(scenario).checker();
+    /// let report = checker
+    ///     .session()
+    ///     .with_time_budget(std::time::Duration::from_secs(30))
+    ///     .run_with(&mut |event: &CheckEvent| {
+    ///         if let CheckEvent::Progress { states, rate, .. } = event {
+    ///             eprintln!("{states} states ({rate:.0}/s)");
+    ///         }
+    ///     });
+    /// ```
+    pub fn checker(&self) -> ModelChecker {
+        ModelChecker::new(self.scenario.clone(), self.config.clone())
+    }
+
     /// Runs the systematic state-space search.
     pub fn check(&self) -> CheckReport {
-        ModelChecker::new(self.scenario.clone(), self.config.clone()).run()
+        self.checker().run()
+    }
+
+    /// Runs the systematic search as a session, streaming [`CheckEvent`]s
+    /// (`Started`, `Progress`, `ViolationFound`, `Finished`) to `observer`.
+    /// For cancellation or deadlines, use
+    /// [`Nice::checker`]`.session()` directly.
+    ///
+    /// [`CheckEvent`]: nice_mc::CheckEvent
+    pub fn check_with(&self, observer: &mut dyn CheckObserver) -> CheckReport {
+        self.checker().session().run_with(observer)
     }
 
     /// Runs random walks instead of the systematic search (the simulator mode

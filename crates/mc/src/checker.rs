@@ -48,6 +48,7 @@
 
 use crate::properties::{Event, Property};
 use crate::scenario::{CheckerConfig, Scenario, StateStorage};
+use crate::session::{Outcome, SessionCtrl};
 use crate::state::SystemState;
 use crate::strategy::{build_reduction, build_strategy, SearchStrategy};
 use crate::transition::{
@@ -133,6 +134,10 @@ pub struct CheckReport {
     pub violations: Vec<Violation>,
     /// Search statistics.
     pub stats: SearchStats,
+    /// How the search ended: ran to its natural end (possibly
+    /// budget-truncated — see [`SearchStats::truncated`]) or stopped early
+    /// by a session's cancel token or deadline.
+    pub outcome: Outcome,
 }
 
 impl CheckReport {
@@ -151,17 +156,13 @@ impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} | transitions: {} | unique states: {} | terminal states: {} | time: {:.2?}{}",
+            "{} | outcome: {} | transitions: {} | unique states: {} | terminal states: {} | time: {:.2?}",
             if self.passed() { "PASS" } else { "FAIL" },
+            self.outcome.label(self.stats.truncated),
             self.stats.transitions,
             self.stats.unique_states,
             self.stats.terminal_states,
             self.stats.duration,
-            if self.stats.truncated {
-                " (truncated)"
-            } else {
-                ""
-            }
         )?;
         writeln!(
             f,
@@ -373,11 +374,20 @@ impl ModelChecker {
     /// Runs the search and returns the report. Dispatches to the sequential
     /// or parallel engine based on [`CheckerConfig::workers`] (see the module
     /// docs for the semantics of each).
+    ///
+    /// A thin wrapper over [`ModelChecker::session`] with a no-op observer,
+    /// no cancel token and no deadline — bit-identical to a session-driven
+    /// run (pinned by the `session_api` integration tests).
     pub fn run(&self) -> CheckReport {
+        self.session().run()
+    }
+
+    /// Dispatches to the right engine under a session's control handles.
+    pub(crate) fn run_with_ctrl(&self, ctrl: &SessionCtrl) -> CheckReport {
         if self.config.workers > 1 {
-            self.run_parallel()
+            self.run_parallel(ctrl)
         } else {
-            self.run_sequential()
+            self.run_sequential(ctrl)
         }
     }
 
@@ -553,7 +563,7 @@ impl ModelChecker {
     // Sequential engine
     // -----------------------------------------------------------------------
 
-    fn run_sequential(&self) -> CheckReport {
+    fn run_sequential(&self, ctrl: &SessionCtrl) -> CheckReport {
         let start = Instant::now();
         let strategy = build_strategy(self.config.strategy);
         let reduction = build_reduction(self.config.reduction);
@@ -580,6 +590,9 @@ impl ModelChecker {
         let mut events: Vec<Event> = Vec::new();
 
         'search: while let Some(node) = stack.pop() {
+            if ctrl.check_interrupt().is_some() {
+                break 'search;
+            }
             report.stats.max_depth = report.stats.max_depth.max(node.trace.len());
 
             let revisit = node.revisit;
@@ -600,6 +613,7 @@ impl ModelChecker {
                     for property in &properties {
                         if let Some(message) = property.check_final(&state) {
                             record_violation(&mut report, property.name(), message, &trace, None);
+                            ctrl.notify_violation(report.violations.last().unwrap());
                             if self.config.stop_at_first_violation {
                                 break 'search;
                             }
@@ -636,10 +650,16 @@ impl ModelChecker {
                     &mut events,
                 );
                 report.stats.transitions += 1;
+                ctrl.maybe_progress(
+                    report.stats.transitions,
+                    report.stats.unique_states,
+                    trace.len() + 1,
+                );
 
                 let violated = !violations.is_empty();
                 for (property, message) in violations {
                     record_violation(&mut report, &property, message, &trace, Some(&transition));
+                    ctrl.notify_violation(report.violations.last().unwrap());
                 }
                 if violated {
                     if self.config.stop_at_first_violation {
@@ -711,7 +731,7 @@ impl ModelChecker {
     // Parallel engine
     // -----------------------------------------------------------------------
 
-    fn run_parallel(&self) -> CheckReport {
+    fn run_parallel(&self, ctrl: &SessionCtrl) -> CheckReport {
         let start = Instant::now();
         let workers = self.config.workers;
 
@@ -756,7 +776,7 @@ impl ModelChecker {
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| self.worker_loop(&shared, &root));
+                scope.spawn(|| self.worker_loop(&shared, &root, ctrl));
             }
         });
 
@@ -794,7 +814,7 @@ impl ModelChecker {
     /// exchanges work through the shared queue when other workers are
     /// starving, so the common case pays no synchronisation beyond the
     /// fingerprint set and the statistics counters.
-    fn worker_loop(&self, shared: &SharedSearch, root: &Arc<Snapshot>) {
+    fn worker_loop(&self, shared: &SharedSearch, root: &Arc<Snapshot>, ctrl: &SessionCtrl) {
         let _stop_on_panic = StopOnPanic(shared);
         let strategy = build_strategy(self.config.strategy);
         let reduction = build_reduction(self.config.reduction);
@@ -813,6 +833,13 @@ impl ModelChecker {
                     None => break,
                 }
             };
+            // Session control: a fired cancel token or expired deadline winds
+            // every worker down (each polls here, so none can hang on work
+            // the others abandoned).
+            if ctrl.check_interrupt().is_some() {
+                shared.signal_stop();
+                break;
+            }
             shared
                 .max_depth
                 .fetch_max(node.trace.len(), Ordering::Relaxed);
@@ -836,7 +863,8 @@ impl ModelChecker {
                     shared.terminal_states.fetch_add(1, Ordering::Relaxed);
                     for property in &properties {
                         if let Some(message) = property.check_final(&state) {
-                            shared.record_violation(property.name(), message, &trace, None);
+                            let v = shared.record_violation(property.name(), message, &trace, None);
+                            ctrl.notify_violation(&v);
                             if self.config.stop_at_first_violation {
                                 shared.signal_stop();
                             }
@@ -876,9 +904,16 @@ impl ModelChecker {
                     &mut events,
                 );
 
+                ctrl.maybe_progress(
+                    shared.transitions.load(Ordering::Relaxed),
+                    shared.unique_states.load(Ordering::Relaxed),
+                    trace.len() + 1,
+                );
+
                 let violated = !violations.is_empty();
                 for (property, message) in violations {
-                    shared.record_violation(&property, message, &trace, Some(&transition));
+                    let v = shared.record_violation(&property, message, &trace, Some(&transition));
+                    ctrl.notify_violation(&v);
                 }
                 if violated {
                     if self.config.stop_at_first_violation {
@@ -1179,23 +1214,27 @@ impl SharedSearch {
         }
     }
 
+    /// Records a violation and returns the caller's copy of it (for
+    /// streaming through the session observer).
     fn record_violation(
         &self,
         property: &str,
         message: String,
         trace: &[Transition],
         last: Option<&Transition>,
-    ) {
+    ) -> Violation {
+        let violation = Violation {
+            property: property.to_string(),
+            message,
+            trace: trace_labels(trace, last),
+            transitions_explored: self.transitions.load(Ordering::Relaxed),
+            unique_states: self.unique_states.load(Ordering::Relaxed),
+        };
         self.violations
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(Violation {
-                property: property.to_string(),
-                message,
-                trace: trace_labels(trace, last),
-                transitions_explored: self.transitions.load(Ordering::Relaxed),
-                unique_states: self.unique_states.load(Ordering::Relaxed),
-            });
+            .push(violation.clone());
+        violation
     }
 }
 

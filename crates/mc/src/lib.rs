@@ -24,6 +24,9 @@
 //!   the trait for application-specific properties.
 //! * [`checker`] — the depth-first search loop of Figure 5, violation
 //!   traces, search statistics, and a random-walk simulation mode.
+//! * [`session`] — observable, cancellable check sessions: streamed
+//!   [`CheckEvent`]s, [`CancelToken`]/deadline interruption, and the
+//!   [`Outcome`] recorded on every report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ pub mod checker;
 pub mod por;
 pub mod properties;
 pub mod scenario;
+pub mod session;
 pub mod state;
 pub mod strategy;
 pub mod testutil;
@@ -44,7 +48,10 @@ pub use properties::{
     Property, StrictDirectPaths,
 };
 pub use scenario::{
-    CheckerConfig, ReductionKind, Scenario, SendPolicy, StateStorage, StrategyKind,
+    CheckerConfig, ReductionKind, Scenario, ScenarioBuilder, SendPolicy, StateStorage, StrategyKind,
+};
+pub use session::{
+    CancelToken, CheckEvent, CheckObserver, CheckSession, InterruptReason, NoopObserver, Outcome,
 };
 pub use state::SystemState;
 pub use strategy::{

@@ -89,8 +89,18 @@ impl std::fmt::Debug for Scenario {
 }
 
 impl Scenario {
+    /// Starts a fluent [`ScenarioBuilder`] — the preferred way to assemble a
+    /// scenario. Topology and app are required; everything else has the
+    /// same defaults as [`Scenario::new`].
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder::new(name)
+    }
+
     /// Creates a scenario with default switch configuration, reliable
     /// channels, and no properties.
+    ///
+    /// A positional-argument shim kept for source compatibility; new code
+    /// should prefer [`Scenario::builder`].
     pub fn new(
         name: impl Into<String>,
         topology: Topology,
@@ -98,18 +108,12 @@ impl Scenario {
         hosts: Vec<Box<dyn HostModel>>,
         send_policy: SendPolicy,
     ) -> Self {
-        Scenario {
-            name: name.into(),
-            topology,
-            app,
-            hosts,
-            send_policy,
-            switch_config: SwitchConfig::default(),
-            packet_faults: FaultModel::RELIABLE,
-            packet_domains: None,
-            stats_domains: StatsDomains::default(),
-            properties: Vec::new(),
-        }
+        Scenario::builder(name)
+            .topology(topology)
+            .app(app)
+            .hosts(hosts)
+            .send_policy(send_policy)
+            .build()
     }
 
     /// Adds a correctness property (builder style).
@@ -159,6 +163,158 @@ impl Scenario {
     }
 }
 
+/// Fluent construction of a [`Scenario`]: name the system under test, then
+/// chain setters for the topology, controller application, hosts, send
+/// policy, properties and model options, and [`ScenarioBuilder::build`] it.
+///
+/// ```
+/// use nice_mc::{Scenario, SendPolicy};
+/// # use nice_mc::testutil::HubApp;
+/// use nice_openflow::{HostId, PortId, SwitchId, Topology};
+///
+/// let scenario = Scenario::builder("hub-demo")
+///     .topology(Topology::single_switch(1))
+///     .app(Box::new(HubApp::default()))
+///     .send_policy(SendPolicy::Discover)
+///     .build();
+/// assert_eq!(scenario.name, "hub-demo");
+/// ```
+///
+/// Topology and app are required: `build` panics with a descriptive message
+/// if either is missing, because a scenario without them is meaningless.
+pub struct ScenarioBuilder {
+    name: String,
+    topology: Option<Topology>,
+    app: Option<Box<dyn ControllerApp>>,
+    hosts: Vec<Box<dyn HostModel>>,
+    send_policy: SendPolicy,
+    switch_config: SwitchConfig,
+    packet_faults: FaultModel,
+    packet_domains: Option<PacketDomains>,
+    stats_domains: StatsDomains,
+    properties: Vec<Box<dyn Property>>,
+}
+
+impl ScenarioBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        ScenarioBuilder {
+            name: name.into(),
+            topology: None,
+            app: None,
+            hosts: Vec::new(),
+            send_policy: SendPolicy::Discover,
+            switch_config: SwitchConfig::default(),
+            packet_faults: FaultModel::RELIABLE,
+            packet_domains: None,
+            stats_domains: StatsDomains::default(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Sets the network topology (required).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the controller application under test (required).
+    pub fn app(mut self, app: Box<dyn ControllerApp>) -> Self {
+        self.app = Some(app);
+        self
+    }
+
+    /// Adds one end-host model.
+    pub fn host(mut self, host: Box<dyn HostModel>) -> Self {
+        self.hosts.push(host);
+        self
+    }
+
+    /// Adds several end-host models.
+    pub fn hosts(mut self, hosts: impl IntoIterator<Item = Box<dyn HostModel>>) -> Self {
+        self.hosts.extend(hosts);
+        self
+    }
+
+    /// Sets how clients choose the packets they send. Defaults to
+    /// [`SendPolicy::Discover`] (symbolic discovery).
+    pub fn send_policy(mut self, policy: SendPolicy) -> Self {
+        self.send_policy = policy;
+        self
+    }
+
+    /// Convenience for a scripted send policy.
+    pub fn scripted_sends(
+        mut self,
+        entries: impl IntoIterator<Item = (HostId, Vec<Packet>)>,
+    ) -> Self {
+        self.send_policy = SendPolicy::scripted(entries);
+        self
+    }
+
+    /// Adds one correctness property.
+    pub fn property(mut self, property: Box<dyn Property>) -> Self {
+        self.properties.push(property);
+        self
+    }
+
+    /// Adds several correctness properties.
+    pub fn properties(mut self, properties: impl IntoIterator<Item = Box<dyn Property>>) -> Self {
+        self.properties.extend(properties);
+        self
+    }
+
+    /// Overrides the switch-model options. Passing
+    /// `canonical_flow_table: false` reproduces the NO-SWITCH-REDUCTION
+    /// baseline of Table 1.
+    pub fn switch_config(mut self, config: SwitchConfig) -> Self {
+        self.switch_config = config;
+        self
+    }
+
+    /// Enables a fault model on the data-plane packet channels.
+    pub fn packet_faults(mut self, faults: FaultModel) -> Self {
+        self.packet_faults = faults;
+        self
+    }
+
+    /// Overrides the symbolic packet domains (defaults to
+    /// [`PacketDomains::from_topology`]).
+    pub fn packet_domains(mut self, domains: PacketDomains) -> Self {
+        self.packet_domains = Some(domains);
+        self
+    }
+
+    /// Overrides the symbolic statistics domains.
+    pub fn stats_domains(mut self, domains: StatsDomains) -> Self {
+        self.stats_domains = domains;
+        self
+    }
+
+    /// Builds the scenario.
+    ///
+    /// # Panics
+    ///
+    /// If the topology or the controller application was never set.
+    pub fn build(self) -> Scenario {
+        Scenario {
+            topology: self
+                .topology
+                .unwrap_or_else(|| panic!("scenario '{}' has no topology", self.name)),
+            app: self
+                .app
+                .unwrap_or_else(|| panic!("scenario '{}' has no controller app", self.name)),
+            name: self.name,
+            hosts: self.hosts,
+            send_policy: self.send_policy,
+            switch_config: self.switch_config,
+            packet_faults: self.packet_faults,
+            packet_domains: self.packet_domains,
+            stats_domains: self.stats_domains,
+            properties: self.properties,
+        }
+    }
+}
+
 /// Which search strategy drives the exploration (Section 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StrategyKind {
@@ -192,6 +348,19 @@ impl StrategyKind {
             StrategyKind::Unusual => "UNUSUAL",
         }
     }
+
+    /// Parses a strategy from its CLI spelling (case-insensitive): the
+    /// paper name (`pkt-seq`, `no-delay`, `flow-ir`, `unusual`) or the
+    /// aliases `full` / `dfs` for the exhaustive search.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "pkt-seq" | "full" | "dfs" | "full-dfs" => Some(StrategyKind::FullDfs),
+            "no-delay" | "nodelay" => Some(StrategyKind::NoDelay),
+            "flow-ir" | "flowir" => Some(StrategyKind::FlowIr),
+            "unusual" => Some(StrategyKind::Unusual),
+            _ => None,
+        }
+    }
 }
 
 /// Which partial-order reduction runs on top of the search strategy (see
@@ -214,6 +383,28 @@ pub enum ReductionKind {
     /// (The implementation's display name lives on
     /// [`Reduction::name`](crate::strategy::Reduction::name).)
     Por,
+}
+
+impl ReductionKind {
+    /// Both reductions, `None` first.
+    pub const ALL: [ReductionKind; 2] = [ReductionKind::None, ReductionKind::Por];
+
+    /// A short, stable label ("none" / "por") used by reports and the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReductionKind::None => "none",
+            ReductionKind::Por => "por",
+        }
+    }
+
+    /// Parses a reduction from its CLI spelling (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "none" | "off" => Some(ReductionKind::None),
+            "por" | "sleep-sets" => Some(ReductionKind::Por),
+            _ => None,
+        }
+    }
 }
 
 /// How states on the search frontier are stored.
@@ -320,6 +511,12 @@ impl CheckerConfig {
     /// Sets the transition budget (builder style).
     pub fn with_max_transitions(mut self, max: u64) -> Self {
         self.max_transitions = max;
+        self
+    }
+
+    /// Sets the depth bound (builder style).
+    pub fn with_max_depth(mut self, max: usize) -> Self {
+        self.max_depth = max;
         self
     }
 

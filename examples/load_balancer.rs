@@ -1,6 +1,7 @@
 //! Testing the web-server load balancer of Section 8.2.
 //!
-//! Reproduces two findings from the paper:
+//! Reproduces two findings from the paper, checking registry scenarios
+//! through sessions bounded by a wall-clock budget:
 //! * BUG-IV — after installing the per-connection rule the controller
 //!   forgets to release the buffered packet (`NoForgottenPackets`).
 //! * BUG-VII — a duplicate SYN during a policy change splits a TCP
@@ -9,20 +10,31 @@
 //! Run with: `cargo run --release --example load_balancer`
 
 use nice::prelude::*;
-use nice::scenarios::{bug_scenario, fixed_scenario, BugId};
+use nice::scenarios::find_scenario;
+use std::time::Duration;
 
 fn main() {
     println!("NICE: checking the OpenFlow load balancer");
     println!("=========================================");
 
-    for (label, bug) in [
-        ("BUG-IV (forgotten packet)", BugId::BugIV),
-        ("BUG-VII (duplicate SYN)", BugId::BugVII),
+    for (label, name) in [
+        ("BUG-IV (forgotten packet)", "bug-iv-next-packet-dropped"),
+        ("BUG-VII (duplicate SYN)", "bug-vii-duplicate-syn"),
     ] {
-        let report = Nice::new(bug_scenario(bug))
+        let entry = find_scenario(name).expect("registered");
+        // A session with a time budget: even a search that would blow the
+        // transition budget ends within a minute, and the report says so
+        // (`outcome: interrupted-by-deadline`) instead of silently lying.
+        let report = Nice::new(entry.build())
             .with_max_transitions(300_000)
-            .check();
+            .checker()
+            .session()
+            .with_time_budget(Duration::from_secs(60))
+            .run();
         println!("\n{label}:");
+        if report.outcome.interrupted() {
+            println!("  search interrupted by its time budget before a verdict");
+        }
         match report.first_violation() {
             Some(v) => {
                 println!("  violated property : {}", v.property);
@@ -38,7 +50,8 @@ fn main() {
     }
 
     // The fixed load balancer releases every buffered packet.
-    let report = Nice::new(fixed_scenario(BugId::BugIV).expect("fixed variant"))
+    let entry = find_scenario("bug-iv-fixed").expect("registered");
+    let report = Nice::new(entry.build())
         .with_max_transitions(300_000)
         .check();
     println!(

@@ -3,15 +3,17 @@
 //! manually-driven, step-by-step system executions or random walks").
 //!
 //! Compares how quickly random walks and the systematic search find BUG-VIII
-//! in the traffic-engineering application.
+//! in the traffic-engineering application; the systematic leg runs as a
+//! session so the moment of detection is streamed live.
 //!
 //! Run with: `cargo run --release --example random_walk`
 
 use nice::prelude::*;
-use nice::scenarios::{bug_scenario, BugId};
+use nice::scenarios::find_scenario;
 
 fn main() {
-    let nice = Nice::new(bug_scenario(BugId::BugVIII)).with_max_transitions(200_000);
+    let entry = find_scenario("bug-viii-first-packet-dropped").expect("registered");
+    let nice = Nice::new(entry.build()).with_max_transitions(200_000);
 
     println!("Random-walk simulation vs systematic search (BUG-VIII)");
     println!("=======================================================");
@@ -30,7 +32,14 @@ fn main() {
         );
     }
 
-    let report = nice.check();
+    let report = nice.check_with(&mut |event: &CheckEvent| {
+        if let CheckEvent::ViolationFound(v) = event {
+            println!(
+                "systematic search     : {} found after {} transitions (streamed)",
+                v.property, v.transitions_explored
+            );
+        }
+    });
     println!(
         "systematic search     : {} transitions, violation {}",
         report.stats.transitions,

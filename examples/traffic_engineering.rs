@@ -4,25 +4,36 @@
 //!
 //! Reproduces BUG-VIII (first packet of a flow dropped), BUG-X (only
 //! on-demand routes used under high load, caught by the application-specific
-//! `UseCorrectRoutingTable` property) and shows the fixed variant passing.
+//! `UseCorrectRoutingTable` property) and shows the fixed variant passing —
+//! all resolved by name from the scenario registry and driven as sessions.
 //!
 //! Run with: `cargo run --release --example traffic_engineering`
 
 use nice::prelude::*;
-use nice::scenarios::{bug_scenario, fixed_scenario, BugId};
+use nice::scenarios::find_scenario;
 
 fn main() {
     println!("NICE: checking the energy-aware traffic-engineering application");
     println!("===============================================================");
 
-    for (label, bug) in [
-        ("BUG-VIII (first packet dropped)", BugId::BugVIII),
-        ("BUG-X (only on-demand routes under high load)", BugId::BugX),
+    for (label, name) in [
+        (
+            "BUG-VIII (first packet dropped)",
+            "bug-viii-first-packet-dropped",
+        ),
+        (
+            "BUG-X (only on-demand routes under high load)",
+            "bug-x-only-on-demand-routes",
+        ),
     ] {
-        let report = Nice::new(bug_scenario(bug))
+        let entry = find_scenario(name).expect("registered");
+        let report = Nice::new(entry.build())
             .with_max_transitions(300_000)
-            .check();
-        println!("\n{label}:");
+            .check_with(&mut |event: &CheckEvent| {
+                if let CheckEvent::Started { scenario, .. } = event {
+                    println!("\n{label} [{scenario}]:");
+                }
+            });
         match report.first_violation() {
             Some(v) => {
                 println!("  violated property : {}", v.property);
@@ -36,7 +47,8 @@ fn main() {
         }
     }
 
-    let report = Nice::new(fixed_scenario(BugId::BugX).expect("fixed variant"))
+    let entry = find_scenario("bug-x-fixed").expect("registered");
+    let report = Nice::new(entry.build())
         .with_max_transitions(300_000)
         .check();
     println!(

@@ -10,9 +10,9 @@
 //! sets both in the deterministic sequential engine and in the racy parallel
 //! one.
 
-use nice::apps::pyswitch::{PySwitchApp, PySwitchVariant};
 use nice::prelude::*;
 use nice::scenarios::{bug_scenario, BugId};
+use nice_bench::chain_ping_workload;
 
 /// Worker count for the parallel legs (CI sets `NICE_TEST_WORKERS=4`).
 fn test_workers() -> usize {
@@ -22,39 +22,10 @@ fn test_workers() -> usize {
         .unwrap_or(4)
 }
 
-/// The pyswitch ping workload stretched over a chain of `switches` switches
-/// (the exploration-engine benchmark scenario): host A at one end, the
-/// echoing host B at the other, MAC-learning along the way.
+/// The pyswitch ping workload stretched over a chain of switches — the
+/// exploration-engine benchmark scenario, shared with the bench bins.
 fn chain_ping_scenario(switches: u32, pings: u32) -> Scenario {
-    let mut builder = Topology::builder();
-    for s in 1..=switches {
-        builder = builder.switch(SwitchId(s), &[1, 2, 3]);
-    }
-    builder = builder.host(HostId(1), SwitchId(1), PortId(1)).host(
-        HostId(2),
-        SwitchId(switches),
-        PortId(1),
-    );
-    for s in 1..switches {
-        builder = builder.link(SwitchId(s), PortId(2), SwitchId(s + 1), PortId(3));
-    }
-    let topology = builder.build();
-    let host_a = *topology.host(HostId(1)).unwrap();
-    let host_b = *topology.host(HostId(2)).unwrap();
-    let hosts: Vec<Box<dyn HostModel>> = vec![
-        Box::new(ClientHost::new(host_a, SendBudget::sends(pings))),
-        Box::new(ClientHost::new(host_b, SendBudget::SILENT).with_echo()),
-    ];
-    let script: Vec<Packet> = (0..pings)
-        .map(|i| Packet::l2_ping(i as u64 + 1, host_a.mac, host_b.mac, i))
-        .collect();
-    Scenario::new(
-        format!("chain{switches}-ping-{pings}"),
-        topology,
-        Box::new(PySwitchApp::new(PySwitchVariant::Original)),
-        hosts,
-        SendPolicy::scripted([(HostId(1), script)]),
-    )
+    chain_ping_workload(switches, pings)
 }
 
 /// Violated property names, sorted and deduplicated.
@@ -102,11 +73,17 @@ fn assert_equivalent(make: impl Fn() -> Scenario, workers: usize, label: &str) {
         violated_properties(&por),
         "{label}: violated property sets differ"
     );
-    assert_eq!(
-        shortest_traces(&full),
-        shortest_traces(&por),
-        "{label}: shortest witnesses differ"
-    );
+    // Witness lengths are only comparable on the deterministic sequential
+    // engine: parallel workers race to claim each state's fingerprint, so
+    // the trace recorded for a violating state is whichever path won — a
+    // scheduling accident, not the true shortest witness.
+    if workers == 1 {
+        assert_eq!(
+            shortest_traces(&full),
+            shortest_traces(&por),
+            "{label}: shortest witnesses differ"
+        );
+    }
     assert!(
         por.stats.transitions <= full.stats.transitions,
         "{label}: POR explored more transitions ({}) than the full search ({})",
