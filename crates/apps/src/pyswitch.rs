@@ -24,9 +24,9 @@
 
 use crate::util::{l2_match, l2_match_reverse};
 use nice_controller::{ControllerApp, ControllerOps, PacketInContext, RuleSpec};
-use nice_openflow::{Action, Fingerprint, Fnv64, PortId, SwitchId, Timeouts};
+use nice_openflow::{Action, Fingerprint, Fnv64, Packet, PortId, SwitchId, Timeouts};
 use nice_sym::{Env, SymMap, SymPacket};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Which variant of the MAC-learning switch to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +42,13 @@ pub enum PySwitchVariant {
     /// The correct BUG-II fix: install the reverse rule first, then the
     /// forward rule, then release the packet (satisfies StrictDirectPaths).
     FixedTwoWayInstall,
+    /// A crash-resilient variant for fault-injection scenarios: behaves like
+    /// [`PySwitchVariant::Original`] on the happy path, but remembers every
+    /// released packet until a barrier reply confirms the switch processed
+    /// the release, and re-sends the unconfirmed ones when the switch
+    /// reconnects after a crash (satisfies `NoAbandonedPackets` under switch
+    /// crashes).
+    CrashResilient,
 }
 
 /// The MAC-learning controller application.
@@ -52,6 +59,11 @@ pub struct PySwitchApp {
     /// of Figure 3). A [`SymMap`] so symbolic execution sees the lookup
     /// constraints.
     tables: BTreeMap<SwitchId, SymMap<u16>>,
+    /// Packets released towards a switch whose processing has not yet been
+    /// confirmed by a barrier reply, in release order: the original ingress
+    /// port, the release actions, and the packet itself. Only populated by
+    /// [`PySwitchVariant::CrashResilient`].
+    unconfirmed: BTreeMap<SwitchId, VecDeque<(PortId, Vec<Action>, Packet)>>,
 }
 
 impl PySwitchApp {
@@ -60,6 +72,7 @@ impl PySwitchApp {
         PySwitchApp {
             variant,
             tables: BTreeMap::new(),
+            unconfirmed: BTreeMap::new(),
         }
     }
 
@@ -72,6 +85,37 @@ impl PySwitchApp {
     pub fn learned_entries(&self, switch: SwitchId) -> usize {
         self.tables.get(&switch).map(|t| t.len()).unwrap_or(0)
     }
+
+    /// The number of released-but-unconfirmed packets tracked for `switch`
+    /// (always zero outside [`PySwitchVariant::CrashResilient`]).
+    pub fn unconfirmed_releases(&self, switch: SwitchId) -> usize {
+        self.unconfirmed.get(&switch).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Releases a buffered packet with `actions` and, in the crash-resilient
+    /// variant, remembers it until a trailing barrier confirms the switch
+    /// processed the release.
+    fn release(
+        &mut self,
+        ops: &mut dyn ControllerOps,
+        ctx: PacketInContext,
+        packet: &SymPacket,
+        actions: Vec<Action>,
+    ) {
+        ops.send_packet_out(ctx.switch, ctx.buffer_id, ctx.in_port, actions.clone());
+        if self.variant == PySwitchVariant::CrashResilient {
+            // Symbolic discovery runs on scratch clones with fully symbolic
+            // packets; only concretely-executed releases need the receipt.
+            if let Some(concrete) = packet.concrete_origin() {
+                self.unconfirmed.entry(ctx.switch).or_default().push_back((
+                    ctx.in_port,
+                    actions,
+                    *concrete,
+                ));
+                ops.send_barrier(ctx.switch);
+            }
+        }
+    }
 }
 
 impl ControllerApp for PySwitchApp {
@@ -80,6 +124,7 @@ impl ControllerApp for PySwitchApp {
             PySwitchVariant::Original => "pyswitch",
             PySwitchVariant::NaiveTwoWayInstall => "pyswitch-naive-fix",
             PySwitchVariant::FixedTwoWayInstall => "pyswitch-fixed",
+            PySwitchVariant::CrashResilient => "pyswitch-resilient",
         }
     }
 
@@ -125,6 +170,12 @@ impl ControllerApp for PySwitchApp {
                                 vec![Action::Output(outport)],
                             );
                         }
+                        PySwitchVariant::CrashResilient => {
+                            // Same messages as `Original`, but the release is
+                            // tracked until the trailing barrier confirms it.
+                            ops.install_rule(ctx.switch, forward);
+                            self.release(ops, ctx, packet, vec![Action::Output(outport)]);
+                        }
                         PySwitchVariant::NaiveTwoWayInstall => {
                             // The "easy" fix the paper warns about: the
                             // reverse rule is installed *after* the packet is
@@ -168,13 +219,44 @@ impl ControllerApp for PySwitchApp {
             }
         }
 
-        // Line 16: flood.
-        ops.flood_packet(ctx.switch, ctx.buffer_id, ctx.in_port);
+        // Line 16: flood (tracked like any other release in the
+        // crash-resilient variant).
+        self.release(ops, ctx, packet, vec![Action::Flood]);
     }
 
-    fn switch_join(&mut self, _ops: &mut dyn ControllerOps, switch: SwitchId, _ports: &[PortId]) {
+    fn switch_join(&mut self, ops: &mut dyn ControllerOps, switch: SwitchId, _ports: &[PortId]) {
         // Lines 17-19.
         self.tables.entry(switch).or_default();
+        // Crash recovery: a rejoining switch lost everything that was in
+        // flight, so re-send every unconfirmed release inline (the original
+        // switch buffer is gone) and track it again behind a fresh barrier.
+        if self.variant == PySwitchVariant::CrashResilient {
+            let pending: Vec<(PortId, Vec<Action>, Packet)> = self
+                .unconfirmed
+                .get_mut(&switch)
+                .map(|q| q.drain(..).collect())
+                .unwrap_or_default();
+            for (in_port, actions, pkt) in pending {
+                ops.send_packet(switch, pkt, in_port, actions.clone());
+                self.unconfirmed
+                    .entry(switch)
+                    .or_default()
+                    .push_back((in_port, actions, pkt));
+                ops.send_barrier(switch);
+            }
+        }
+    }
+
+    fn barrier_reply(&mut self, _ops: &mut dyn ControllerOps, switch: SwitchId, _request_id: u64) {
+        // A barrier reply confirms everything released before it was
+        // processed; the control channel is reliable and in-order, so the
+        // oldest unconfirmed release is the one being acknowledged.
+        if let Some(q) = self.unconfirmed.get_mut(&switch) {
+            q.pop_front();
+            if q.is_empty() {
+                self.unconfirmed.remove(&switch);
+            }
+        }
     }
 
     fn switch_leave(&mut self, _ops: &mut dyn ControllerOps, switch: SwitchId) {
@@ -196,6 +278,26 @@ impl ControllerApp for PySwitchApp {
             switch.fingerprint(hasher);
             table.fingerprint(hasher);
         }
+        hasher.write_usize(self.unconfirmed.len());
+        for (switch, queue) in &self.unconfirmed {
+            switch.fingerprint(hasher);
+            hasher.write_usize(queue.len());
+            for (port, actions, packet) in queue {
+                port.fingerprint(hasher);
+                hasher.write_usize(actions.len());
+                for action in actions {
+                    action.fingerprint(hasher);
+                }
+                packet.fingerprint(hasher);
+            }
+        }
+    }
+
+    fn held_packets(&self) -> Vec<nice_openflow::PacketId> {
+        self.unconfirmed
+            .values()
+            .flat_map(|queue| queue.iter().map(|(_, _, packet)| packet.id))
+            .collect()
     }
 
     fn is_same_flow(&self, a: &nice_openflow::Packet, b: &nice_openflow::Packet) -> bool {
@@ -355,6 +457,51 @@ mod tests {
             !app.is_same_flow(&a, &c),
             "different destinations are independent"
         );
+    }
+
+    #[test]
+    fn resilient_variant_tracks_and_resends_unconfirmed_releases() {
+        let mut rt =
+            ControllerRuntime::new(Box::new(PySwitchApp::new(PySwitchVariant::CrashResilient)));
+        // A flood release is tracked and followed by a barrier.
+        let out = rt.handle_message(&packet_in(1, 2, 1, 1, 1));
+        assert!(matches!(out[0].1, OfMessage::PacketOut { .. }));
+        assert!(matches!(out[1].1, OfMessage::BarrierRequest { .. }));
+        let app: &PySwitchApp = rt.app_as().unwrap();
+        assert_eq!(app.unconfirmed_releases(SwitchId(1)), 1);
+
+        // The barrier reply confirms the release.
+        let request_id = match out[1].1 {
+            OfMessage::BarrierRequest { request_id, .. } => request_id,
+            _ => unreachable!(),
+        };
+        rt.handle_message(&OfMessage::BarrierReply {
+            switch: SwitchId(1),
+            request_id,
+        });
+        let app: &PySwitchApp = rt.app_as().unwrap();
+        assert_eq!(app.unconfirmed_releases(SwitchId(1)), 0);
+
+        // An unconfirmed release is re-sent inline when the switch rejoins
+        // (crash recovery), and tracked again behind a fresh barrier.
+        rt.handle_message(&packet_in(3, 4, 1, 2, 2));
+        let out = rt.handle_message(&OfMessage::SwitchJoin {
+            switch: SwitchId(1),
+            ports: vec![PortId(1), PortId(2)],
+        });
+        assert_eq!(out.len(), 2);
+        match &out[0].1 {
+            OfMessage::PacketOut {
+                buffer_id, packet, ..
+            } => {
+                assert!(buffer_id.is_none(), "re-sends carry the packet inline");
+                assert!(packet.is_some());
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert!(matches!(out[1].1, OfMessage::BarrierRequest { .. }));
+        let app: &PySwitchApp = rt.app_as().unwrap();
+        assert_eq!(app.unconfirmed_releases(SwitchId(1)), 1);
     }
 
     #[test]

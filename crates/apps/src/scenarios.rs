@@ -6,6 +6,11 @@
 //! paper reports as detecting it. The benchmark harness iterates over
 //! [`BugId::ALL`] × the four search strategies to regenerate Table 2.
 //!
+//! [`BugId::BugXII`] extends the table beyond the paper: a fault-injection
+//! scenario ([`ScenarioEntry::requires_faults`]) whose violation only exists
+//! when the checker schedules switch crashes, and whose fixed counterpart
+//! survives the same crashes by re-sending unconfirmed packets.
+//!
 //! [`registry`] enumerates every bug/fixed pair as a [`ScenarioEntry`] —
 //! name, application, bug, expected violation and a `build()` constructor —
 //! so sweeps, CLIs and CI jobs can iterate over "everything NICE knows how
@@ -17,9 +22,10 @@ use crate::loadbalancer::{LoadBalancerApp, LoadBalancerConfig};
 use crate::pyswitch::{PySwitchApp, PySwitchVariant};
 use nice_hosts::{ClientHost, HostModel, MobileHost, SendBudget, ServerHost};
 use nice_mc::properties::{
-    FlowAffinity, NoBlackHoles, NoForgottenPackets, NoForwardingLoops, Property, StrictDirectPaths,
+    FlowAffinity, NoAbandonedPackets, NoBlackHoles, NoForgottenPackets, NoForwardingLoops,
+    Property, StrictDirectPaths,
 };
-use nice_mc::{Scenario, SendPolicy};
+use nice_mc::{FaultPlan, Scenario, SendPolicy};
 use nice_openflow::{EthType, HostId, Location, MacAddr, NwAddr, Packet, PortId, Topology};
 use nice_sym::{PacketDomains, StatsDomains};
 
@@ -38,11 +44,12 @@ pub enum BugId {
     BugIX,
     BugX,
     BugXI,
+    BugXII,
 }
 
 impl BugId {
-    /// All bugs, in Table 2 order.
-    pub const ALL: [BugId; 11] = [
+    /// All bugs, in Table 2 order (the fault-injection scenario last).
+    pub const ALL: [BugId; 12] = [
         BugId::BugI,
         BugId::BugII,
         BugId::BugIII,
@@ -54,6 +61,7 @@ impl BugId {
         BugId::BugIX,
         BugId::BugX,
         BugId::BugXI,
+        BugId::BugXII,
     ];
 
     /// The Roman-numeral label used in the paper.
@@ -70,13 +78,14 @@ impl BugId {
             BugId::BugIX => "IX",
             BugId::BugX => "X",
             BugId::BugXI => "XI",
+            BugId::BugXII => "XII",
         }
     }
 
     /// The application the bug belongs to.
     pub fn application(&self) -> &'static str {
         match self {
-            BugId::BugI | BugId::BugII | BugId::BugIII => "pyswitch",
+            BugId::BugI | BugId::BugII | BugId::BugIII | BugId::BugXII => "pyswitch",
             BugId::BugIV | BugId::BugV | BugId::BugVI | BugId::BugVII => "load-balancer",
             _ => "energy-te",
         }
@@ -92,7 +101,15 @@ impl BugId {
             BugId::BugVII => "FlowAffinity",
             BugId::BugVIII | BugId::BugIX | BugId::BugXI => "NoForgottenPackets",
             BugId::BugX => "UseCorrectRoutingTable",
+            BugId::BugXII => "NoAbandonedPackets",
         }
+    }
+
+    /// True if the bug's violation only exists under fault injection: its
+    /// scenarios carry an enabled [`FaultPlan`], and checking them without
+    /// `CheckerConfig::with_fault_injection(true)` is expected to pass.
+    pub fn requires_faults(&self) -> bool {
+        matches!(self, BugId::BugXII)
     }
 
     /// The registry name of the scenario exhibiting this bug (what
@@ -110,6 +127,7 @@ impl BugId {
             BugId::BugIX => "bug-ix-intermediate-switch-packets-dropped",
             BugId::BugX => "bug-x-only-on-demand-routes",
             BugId::BugXI => "bug-xi-packets-dropped-on-scale-down",
+            BugId::BugXII => "bug-xii-packet-lost-on-switch-crash",
         }
     }
 
@@ -121,6 +139,7 @@ impl BugId {
             BugId::BugVI => Some("bug-vi-fixed"),
             BugId::BugVIII => Some("bug-viii-fixed"),
             BugId::BugX => Some("bug-x-fixed"),
+            BugId::BugXII => Some("bug-xii-fixed"),
             _ => None,
         }
     }
@@ -139,6 +158,7 @@ impl BugId {
             BugId::BugIX => "first few packets of a new flow can be dropped",
             BugId::BugX => "only on-demand routes used under high load",
             BugId::BugXI => "packets can be dropped when the load reduces",
+            BugId::BugXII => "controller-acknowledged packets lost when a switch crashes",
         }
     }
 }
@@ -282,6 +302,36 @@ fn energy_te_scenario(
         .build()
 }
 
+/// A minimal single-switch ping workload checked under a one-crash
+/// [`FaultPlan`]: the only way to lose the packet after the controller
+/// acknowledged it is a switch crash wiping the in-flight `packet_out`, so
+/// the violation (and the fix) only show up with fault injection enabled.
+fn crash_pyswitch_scenario(name: &str, variant: PySwitchVariant) -> Scenario {
+    let topology = Topology::single_switch(2);
+    let host_a = *topology.host(HostId(1)).unwrap();
+    let host_b = *topology.host(HostId(2)).unwrap();
+    let script = vec![Packet::l2_ping(
+        1,
+        MacAddr::for_host(1),
+        MacAddr::for_host(2),
+        0,
+    )];
+
+    let hosts: Vec<Box<dyn HostModel>> = vec![
+        Box::new(ClientHost::new(host_a, SendBudget::sends(1))),
+        Box::new(ClientHost::new(host_b, SendBudget::SILENT)),
+    ];
+
+    Scenario::builder(name)
+        .topology(topology)
+        .app(Box::new(PySwitchApp::new(variant)))
+        .hosts(hosts)
+        .scripted_sends([(HostId(1), script)])
+        .property(Box::new(NoAbandonedPackets::new()))
+        .fault_plan(FaultPlan::crashes(1))
+        .build()
+}
+
 /// Builds the scenario that exhibits `bug` (Table 2 row).
 pub fn bug_scenario(bug: BugId) -> Scenario {
     let name = bug.scenario_name();
@@ -367,6 +417,7 @@ pub fn bug_scenario(bug: BugId) -> Scenario {
                 Box::new(NoForgottenPackets::new()),
             )
         }
+        BugId::BugXII => crash_pyswitch_scenario(name, PySwitchVariant::Original),
     }
 }
 
@@ -407,6 +458,10 @@ pub fn fixed_scenario(bug: BugId) -> Option<Scenario> {
             &[(1, 2), (1, 3)],
             Box::new(UseCorrectRoutingTable::new()),
         )),
+        BugId::BugXII => Some(crash_pyswitch_scenario(
+            bug.fixed_scenario_name().unwrap(),
+            PySwitchVariant::CrashResilient,
+        )),
         _ => None,
     }
 }
@@ -441,6 +496,11 @@ pub struct ScenarioEntry {
     /// The property the check is expected to report violated, or `None`
     /// when the scenario is expected to pass (the fixed variants).
     pub expected_violation: Option<&'static str>,
+    /// True if the scenario carries an enabled [`FaultPlan`] and
+    /// [`ScenarioEntry::expected_violation`] only applies when the checker
+    /// runs with fault injection enabled; without it the scenario is
+    /// expected to pass.
+    pub requires_faults: bool,
 }
 
 impl ScenarioEntry {
@@ -475,6 +535,7 @@ pub fn registry() -> Vec<ScenarioEntry> {
             bug,
             kind: ScenarioKind::Buggy,
             expected_violation: Some(bug.property_name()),
+            requires_faults: bug.requires_faults(),
         });
         if let Some(fixed_name) = bug.fixed_scenario_name() {
             entries.push(ScenarioEntry {
@@ -483,6 +544,7 @@ pub fn registry() -> Vec<ScenarioEntry> {
                 bug,
                 kind: ScenarioKind::Fixed,
                 expected_violation: None,
+                requires_faults: bug.requires_faults(),
             });
         }
     }
@@ -584,6 +646,31 @@ mod tests {
             fixed.passed(),
             "the fixed TE app must not violate NoForgottenPackets: {fixed}"
         );
+    }
+
+    #[test]
+    fn bug_xii_is_found_only_under_fault_injection_and_its_fix_survives() {
+        // Without fault injection the crash bug is invisible: the FaultPlan
+        // is carried by the scenario but no fault transition is scheduled.
+        let quiet = ModelChecker::new(bug_scenario(BugId::BugXII), CheckerConfig::default()).run();
+        assert!(quiet.passed(), "no violation without faults: {quiet}");
+        assert!(!quiet.stats.faults.any());
+
+        let config = CheckerConfig::default().with_fault_injection(true);
+        let report = ModelChecker::new(bug_scenario(BugId::BugXII), config.clone()).run();
+        assert!(!report.passed(), "BUG-XII must be detected: {report}");
+        assert_eq!(
+            report.first_violation().unwrap().property,
+            "NoAbandonedPackets"
+        );
+        assert!(report.stats.faults.crashes > 0, "{report}");
+
+        // The resilient variant explores the same crashes exhaustively and
+        // re-delivers every acknowledged packet.
+        let fixed = ModelChecker::new(fixed_scenario(BugId::BugXII).unwrap(), config).run();
+        assert!(fixed.passed(), "the resilient fix must survive: {fixed}");
+        assert!(fixed.stats.faults.crashes > 0, "{fixed}");
+        assert!(!fixed.stats.truncated);
     }
 
     #[test]

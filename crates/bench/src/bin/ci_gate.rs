@@ -22,8 +22,10 @@
 //! `cargo run --release -p nice-bench --bin ci_gate -- --out bench/baseline.json`.
 
 use nice_bench::jsonv::validate_json;
-use nice_bench::{chain_ping_workload, engine_configs, exhaustive, load_balancer_workload};
-use nice_mc::Scenario;
+use nice_bench::{
+    chain_fault_workload, chain_ping_workload, engine_configs, exhaustive, load_balancer_workload,
+};
+use nice_mc::{CheckerConfig, Scenario};
 
 /// One engine's measurements on one workload.
 struct EngineRow {
@@ -179,6 +181,23 @@ fn main() {
             other => panic!("unknown argument {other}"),
         }
     }
+
+    // A dormant fault plan must not perturb the gated numbers: the chain
+    // workload *with* a fault plan attached but injection off (the default)
+    // has to explore the identical state space as the plain chain workload.
+    // Checked before profiling so a zero-cost regression fails fast, ahead
+    // of the (slower) measurement cycles.
+    let plain = exhaustive(chain_ping_workload(3, 1), CheckerConfig::default());
+    let dormant = exhaustive(chain_fault_workload(3, 1), CheckerConfig::default());
+    assert_eq!(
+        (plain.transitions, plain.unique_states),
+        (dormant.transitions, dormant.unique_states),
+        "a fault plan with injection disabled changed the explored state space"
+    );
+    println!(
+        "dormant-fault-plan check: OK ({} transitions, {} states either way)",
+        plain.transitions, plain.unique_states
+    );
 
     let profiles = vec![
         profile("pyswitch-chain-5sw-2pings", true, || {

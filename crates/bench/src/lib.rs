@@ -26,8 +26,8 @@ use nice_apps::pyswitch::{PySwitchApp, PySwitchVariant};
 use nice_apps::scenarios::{bug_scenario, find_scenario, BugId};
 use nice_hosts::{ClientHost, HostModel, SendBudget};
 use nice_mc::{
-    CheckObserver, CheckerConfig, ModelChecker, NoopObserver, ReductionKind, Scenario, SearchStats,
-    StateStorage, StrategyKind,
+    CheckObserver, CheckerConfig, FaultPlan, ModelChecker, NoopObserver, ReductionKind, Scenario,
+    SearchStats, StateStorage, StrategyKind,
 };
 use nice_openflow::{HostId, Packet, PortId, SwitchConfig, SwitchId, Topology};
 use std::time::Duration;
@@ -99,6 +99,16 @@ pub fn chain_ping_workload(switches: u32, pings: u32) -> Scenario {
         .hosts(hosts)
         .scripted_sends([(HostId(1), script)])
         .build()
+}
+
+/// The chain ping workload with a fault plan attached: a switch-crash budget
+/// plus lossy ingress channels. With fault injection *off* (the default) the
+/// plan is dormant and the explored state space is bit-identical to
+/// [`chain_ping_workload`] — the CI bench gate asserts exactly that — while
+/// runs with [`CheckerConfig::inject_faults`] stress the crash/recovery
+/// paths of the same topology.
+pub fn chain_fault_workload(switches: u32, pings: u32) -> Scenario {
+    chain_ping_workload(switches, pings).with_fault_plan(FaultPlan::lossy(1).with_switch_crash())
 }
 
 /// The load-balancer bug-hunt scenario (BUG-V) explored exhaustively — the
@@ -462,6 +472,22 @@ mod tests {
         assert_eq!(s.hosts.len(), 2);
         assert!(s.switch_config.canonical_flow_table);
         assert!(!ping_workload(2, false).switch_config.canonical_flow_table);
+    }
+
+    #[test]
+    fn chain_fault_workload_is_dormant_without_injection() {
+        let plain = exhaustive(chain_ping_workload(2, 1), CheckerConfig::default());
+        let dormant = exhaustive(chain_fault_workload(2, 1), CheckerConfig::default());
+        assert_eq!(plain.transitions, dormant.transitions);
+        assert_eq!(plain.unique_states, dormant.unique_states);
+        // With injection on, the crash/recovery interleavings enlarge the
+        // state space.
+        let faulty = exhaustive(
+            chain_fault_workload(2, 1),
+            CheckerConfig::default().with_fault_injection(true),
+        );
+        assert!(faulty.transitions > plain.transitions);
+        assert!(faulty.faults.any(), "faults were injected and counted");
     }
 
     #[test]

@@ -42,6 +42,8 @@ RUN / SWEEP OPTIONS:
   --max-depth <N>                                 depth bound (default 400)
   --time-budget-ms <N>                            interrupt the search (each sweep cell) after N wall-clock ms
   --progress-every <N>                            Progress event cadence in transitions (run only; default 8192)
+  --faults                                        enable the scenario's fault plan (switch crashes,
+                                                  channel faults, failover — see README \"Fault injection\")
   --all-violations                                keep searching after the first violation
   --expect                                        exit non-zero unless the registry expectation holds
                                                   (bug found its property / fixed variant passed; run only)
@@ -91,6 +93,7 @@ struct RunOptions {
     max_depth: usize,
     time_budget: Option<Duration>,
     progress_every: u64,
+    faults: bool,
     all_violations: bool,
     expect: bool,
     json: bool,
@@ -108,6 +111,7 @@ impl Default for RunOptions {
             max_depth: 400,
             time_budget: None,
             progress_every: nice_mc::session::DEFAULT_PROGRESS_EVERY,
+            faults: false,
             all_violations: false,
             expect: false,
             json: false,
@@ -179,6 +183,10 @@ fn parse_run_options(args: &[String], mode: Mode) -> Result<RunOptions, String> 
                 }
                 i += 2;
             }
+            "--faults" => {
+                opts.faults = true;
+                i += 1;
+            }
             "--all-violations" => {
                 opts.all_violations = true;
                 i += 1;
@@ -236,6 +244,7 @@ fn config_from(
         .with_max_transitions(opts.max_transitions)
         .with_stop_at_first(!opts.all_violations)
         .with_max_depth(opts.max_depth)
+        .with_fault_injection(opts.faults)
 }
 
 // ---------------------------------------------------------------------------
@@ -269,7 +278,11 @@ fn cmd_list(args: &[String]) -> i32 {
                 ScenarioKind::Buggy => "bug",
                 ScenarioKind::Fixed => "fixed",
             },
-            e.expected_violation.unwrap_or("none (expected to pass)")
+            match (e.expected_violation, e.requires_faults) {
+                (Some(p), true) => format!("{p} (needs --faults)"),
+                (Some(p), false) => p.to_string(),
+                (None, _) => "none (expected to pass)".to_string(),
+            }
         );
     }
     println!("{} scenarios", entries.len());
@@ -336,24 +349,27 @@ fn cmd_run(args: &[String]) -> i32 {
         println!("{json}");
     } else {
         print!("{report}");
-        match entry.expected_violation {
+        match effective_expectation(&entry, opts.faults) {
             Some(property) if report.passed() => eprintln!(
                 "note: expected a {property} violation but none was found \
                  (budget too small, or an over-restrictive strategy?)"
             ),
             None if !report.passed() => {
-                eprintln!("note: this fixed scenario was expected to pass")
+                eprintln!("note: this scenario was expected to pass")
             }
+            None if entry.requires_faults && !opts.faults => eprintln!(
+                "note: this bug only manifests under fault injection — re-run with --faults"
+            ),
             _ => {}
         }
     }
-    if opts.expect && !expectation_met(&entry, &report) {
+    if opts.expect && !expectation_met(&entry, &report, opts.faults) {
         eprintln!(
             "expectation not met for '{}': {}",
             entry.name,
-            match entry.expected_violation {
+            match effective_expectation(&entry, opts.faults) {
                 Some(property) => format!("expected a {property} violation, found none"),
-                None => "this fixed scenario was expected to pass".to_string(),
+                None => "this scenario was expected to pass".to_string(),
             }
         );
         return 1;
@@ -361,10 +377,20 @@ fn cmd_run(args: &[String]) -> i32 {
     0
 }
 
+/// The violation the registry predicts under the given fault setting:
+/// fault-dependent bugs (BUG-XII) are expected to *pass* while fault
+/// injection is off — their violation only exists under the fault plan.
+fn effective_expectation(entry: &ScenarioEntry, faults: bool) -> Option<&'static str> {
+    match entry.expected_violation {
+        Some(property) if !entry.requires_faults || faults => Some(property),
+        _ => None,
+    }
+}
+
 /// True if the report matches what the registry entry predicts: the buggy
 /// variants find their expected property, the fixed ones pass.
-fn expectation_met(entry: &ScenarioEntry, report: &CheckReport) -> bool {
-    match entry.expected_violation {
+fn expectation_met(entry: &ScenarioEntry, report: &CheckReport, faults: bool) -> bool {
+    match effective_expectation(entry, faults) {
         Some(property) => report.violations.iter().any(|v| v.property == property),
         None => report.passed(),
     }
@@ -384,10 +410,18 @@ fn render_run_json(entry: &ScenarioEntry, opts: &RunOptions, report: &CheckRepor
         .collect::<Vec<_>>()
         .join(", ");
     let stats = &report.stats;
+    let injected = stats
+        .faults
+        .labeled()
+        .iter()
+        .map(|(label, count)| format!("\"{label}\": {count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
-        "{{\n  \"schema\": \"nice-cli-run-v1\",\n  \"scenario\": \"{}\",\n  \"app\": \"{}\",\n  \
+        "{{\n  \"schema\": \"nice-cli-run-v2\",\n  \"scenario\": \"{}\",\n  \"app\": \"{}\",\n  \
          \"bug\": \"{}\",\n  \"kind\": \"{}\",\n  \"expected_violation\": {},\n  \
          \"strategy\": \"{}\",\n  \"reduction\": \"{}\",\n  \"workers\": {},\n  \
+         \"faults_enabled\": {},\n  \"injected_faults\": {{{}}},\n  \
          \"outcome\": \"{}\",\n  \"passed\": {},\n  \"expectation_met\": {},\n  \
          \"violated_properties\": [{}],\n  \"first_trace_len\": {},\n  \
          \"states\": {},\n  \"transitions\": {},\n  \"terminal_states\": {},\n  \
@@ -400,15 +434,16 @@ fn render_run_json(entry: &ScenarioEntry, opts: &RunOptions, report: &CheckRepor
             ScenarioKind::Buggy => "bug",
             ScenarioKind::Fixed => "fixed",
         },
-        entry
-            .expected_violation
+        effective_expectation(entry, opts.faults)
             .map_or("null".to_string(), |p| format!("\"{}\"", escape_json(p))),
         opts.strategy.name(),
         opts.reduction.name(),
         opts.workers.max(1),
+        opts.faults,
+        injected,
         report.outcome.label(stats.truncated),
         report.passed(),
-        expectation_met(entry, report),
+        expectation_met(entry, report, opts.faults),
         violated,
         report
             .first_violation()
@@ -489,10 +524,12 @@ fn render_sweep_json(
     cells: &[(StrategyKind, ReductionKind, CheckReport)],
 ) -> String {
     let mut out = format!(
-        "{{\n  \"schema\": \"nice-cli-sweep-v1\",\n  \"scenario\": \"{}\",\n  \
-         \"matrix\": \"strategies-x-reductions\",\n  \"workers\": {},\n  \"cells\": [\n",
+        "{{\n  \"schema\": \"nice-cli-sweep-v2\",\n  \"scenario\": \"{}\",\n  \
+         \"matrix\": \"strategies-x-reductions\",\n  \"workers\": {},\n  \
+         \"faults_enabled\": {},\n  \"cells\": [\n",
         escape_json(&entry.name),
         opts.workers.max(1),
+        opts.faults,
     );
     for (i, (strategy, reduction, report)) in cells.iter().enumerate() {
         out.push_str(&format!(
@@ -503,7 +540,7 @@ fn render_sweep_json(
             reduction.name(),
             report.outcome.label(report.stats.truncated),
             report.passed(),
-            expectation_met(entry, report),
+            expectation_met(entry, report, opts.faults),
             report.stats.unique_states,
             report.stats.transitions,
             report.stats.pruned_by_por,

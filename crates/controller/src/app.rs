@@ -104,6 +104,14 @@ pub trait ControllerApp: Send + Sync {
         false
     }
 
+    /// Provenance ids of packets the application itself is holding for later
+    /// re-delivery (for example a crash-recovery buffer of unconfirmed
+    /// packet-outs). Liveness-style properties treat held packets as still in
+    /// flight: the application can — and has promised to — resend them.
+    fn held_packets(&self) -> Vec<nice_openflow::PacketId> {
+        Vec::new()
+    }
+
     /// Optional flow-independence oracle used by the FLOW-IR search strategy
     /// (Section 4): returns `true` if the two packets belong to the same
     /// logical flow, i.e. their relative ordering matters. Applications that

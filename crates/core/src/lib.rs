@@ -40,13 +40,14 @@ pub mod prelude {
     pub use nice_controller::{ControllerApp, ControllerOps, PacketInContext, RuleSpec};
     pub use nice_hosts::{ClientHost, HostModel, MobileHost, SendBudget, ServerHost};
     pub use nice_mc::properties::{
-        DirectPaths, FlowAffinity, NoBlackHoles, NoForgottenPackets, NoForwardingLoops, Property,
-        StrictDirectPaths,
+        DirectPaths, FlowAffinity, NoAbandonedPackets, NoBlackHoles, NoForgottenPackets,
+        NoForwardingLoops, Property, StrictDirectPaths,
     };
     pub use nice_mc::{
         CancelToken, CheckEvent, CheckObserver, CheckReport, CheckSession, CheckerConfig,
-        InterruptReason, ModelChecker, NoopObserver, Outcome, ReductionKind, Scenario,
-        ScenarioBuilder, SendPolicy, StateStorage, StrategyKind, Violation,
+        FailoverStaleness, FaultPlan, FaultStats, InterruptReason, ModelChecker, NoopObserver,
+        Outcome, ReductionKind, Scenario, ScenarioBuilder, SendPolicy, StateStorage, StrategyKind,
+        Violation,
     };
     pub use nice_openflow::{
         Action, HostId, MacAddr, MatchPattern, NwAddr, Packet, PortId, SwitchId, Topology,
@@ -108,6 +109,18 @@ impl Nice {
     /// Sets the number of search worker threads (builder style).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Enables injection of the scenario's [`FaultPlan`] — switch crashes,
+    /// channel drops/duplicates/reorders, controller failover, Byzantine
+    /// message mutations — during the search (builder style). With fault
+    /// injection off (the default) the fault plan is inert and the explored
+    /// state space is bit-identical to a plan-free scenario.
+    ///
+    /// [`FaultPlan`]: nice_mc::FaultPlan
+    pub fn with_faults(mut self) -> Self {
+        self.config.inject_faults = true;
         self
     }
 
@@ -201,7 +214,9 @@ mod tests {
             .with_strategy(StrategyKind::NoDelay)
             .with_max_transitions(123)
             .with_state_storage(StateStorage::Replay)
+            .with_faults()
             .collect_all_violations();
+        assert!(nice.config().inject_faults);
         assert_eq!(nice.config().strategy, StrategyKind::NoDelay);
         assert_eq!(nice.config().max_transitions, 123);
         assert_eq!(nice.config().state_storage, StateStorage::Replay);

@@ -98,6 +98,117 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Per-kind counters of injected fault transitions, indexed by
+/// [`Transition::fault_counter_index`]. All zero unless the scenario has an
+/// enabled [`FaultPlan`](crate::faults::FaultPlan) *and* the checker ran with
+/// fault injection switched on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets dropped from an ingress channel head.
+    pub drops: u64,
+    /// Packets duplicated at an ingress channel head.
+    pub duplicates: u64,
+    /// Adjacent-packet reorderings on an ingress channel.
+    pub reorders: u64,
+    /// Ingress link failures.
+    pub link_failures: u64,
+    /// Switch crashes.
+    pub crashes: u64,
+    /// Switch reconnects (recovery; does not consume budget).
+    pub reconnects: u64,
+    /// Controller failovers to the standby runtime.
+    pub failovers: u64,
+    /// Byzantine mutations of in-flight OpenFlow messages.
+    pub mutations: u64,
+}
+
+impl FaultStats {
+    /// Number of distinct fault kinds tracked.
+    pub const KINDS: usize = 8;
+
+    /// Builds the counters from an array indexed by
+    /// [`Transition::fault_counter_index`].
+    pub fn from_counts(counts: [u64; Self::KINDS]) -> Self {
+        FaultStats {
+            drops: counts[0],
+            duplicates: counts[1],
+            reorders: counts[2],
+            link_failures: counts[3],
+            crashes: counts[4],
+            reconnects: counts[5],
+            failovers: counts[6],
+            mutations: counts[7],
+        }
+    }
+
+    /// The counters labelled with their stable (JSON-schema) names, in
+    /// [`Transition::fault_counter_index`] order.
+    pub fn labeled(&self) -> [(&'static str, u64); Self::KINDS] {
+        [
+            ("drops", self.drops),
+            ("duplicates", self.duplicates),
+            ("reorders", self.reorders),
+            ("link_failures", self.link_failures),
+            ("crashes", self.crashes),
+            ("reconnects", self.reconnects),
+            ("failovers", self.failovers),
+            ("mutations", self.mutations),
+        ]
+    }
+
+    /// Counts one executed transition if it is a fault injection.
+    pub fn record(&mut self, transition: &Transition) {
+        if let Some(index) = transition.fault_counter_index() {
+            self.bump(index);
+        }
+    }
+
+    /// Increments the counter at `index` (a
+    /// [`Transition::fault_counter_index`] value).
+    pub fn bump(&mut self, index: usize) {
+        match index {
+            0 => self.drops += 1,
+            1 => self.duplicates += 1,
+            2 => self.reorders += 1,
+            3 => self.link_failures += 1,
+            4 => self.crashes += 1,
+            5 => self.reconnects += 1,
+            6 => self.failovers += 1,
+            7 => self.mutations += 1,
+            _ => panic!("fault counter index {index} out of range"),
+        }
+    }
+
+    /// Total fault transitions executed, across all kinds.
+    pub fn total(&self) -> u64 {
+        self.labeled().iter().map(|(_, n)| n).sum()
+    }
+
+    /// True if any fault transition was executed.
+    pub fn any(&self) -> bool {
+        self.total() > 0
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (label, count) in self.labeled() {
+            if count > 0 {
+                if !first {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{label}: {count}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "none")?;
+        }
+        Ok(())
+    }
+}
+
 /// Aggregate statistics of one search.
 #[derive(Debug, Clone, Default)]
 pub struct SearchStats {
@@ -118,6 +229,8 @@ pub struct SearchStats {
     /// Executed transitions whose successor state had already been explored
     /// (fingerprint dedup after execution).
     pub dedup_hits: u64,
+    /// Injected-fault counters, by kind (all zero without fault injection).
+    pub faults: FaultStats,
     /// Deepest path explored.
     pub max_depth: usize,
     /// True if a budget (transition or depth limit) cut the search short.
@@ -169,6 +282,9 @@ impl fmt::Display for CheckReport {
             "  pruned by strategy: {} | pruned by POR: {} | dedup hits: {}",
             self.stats.pruned_by_strategy, self.stats.pruned_by_por, self.stats.dedup_hits
         )?;
+        if self.stats.faults.any() {
+            writeln!(f, "  injected faults: {}", self.stats.faults)?;
+        }
         for v in &self.violations {
             write!(f, "{v}")?;
         }
@@ -650,6 +766,7 @@ impl ModelChecker {
                     &mut events,
                 );
                 report.stats.transitions += 1;
+                report.stats.faults.record(&transition);
                 ctrl.maybe_progress(
                     report.stats.transitions,
                     report.stats.unique_states,
@@ -768,6 +885,7 @@ impl ModelChecker {
             pruned_by_strategy: AtomicU64::new(0),
             pruned_by_por: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
+            faults: std::array::from_fn(|_| AtomicU64::new(0)),
             max_depth: AtomicUsize::new(0),
             truncated: AtomicBool::new(false),
             violations: Mutex::new(Vec::new()),
@@ -788,6 +906,9 @@ impl ModelChecker {
         report.stats.pruned_by_strategy = shared.pruned_by_strategy.load(Ordering::Relaxed);
         report.stats.pruned_by_por = shared.pruned_by_por.load(Ordering::Relaxed);
         report.stats.dedup_hits = shared.dedup_hits.load(Ordering::Relaxed);
+        report.stats.faults = FaultStats::from_counts(std::array::from_fn(|i| {
+            shared.faults[i].load(Ordering::Relaxed)
+        }));
         report.stats.max_depth = shared.max_depth.load(Ordering::Relaxed);
         report.stats.truncated = shared.truncated.load(Ordering::Relaxed);
         report.violations = shared
@@ -893,6 +1014,9 @@ impl ModelChecker {
                 }
                 if !shared.try_take_transition_budget(self.config.max_transitions) {
                     break 'work;
+                }
+                if let Some(index) = transition.fault_counter_index() {
+                    shared.faults[index].fetch_add(1, Ordering::Relaxed);
                 }
 
                 let (next_state, next_properties, violations) = self.step_transition(
@@ -1041,6 +1165,7 @@ impl ModelChecker {
                     );
                 }
                 report.stats.transitions += 1;
+                report.stats.faults.record(&transition);
                 trace.push(transition.clone());
                 report.stats.max_depth = report.stats.max_depth.max(trace.len());
                 if matches!(
@@ -1107,6 +1232,9 @@ struct SharedSearch {
     terminal_states: AtomicU64,
     symbolic_executions: AtomicU64,
     pruned_by_strategy: AtomicU64,
+    /// Per-kind fault counters, indexed by
+    /// [`Transition::fault_counter_index`].
+    faults: [AtomicU64; FaultStats::KINDS],
     pruned_by_por: AtomicU64,
     dedup_hits: AtomicU64,
     max_depth: AtomicUsize,

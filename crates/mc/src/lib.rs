@@ -12,6 +12,9 @@
 //!   models, how clients choose packets (scripted or symbolically
 //!   discovered), and the checker configuration (strategy, bounds, state
 //!   storage, switch-model options).
+//! * [`faults`] — the [`faults::FaultPlan`]: which faults (channel drops /
+//!   duplicates / reorders, switch crashes, controller failover, Byzantine
+//!   OpenFlow mutations) the checker may inject, under a bounded budget.
 //! * [`state`] — the [`state::SystemState`]: every component plus the FIFO
 //!   channels between them, with a canonical 64-bit fingerprint.
 //! * [`transition`] — the system transitions and their semantics.
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod faults;
 pub mod por;
 pub mod properties;
 pub mod scenario;
@@ -41,11 +45,12 @@ pub mod strategy;
 pub mod testutil;
 pub mod transition;
 
-pub use checker::{CheckReport, ModelChecker, SearchStats, Violation};
+pub use checker::{CheckReport, FaultStats, ModelChecker, SearchStats, Violation};
+pub use faults::{FailoverStaleness, FaultPlan};
 pub use por::{independent, Footprint};
 pub use properties::{
-    DirectPaths, Event, FlowAffinity, NoBlackHoles, NoForgottenPackets, NoForwardingLoops,
-    Property, StrictDirectPaths,
+    DirectPaths, Event, FlowAffinity, NoAbandonedPackets, NoBlackHoles, NoForgottenPackets,
+    NoForwardingLoops, Property, StrictDirectPaths,
 };
 pub use scenario::{
     CheckerConfig, ReductionKind, Scenario, ScenarioBuilder, SendPolicy, StateStorage, StrategyKind,

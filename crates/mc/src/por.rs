@@ -45,7 +45,9 @@
 use crate::scenario::Scenario;
 use crate::state::SystemState;
 use crate::transition::Transition;
-use nice_openflow::{Fingerprint, Fnv64, HostId, OfMessage, PacketFate, PortId, SwitchId};
+use nice_openflow::{
+    ChannelFault, Fingerprint, Fnv64, HostId, OfMessage, PacketFate, PortId, SwitchId,
+};
 
 /// Abstract resource identifiers, encoded as `u64`s so footprints are flat
 /// sorted vectors with cheap disjointness checks.
@@ -112,6 +114,12 @@ mod res {
     pub fn inbox_tail(h: HostId) -> u64 {
         encode(14, h.0 as u64, 0)
     }
+    /// The shared fault budget. Every budget-consuming fault injection both
+    /// reads it (enabledness requires a non-zero budget) and writes it (the
+    /// injection decrements it), so any two injections are mutually
+    /// dependent — which is exactly what soundness needs, because with one
+    /// unit of budget left either injection disables the other.
+    pub const BUDGET: u64 = encode(15, 0, 0);
 }
 
 /// The components a transition reads and writes, plus whether it involves
@@ -414,6 +422,84 @@ impl Transition {
             Transition::ExpireRule { switch, .. } => {
                 fp.touch(res::switch(*switch));
             }
+
+            Transition::ChannelFault {
+                switch,
+                port,
+                fault,
+            } => {
+                fp.touch(res::BUDGET);
+                // Drop, duplicate and reorder only rearrange the first one or
+                // two messages: they commute with a push onto the tail of the
+                // same (non-empty) queue. A link failure additionally clears
+                // the queue and discards future pushes, so it conflicts with
+                // the producer side too.
+                fp.touch(res::ingress_head(*switch, *port));
+                if matches!(fault, ChannelFault::FailLink) {
+                    fp.touch(res::ingress_tail(*switch, *port));
+                }
+            }
+
+            Transition::SwitchCrash { switch } => {
+                fp.touch(res::BUDGET);
+                // The crash wipes the switch, drains every attached channel
+                // (both ends: queued messages vanish and, while crashed,
+                // deliveries towards the switch are discarded), and clears
+                // the controller's pending-statistics bookkeeping for it.
+                fp.involve_controller();
+                fp.touch(res::switch(*switch));
+                fp.touch(res::sw2c_head(*switch));
+                fp.touch(res::sw2c_tail(*switch));
+                fp.touch(res::c2s_head(*switch));
+                fp.touch(res::c2s_tail(*switch));
+                let ports = state
+                    .switch(*switch)
+                    .map(|s| s.ports.clone())
+                    .unwrap_or_default();
+                for port in ports {
+                    fp.touch(res::ingress_head(*switch, port));
+                    fp.touch(res::ingress_tail(*switch, port));
+                }
+            }
+
+            Transition::SwitchReconnect { switch } => {
+                // Recovery is free (no budget), but it flips the crashed
+                // flag — which re-enables deliveries to every ingress port —
+                // restores the control channel, and enqueues a fresh join
+                // towards the controller.
+                fp.touch(res::switch(*switch));
+                fp.write(res::sw2c_tail(*switch));
+                fp.touch(res::c2s_head(*switch));
+                fp.touch(res::c2s_tail(*switch));
+                let ports = state
+                    .switch(*switch)
+                    .map(|s| s.ports.clone())
+                    .unwrap_or_default();
+                for port in ports {
+                    fp.write(res::ingress_tail(*switch, port));
+                }
+            }
+
+            Transition::ControllerFailover => {
+                fp.touch(res::BUDGET);
+                // The standby replays (warm) or requests (cold) a join from
+                // every live switch, so it reads every switch's state and may
+                // append to every control channel in both directions.
+                fp.involve_controller();
+                for (s, _) in state.switches() {
+                    fp.read(res::switch(s));
+                    fp.write(res::sw2c_tail(s));
+                    fp.write(res::c2s_tail(s));
+                }
+            }
+
+            Transition::MutateOfHead { switch, .. } => {
+                fp.touch(res::BUDGET);
+                // The mutation rewrites the head of one controller→switch
+                // channel in place; which mutations are enabled also depends
+                // on that head message.
+                fp.touch(res::c2s_head(*switch));
+            }
         }
         fp.normalize()
     }
@@ -439,7 +525,9 @@ impl Transition {
             Transition::ProcessPacket { switch }
             | Transition::ProcessOf { switch }
             | Transition::ControllerHandle { switch }
-            | Transition::DiscoverStats { switch } => switch.fingerprint(&mut h),
+            | Transition::DiscoverStats { switch }
+            | Transition::SwitchCrash { switch }
+            | Transition::SwitchReconnect { switch } => switch.fingerprint(&mut h),
             Transition::ProcessPacketOn { switch, port } => {
                 switch.fingerprint(&mut h);
                 port.fingerprint(&mut h);
@@ -455,6 +543,20 @@ impl Transition {
             Transition::ExpireRule { switch, rule_index } => {
                 switch.fingerprint(&mut h);
                 h.write_usize(*rule_index);
+            }
+            Transition::ChannelFault {
+                switch,
+                port,
+                fault,
+            } => {
+                switch.fingerprint(&mut h);
+                port.fingerprint(&mut h);
+                h.write_u64(*fault as u64);
+            }
+            Transition::ControllerFailover => {}
+            Transition::MutateOfHead { switch, mutation } => {
+                switch.fingerprint(&mut h);
+                h.write_str(mutation.name());
             }
         }
         h.finish()
@@ -591,6 +693,69 @@ mod tests {
             a.digest(),
             Transition::HostReceive { host: HostId(1) }.digest()
         );
+    }
+
+    #[test]
+    fn fault_injections_conflict_on_the_budget_but_commute_with_remote_work() {
+        let (scenario, mut state) = chain_state();
+        let drop_head = Transition::ChannelFault {
+            switch: SwitchId(1),
+            port: PortId(1),
+            fault: ChannelFault::DropHead,
+        };
+        let crash = Transition::SwitchCrash {
+            switch: SwitchId(2),
+        };
+        // Any two budget-consuming injections race on the shared budget.
+        assert!(!independent(&drop_head, &crash, &state, &scenario));
+        // An ingress fault at switch 1 commutes with packet processing at
+        // switch 2...
+        let remote = Transition::ProcessPacket {
+            switch: SwitchId(2),
+        };
+        assert!(independent(&drop_head, &remote, &state, &scenario));
+        // ...but not with processing on the very queue it corrupts.
+        let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
+        state.enqueue_ingress(SwitchId(1), PortId(1), pkt);
+        let local = Transition::ProcessPacket {
+            switch: SwitchId(1),
+        };
+        assert!(!independent(&drop_head, &local, &state, &scenario));
+        // Recovery is budget-free, so it only conflicts with work at the
+        // recovering switch itself.
+        let reconnect = Transition::SwitchReconnect {
+            switch: SwitchId(2),
+        };
+        assert!(independent(&reconnect, &local, &state, &scenario));
+        assert!(!independent(&reconnect, &remote, &state, &scenario));
+    }
+
+    #[test]
+    fn fault_digests_distinguish_kind_and_site() {
+        let a = Transition::ChannelFault {
+            switch: SwitchId(1),
+            port: PortId(1),
+            fault: ChannelFault::DropHead,
+        };
+        let b = Transition::ChannelFault {
+            switch: SwitchId(1),
+            port: PortId(1),
+            fault: ChannelFault::DuplicateHead,
+        };
+        let c = Transition::ChannelFault {
+            switch: SwitchId(2),
+            port: PortId(1),
+            fault: ChannelFault::DropHead,
+        };
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        let crash = Transition::SwitchCrash {
+            switch: SwitchId(1),
+        };
+        let reconnect = Transition::SwitchReconnect {
+            switch: SwitchId(1),
+        };
+        assert_ne!(crash.digest(), reconnect.digest());
     }
 
     #[test]

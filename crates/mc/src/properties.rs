@@ -509,6 +509,80 @@ impl Property for NoForgottenPackets {
 }
 
 // ---------------------------------------------------------------------------
+// NoAbandonedPackets
+// ---------------------------------------------------------------------------
+
+/// Asserts that every packet the controller took charge of (by executing its
+/// `packet_in` handler) is eventually delivered to some host or explicitly
+/// discarded on controller instruction.
+///
+/// This is the end-to-end delivery obligation that fault injection stresses:
+/// without faults, a correct controller satisfies it trivially, but a switch
+/// crash can wipe a `packet_out` (or the buffered packet it refers to) after
+/// the controller has already acknowledged the packet — a controller that
+/// does not re-send on reconnect silently loses it.
+#[derive(Debug, Clone, Default)]
+pub struct NoAbandonedPackets {
+    pending: BTreeMap<PacketId, String>,
+}
+
+impl NoAbandonedPackets {
+    /// Creates the property.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Property for NoAbandonedPackets {
+    fn name(&self) -> &str {
+        "NoAbandonedPackets"
+    }
+
+    fn on_event(&mut self, event: &Event, _state: &SystemState) {
+        match event {
+            Event::ControllerHandledPacketIn { packet, switch, .. } => {
+                self.pending
+                    .insert(packet.id, format!("{packet} acknowledged via {switch}"));
+            }
+            Event::PacketDeliveredToHost { packet, .. }
+            | Event::PacketDroppedByController { packet, .. } => {
+                self.pending.remove(&packet.id);
+            }
+            _ => {}
+        }
+    }
+
+    fn check(&self, state: &SystemState) -> Option<String> {
+        // Detect the exact transition that *loses* an acknowledged packet:
+        // once it is traceable nowhere (no channel, no switch buffer, no host
+        // inbox, not held by the application for re-delivery), no later
+        // transition can deliver it. Checking at every step — rather than only
+        // in final states — matters for soundness: the checker deduplicates on
+        // the system fingerprint, which does not include property history, so
+        // a lossy branch may converge with a benign one before termination.
+        self.pending.iter().find_map(|(id, sample)| {
+            (!state.is_packet_in_flight(*id))
+                .then(|| format!("controller-acknowledged packet lost: {sample}"))
+        })
+    }
+
+    fn check_final(&self, _state: &SystemState) -> Option<String> {
+        // Backstop for packets that stay traceable forever without being
+        // delivered (e.g. an application that holds a packet but never
+        // re-sends it).
+        let (_, sample) = self.pending.first_key_value()?;
+        Some(format!(
+            "{} controller-acknowledged packet(s) never reached a host (e.g. {sample})",
+            self.pending.len()
+        ))
+    }
+
+    fn clone_property(&self) -> Box<dyn Property> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // FlowAffinity (application-specific, load balancer)
 // ---------------------------------------------------------------------------
 
@@ -801,6 +875,67 @@ mod tests {
             p.check(&state).is_none(),
             "only terminal states are checked"
         );
+    }
+
+    #[test]
+    fn no_abandoned_packets_demands_delivery_after_controller_ack() {
+        let mut state = empty_state();
+        let mut p = NoAbandonedPackets::new();
+        let pkt = ping(1, 1, 2);
+        p.on_event(
+            &Event::ControllerHandledPacketIn {
+                switch: SwitchId(1),
+                in_port: PortId(1),
+                packet: pkt,
+            },
+            &state,
+        );
+        // While the packet is still traceable (here: in a host inbox) the
+        // obligation is open but not violated.
+        state.enqueue_host(HostId(2), pkt);
+        assert!(
+            p.check(&state).is_none(),
+            "a traceable packet can still be delivered"
+        );
+        assert!(
+            p.check_final(&state).unwrap().contains("never reached"),
+            "an acknowledged but undelivered packet violates at the end"
+        );
+        // Once the packet is traceable nowhere, the loss is flagged at the
+        // very transition that dropped it.
+        state.host_inbox_mut(HostId(2)).unwrap().pop();
+        assert!(
+            p.check(&state).unwrap().contains("lost"),
+            "an untraceable acknowledged packet is flagged mid-run"
+        );
+        p.on_event(
+            &Event::PacketDeliveredToHost {
+                host: HostId(2),
+                packet: pkt,
+            },
+            &state,
+        );
+        assert!(p.check(&state).is_none());
+        assert!(p.check_final(&state).is_none());
+
+        // An explicit controller drop also discharges the obligation.
+        let dropped = ping(2, 1, 2);
+        p.on_event(
+            &Event::ControllerHandledPacketIn {
+                switch: SwitchId(1),
+                in_port: PortId(1),
+                packet: dropped,
+            },
+            &state,
+        );
+        p.on_event(
+            &Event::PacketDroppedByController {
+                switch: SwitchId(1),
+                packet: dropped,
+            },
+            &state,
+        );
+        assert!(p.check_final(&state).is_none());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! What to check and how to search: the [`Scenario`] (system under test) and
 //! the [`CheckerConfig`] (search configuration).
 
+use crate::faults::FaultPlan;
 use crate::properties::Property;
 use nice_controller::ControllerApp;
 use nice_hosts::HostModel;
-use nice_openflow::{FaultModel, HostId, Packet, SwitchConfig, Topology};
+use nice_openflow::{HostId, Packet, SwitchConfig, Topology};
 use nice_sym::{ExploreConfig, PacketDomains, StatsDomains};
 use std::collections::BTreeMap;
 
@@ -48,9 +49,13 @@ pub struct Scenario {
     pub send_policy: SendPolicy,
     /// Switch-model options (canonical flow table, buffer capacity).
     pub switch_config: SwitchConfig,
-    /// Fault model applied to data-plane packet channels (the OpenFlow
-    /// control channel is always reliable, per Section 2.2.2).
-    pub packet_faults: FaultModel,
+    /// Which faults the checker may inject (channel faults on data-plane
+    /// packet channels, switch crashes, controller failover, OpenFlow
+    /// mutations) and the per-execution fault budget. Defaults to
+    /// [`FaultPlan::none`]; fault transitions are only generated when the
+    /// checker additionally enables them
+    /// ([`CheckerConfig::inject_faults`]).
+    pub fault_plan: FaultPlan,
     /// Domains for symbolic packet fields; defaults to
     /// [`PacketDomains::from_topology`] when `None`.
     pub packet_domains: Option<PacketDomains>,
@@ -69,7 +74,7 @@ impl Clone for Scenario {
             hosts: self.hosts.iter().map(|h| h.clone_host()).collect(),
             send_policy: self.send_policy.clone(),
             switch_config: self.switch_config,
-            packet_faults: self.packet_faults,
+            fault_plan: self.fault_plan.clone(),
             packet_domains: self.packet_domains.clone(),
             stats_domains: self.stats_domains.clone(),
             properties: self.properties.clone(),
@@ -148,10 +153,9 @@ impl Scenario {
         self
     }
 
-    /// Enables a fault model on the data-plane packet channels (builder
-    /// style).
-    pub fn with_packet_faults(mut self, faults: FaultModel) -> Self {
-        self.packet_faults = faults;
+    /// Replaces the fault plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -189,7 +193,7 @@ pub struct ScenarioBuilder {
     hosts: Vec<Box<dyn HostModel>>,
     send_policy: SendPolicy,
     switch_config: SwitchConfig,
-    packet_faults: FaultModel,
+    fault_plan: FaultPlan,
     packet_domains: Option<PacketDomains>,
     stats_domains: StatsDomains,
     properties: Vec<Box<dyn Property>>,
@@ -204,7 +208,7 @@ impl ScenarioBuilder {
             hosts: Vec::new(),
             send_policy: SendPolicy::Discover,
             switch_config: SwitchConfig::default(),
-            packet_faults: FaultModel::RELIABLE,
+            fault_plan: FaultPlan::none(),
             packet_domains: None,
             stats_domains: StatsDomains::default(),
             properties: Vec::new(),
@@ -271,9 +275,11 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Enables a fault model on the data-plane packet channels.
-    pub fn packet_faults(mut self, faults: FaultModel) -> Self {
-        self.packet_faults = faults;
+    /// Sets the fault plan: which faults the checker may inject and the
+    /// per-execution budget. Faults are only scheduled when the checker is
+    /// additionally run with [`CheckerConfig::inject_faults`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -307,7 +313,7 @@ impl ScenarioBuilder {
             hosts: self.hosts,
             send_policy: self.send_policy,
             switch_config: self.switch_config,
-            packet_faults: self.packet_faults,
+            fault_plan: self.fault_plan,
             packet_domains: self.packet_domains,
             stats_domains: self.stats_domains,
             properties: self.properties,
@@ -468,6 +474,11 @@ pub struct CheckerConfig {
     /// profile) instead of copy-on-write. Exists so `nice-bench` can measure
     /// the win of structural sharing; leave `false` for real searches.
     pub force_deep_clone: bool,
+    /// Schedule the fault transitions described by the scenario's
+    /// [`FaultPlan`](crate::faults::FaultPlan). Off by default so that a
+    /// scenario carrying a plan can still be checked fault-free (the CLI's
+    /// `--faults` flag flips this on).
+    pub inject_faults: bool,
     /// Limits on symbolic path exploration.
     pub explore: ExploreConfig,
 }
@@ -485,6 +496,7 @@ impl Default for CheckerConfig {
             workers: 1,
             reduction: ReductionKind::None,
             force_deep_clone: false,
+            inject_faults: false,
             explore: ExploreConfig::default(),
         }
     }
@@ -555,6 +567,13 @@ impl CheckerConfig {
         self.reduction = reduction;
         self
     }
+
+    /// Enables or disables scheduling of the scenario's fault plan
+    /// (builder style).
+    pub fn with_fault_injection(mut self, inject: bool) -> Self {
+        self.inject_faults = inject;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -578,13 +597,15 @@ mod tests {
                 canonical_flow_table: false,
                 buffer_capacity: 8,
             })
-            .with_packet_faults(FaultModel::RELIABLE)
+            .with_fault_plan(FaultPlan::lossy(2))
             .with_stats_domains(StatsDomains::around_threshold(100));
         assert!(!scenario.switch_config.canonical_flow_table);
         assert_eq!(scenario.switch_config.buffer_capacity, 8);
         let cloned = scenario.clone();
         assert_eq!(cloned.name, scenario.name);
         assert_eq!(cloned.hosts.len(), scenario.hosts.len());
+        assert_eq!(cloned.fault_plan, scenario.fault_plan);
+        assert!(scenario.fault_plan.any_enabled());
         assert!(format!("{scenario:?}").contains("hub"));
     }
 

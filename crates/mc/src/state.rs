@@ -26,8 +26,8 @@ use crate::scenario::Scenario;
 use nice_controller::ControllerRuntime;
 use nice_hosts::HostModel;
 use nice_openflow::{
-    FifoChannel, Fingerprint, Fnv64, HostId, Location, OfMessage, Packet, PortId, PortStatsEntry,
-    Switch, SwitchId, Topology,
+    FifoChannel, Fingerprint, Fnv64, HostId, Location, OfMessage, Packet, PacketId, PortId,
+    PortStatsEntry, Switch, SwitchId, Topology,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
@@ -116,6 +116,13 @@ pub struct SystemState {
     /// channel last received a message (consumed by the UNUSUAL strategy).
     of_enqueue_seq: u64,
     last_of_enqueue: BTreeMap<SwitchId, u64>,
+    /// Remaining fault-injection budget (starts at the scenario's
+    /// [`FaultPlan`](crate::faults::FaultPlan) budget; each injected fault
+    /// consumes one unit).
+    fault_budget: u32,
+    /// Switches currently crashed (flow table wiped, channels down) and
+    /// awaiting a reconnect.
+    crashed: BTreeSet<SwitchId>,
     /// The static topology (shared, not part of the mutable state).
     topology: Arc<Topology>,
 }
@@ -130,6 +137,9 @@ const HOST_FP_SEED: u64 = 0x40_57;
 /// Domain-separation seed of per-channel digests (the channel's *slot* in
 /// the combined fingerprint provides the per-kind separation).
 const CHANNEL_FP_SEED: u64 = 0xc4a_221;
+/// Domain-separation seed of the fault-state digest (remaining budget plus
+/// the crashed-switch set).
+const FAULTS_FP_SEED: u64 = 0xfa_017;
 
 /// Slot tags distinguishing component kinds in the combined fingerprint.
 mod slot {
@@ -143,6 +153,7 @@ mod slot {
     pub const PENDING_STATS: u64 = 8;
     pub const RELEVANT_PACKETS: u64 = 9;
     pub const DISCOVERED_STATS: u64 = 10;
+    pub const FAULTS: u64 = 11;
 }
 
 /// Mixes a component digest with its slot (kind + key) so the combined
@@ -190,7 +201,7 @@ impl SystemState {
                 ingress.insert(
                     (spec.id, port),
                     Arc::new(Cached::new(FifoChannel::with_faults(
-                        scenario.packet_faults,
+                        scenario.fault_plan.channel_model_for(spec.id),
                     ))),
                 );
             }
@@ -215,6 +226,8 @@ impl SystemState {
             next_packet_id: 1,
             of_enqueue_seq: 0,
             last_of_enqueue: BTreeMap::new(),
+            fault_budget: scenario.fault_plan.budget,
+            crashed: BTreeSet::new(),
             topology,
         };
 
@@ -292,6 +305,8 @@ impl SystemState {
             next_packet_id: self.next_packet_id,
             of_enqueue_seq: self.of_enqueue_seq,
             last_of_enqueue: self.last_of_enqueue.clone(),
+            fault_budget: self.fault_budget,
+            crashed: self.crashed.clone(),
             // The topology is immutable for the lifetime of a search; the
             // pre-COW representation shared it too.
             topology: Arc::clone(&self.topology),
@@ -380,8 +395,12 @@ impl SystemState {
             .push(msg);
     }
 
-    /// Enqueues a data packet on a switch ingress port.
+    /// Enqueues a data packet on a switch ingress port. Packets towards a
+    /// crashed switch are silently discarded — its links are down.
     pub fn enqueue_ingress(&mut self, switch: SwitchId, port: PortId, packet: Packet) {
+        if self.crashed.contains(&switch) {
+            return;
+        }
         Arc::make_mut(self.ingress.entry((switch, port)).or_default())
             .value_mut()
             .push(packet);
@@ -547,6 +566,80 @@ impl SystemState {
         self.pending_stats.iter().copied().collect()
     }
 
+    // ----- Fault injection -----
+
+    /// Remaining fault-injection budget.
+    pub fn fault_budget(&self) -> u32 {
+        self.fault_budget
+    }
+
+    /// Consumes one unit of the fault budget. Panics if the budget is
+    /// exhausted — the checker only schedules fault transitions while the
+    /// budget is positive.
+    pub fn consume_fault_budget(&mut self) {
+        assert!(self.fault_budget > 0, "fault budget exhausted");
+        self.fault_budget -= 1;
+    }
+
+    /// True if `switch` is currently crashed.
+    pub fn is_crashed(&self, switch: SwitchId) -> bool {
+        self.crashed.contains(&switch)
+    }
+
+    /// Switches currently crashed, in id order.
+    pub fn crashed_switches(&self) -> Vec<SwitchId> {
+        self.crashed.iter().copied().collect()
+    }
+
+    /// Crashes a switch: the flow table and packet buffers are wiped (the
+    /// switch restarts from factory state), every queued ingress packet is
+    /// lost, the control channels go down (queued OpenFlow messages in both
+    /// directions are lost), and a `switch_leave` is queued so the
+    /// controller eventually observes the disconnect. The switch stays
+    /// inert until [`SystemState::reconnect_switch`].
+    pub fn crash_switch(&mut self, switch: SwitchId) {
+        self.crashed.insert(switch);
+        if let Some(sw) = self.switches.get_mut(&switch) {
+            let fresh = Switch::with_config(switch, sw.value.ports.clone(), sw.value.config());
+            *Arc::make_mut(sw).value_mut() = fresh;
+        }
+        let busy: Vec<PortId> = self.busy_ingress_ports(switch);
+        for port in busy {
+            if let Some(ch) = self.ingress_mut(switch, port) {
+                while ch.pop().is_some() {}
+            }
+        }
+        if let Some(ch) = self.sw_to_ctrl_mut(switch) {
+            while ch.pop().is_some() {}
+        }
+        // An in-flight statistics request died with the channels.
+        self.pending_stats.remove(&switch);
+        if let Some(ch) = self.ctrl_to_sw_mut(switch) {
+            ch.fail();
+        }
+        let leave = OfMessage::SwitchLeave { switch };
+        self.enqueue_to_controller(switch, leave);
+    }
+
+    /// Reconnects a crashed switch: the control channel comes back up and
+    /// the switch re-handshakes by queueing its `switch_join` — delivered
+    /// asynchronously, so the checker explores every interleaving of the
+    /// re-handshake with ordinary traffic.
+    pub fn reconnect_switch(&mut self, switch: SwitchId) {
+        self.crashed.remove(&switch);
+        if let Some(ch) = self.ctrl_to_sw_mut(switch) {
+            ch.restore();
+        }
+        if let Some(join) = self.switch(switch).map(|sw| sw.join_message()) {
+            self.enqueue_to_controller(switch, join);
+        }
+    }
+
+    /// Replaces the controller runtime (failover to a standby).
+    pub fn replace_controller(&mut self, runtime: ControllerRuntime) {
+        self.controller = Arc::new(Cached::new(runtime));
+    }
+
     // ----- Fingerprinting -----
 
     /// The canonical 64-bit fingerprint of this state, used for the explored
@@ -604,6 +697,19 @@ impl SystemState {
         for sw in &self.pending_stats {
             acc ^= mix(slot::PENDING_STATS, sw.0 as u64, 1);
         }
+        // The fault slot is folded only when fault state exists, so a
+        // faults-off search (and a fault search that has spent its whole
+        // budget with every switch recovered) fingerprints bit-identically
+        // to a fault-unaware checker.
+        if self.fault_budget != 0 || !self.crashed.is_empty() {
+            let mut h = Fnv64::with_seed(FAULTS_FP_SEED);
+            h.write_u64(self.fault_budget as u64);
+            h.write_usize(self.crashed.len());
+            for sw in &self.crashed {
+                sw.fingerprint(&mut h);
+            }
+            acc ^= mix(slot::FAULTS, 0, h.finish());
+        }
         // Only the discovery-cache entries for the *current* controller state
         // matter for enabledness; including the full history would make
         // states that differ only in stale cache entries look distinct.
@@ -635,6 +741,43 @@ impl SystemState {
             .values()
             .map(|s| s.value.buffered_count())
             .sum()
+    }
+
+    /// True if a packet with the given provenance id is still traceable
+    /// somewhere in the system: queued on an ingress channel or a host inbox,
+    /// riding inside an OpenFlow message (a `PacketIn` copy or an inline
+    /// `PacketOut`), buffered at a switch, or held by the controller
+    /// application for re-delivery ([`ControllerApp::held_packets`]).
+    ///
+    /// Liveness-style properties (e.g.
+    /// [`NoAbandonedPackets`](crate::properties::NoAbandonedPackets)) use this
+    /// to detect the exact transition that *loses* a packet — once a packet is
+    /// untraceable, no later transition can deliver it.
+    ///
+    /// [`ControllerApp::held_packets`]: nice_controller::ControllerApp::held_packets
+    pub fn is_packet_in_flight(&self, id: PacketId) -> bool {
+        let of_carries = |msg: &OfMessage| match msg {
+            OfMessage::PacketIn { packet, .. } => packet.id == id,
+            OfMessage::PacketOut {
+                packet: Some(packet),
+                ..
+            } => packet.id == id,
+            _ => false,
+        };
+        self.ingress
+            .values()
+            .chain(self.host_inbox.values())
+            .any(|ch| ch.value.iter().any(|p| p.id == id))
+            || self
+                .sw_to_ctrl
+                .values()
+                .chain(self.ctrl_to_sw.values())
+                .any(|ch| ch.value.iter().any(of_carries))
+            || self
+                .switches
+                .values()
+                .any(|s| s.value.buffered_packets().any(|(_, bp)| bp.packet.id == id))
+            || self.controller.value.app().held_packets().contains(&id)
     }
 
     /// Total number of messages currently queued on any channel.
@@ -852,6 +995,15 @@ mod tests {
         for sw in &state.pending_stats {
             acc ^= mix(slot::PENDING_STATS, sw.0 as u64, 1);
         }
+        if state.fault_budget != 0 || !state.crashed.is_empty() {
+            let mut h = Fnv64::with_seed(FAULTS_FP_SEED);
+            h.write_u64(state.fault_budget as u64);
+            h.write_usize(state.crashed.len());
+            for sw in &state.crashed {
+                sw.fingerprint(&mut h);
+            }
+            acc ^= mix(slot::FAULTS, 0, h.finish());
+        }
         let ctrl_fp = state.controller_fingerprint();
         for (host, cache) in state.relevant_packets.iter() {
             if let Some(packets) = cache.get(&ctrl_fp) {
@@ -947,6 +1099,76 @@ mod tests {
         let a = state.alloc_packet_id();
         let b = state.alloc_packet_id();
         assert!(b > a);
+    }
+
+    #[test]
+    fn crash_wipes_and_reconnect_rehandshakes() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let mut state = SystemState::initial(&scenario);
+        let pkt = Packet::l2_ping(1, MacAddr::for_host(1), MacAddr::for_host(2), 0);
+        state.enqueue_ingress(SwitchId(1), PortId(1), pkt);
+        state.enqueue_to_switch(SwitchId(1), OfMessage::BarrierRequest { request_id: 1 });
+        state.enqueue_to_controller(
+            SwitchId(1),
+            OfMessage::BarrierReply {
+                switch: SwitchId(1),
+                request_id: 1,
+            },
+        );
+
+        state.crash_switch(SwitchId(1));
+        assert!(state.is_crashed(SwitchId(1)));
+        assert_eq!(state.crashed_switches(), vec![SwitchId(1)]);
+        assert!(state.ingress(SwitchId(1), PortId(1)).unwrap().is_empty());
+        assert!(state.ctrl_to_sw(SwitchId(1)).unwrap().is_failed());
+        // Everything queued died; only the switch_leave notification is left.
+        let sw2c = state.sw_to_ctrl(SwitchId(1)).unwrap();
+        assert_eq!(sw2c.len(), 1);
+        assert!(matches!(
+            sw2c.peek(),
+            Some(OfMessage::SwitchLeave { switch }) if *switch == SwitchId(1)
+        ));
+        // Messages towards the crashed switch are discarded.
+        state.enqueue_to_switch(SwitchId(1), OfMessage::BarrierRequest { request_id: 2 });
+        assert!(state.ctrl_to_sw(SwitchId(1)).unwrap().is_empty());
+
+        state.reconnect_switch(SwitchId(1));
+        assert!(!state.is_crashed(SwitchId(1)));
+        assert!(!state.ctrl_to_sw(SwitchId(1)).unwrap().is_failed());
+        let kinds: Vec<&str> = state
+            .sw_to_ctrl(SwitchId(1))
+            .unwrap()
+            .iter()
+            .map(|m| m.kind_name())
+            .collect();
+        assert_eq!(kinds, vec!["switch_leave", "switch_join"]);
+        assert_eq!(state.fingerprint(), reference_fingerprint(&state));
+    }
+
+    #[test]
+    fn fault_state_folds_into_the_fingerprint_only_when_present() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let plain = SystemState::initial(&scenario);
+        let mut budgeted = SystemState::initial(&scenario);
+        assert_eq!(budgeted.fault_budget(), 0);
+        budgeted.fault_budget = 2;
+        assert_ne!(plain.fingerprint(), budgeted.fingerprint());
+        assert_eq!(budgeted.fingerprint(), reference_fingerprint(&budgeted));
+        budgeted.consume_fault_budget();
+        let one_left = budgeted.fingerprint();
+        budgeted.consume_fault_budget();
+        // Budget spent, nothing crashed: the slot disappears and the state
+        // merges with the fault-free space.
+        assert_ne!(one_left, budgeted.fingerprint());
+        assert_eq!(plain.fingerprint(), budgeted.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault budget exhausted")]
+    fn consuming_an_empty_budget_panics() {
+        let scenario = testutil::hub_ping_scenario(1);
+        let mut state = SystemState::initial(&scenario);
+        state.consume_fault_budget();
     }
 
     #[test]

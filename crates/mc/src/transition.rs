@@ -6,13 +6,14 @@
 //! handler executions, and the special `discover_packets` / `discover_stats`
 //! transitions that run the concolic engine to uncover new relevant inputs.
 
+use crate::faults::FailoverStaleness;
 use crate::properties::Event;
 use crate::scenario::{CheckerConfig, Scenario, SendPolicy};
 use crate::state::SystemState;
-use nice_controller::PacketInContext;
+use nice_controller::{ControllerRuntime, PacketInContext};
 use nice_openflow::{
-    BufferId, ForwardingDecision, HostId, Location, OfMessage, Packet, PacketId, PortId,
-    PortStatsEntry, SwitchId, SwitchOutput,
+    BufferId, ChannelFault, ForwardingDecision, HostId, Location, OfMessage, OfMutation, Packet,
+    PacketId, PortId, PortStatsEntry, SwitchId, SwitchOutput,
 };
 use nice_sym::{ConcreteEnv, PathExplorer, Solver, SymPacket, SymStats};
 use std::collections::BTreeMap;
@@ -94,6 +95,43 @@ pub enum Transition {
         /// The canonical index of the expiring rule.
         rule_index: usize,
     },
+    /// Inject a channel fault (drop / duplicate / reorder the head, or fail
+    /// the link) on a fault-enabled ingress channel. Consumes one unit of
+    /// the fault budget.
+    ChannelFault {
+        /// The switch owning the ingress channel.
+        switch: SwitchId,
+        /// The ingress port.
+        port: PortId,
+        /// The fault to apply.
+        fault: ChannelFault,
+    },
+    /// A switch crashes: flow table and buffers wiped, in-flight channels
+    /// lost, control channel down until a reconnect. Consumes one unit of
+    /// the fault budget.
+    SwitchCrash {
+        /// The crashing switch.
+        switch: SwitchId,
+    },
+    /// A crashed switch reconnects and re-handshakes with the controller
+    /// (queues its `switch_join`). Recovery, not a fault: budget-free.
+    SwitchReconnect {
+        /// The reconnecting switch.
+        switch: SwitchId,
+    },
+    /// The controller fails over to a standby runtime whose staleness is
+    /// set by the scenario's fault plan. Consumes one unit of the fault
+    /// budget.
+    ControllerFailover,
+    /// Byzantine mutation of the OpenFlow message at the head of a
+    /// controller→switch channel, before the switch processes it. Consumes
+    /// one unit of the fault budget.
+    MutateOfHead {
+        /// The switch whose inbound control channel is corrupted.
+        switch: SwitchId,
+        /// The mutation applied to the head message.
+        mutation: OfMutation,
+    },
 }
 
 impl Transition {
@@ -111,6 +149,30 @@ impl Transition {
             Transition::DiscoverStats { .. } => "discover_stats",
             Transition::InjectStats { .. } => "process_stats",
             Transition::ExpireRule { .. } => "expire_rule",
+            Transition::ChannelFault { .. } => "channel_fault",
+            Transition::SwitchCrash { .. } => "switch_crash",
+            Transition::SwitchReconnect { .. } => "switch_reconnect",
+            Transition::ControllerFailover => "ctrl_failover",
+            Transition::MutateOfHead { .. } => "mutate_of",
+        }
+    }
+
+    /// Index of the per-kind injected-fault counter this transition bumps
+    /// (see [`FaultStats`](crate::checker::FaultStats)), or `None` for
+    /// ordinary transitions.
+    pub fn fault_counter_index(&self) -> Option<usize> {
+        match self {
+            Transition::ChannelFault { fault, .. } => Some(match fault {
+                ChannelFault::DropHead => 0,
+                ChannelFault::DuplicateHead => 1,
+                ChannelFault::ReorderHead => 2,
+                ChannelFault::FailLink => 3,
+            }),
+            Transition::SwitchCrash { .. } => Some(4),
+            Transition::SwitchReconnect { .. } => Some(5),
+            Transition::ControllerFailover => Some(6),
+            Transition::MutateOfHead { .. } => Some(7),
+            _ => None,
         }
     }
 }
@@ -134,6 +196,17 @@ impl fmt::Display for Transition {
             }
             Transition::ExpireRule { switch, rule_index } => {
                 write!(f, "expire rule #{rule_index} at {switch}")
+            }
+            Transition::ChannelFault {
+                switch,
+                port,
+                fault,
+            } => write!(f, "inject {fault:?} on {switch}:{port}"),
+            Transition::SwitchCrash { switch } => write!(f, "{switch} crash"),
+            Transition::SwitchReconnect { switch } => write!(f, "{switch} reconnect"),
+            Transition::ControllerFailover => write!(f, "ctrl failover"),
+            Transition::MutateOfHead { switch, mutation } => {
+                write!(f, "mutate of-head towards {switch} ({mutation})")
             }
         }
     }
@@ -324,6 +397,59 @@ pub fn enabled_transitions(
         }
     }
 
+    // Fault transitions: generated only when the checker opts in and the
+    // scenario plans at least one fault class. With faults off this block
+    // costs nothing, keeping the search bit-identical to a fault-unaware
+    // checker.
+    let plan = &scenario.fault_plan;
+    if config.inject_faults && plan.any_enabled() {
+        let budget_left = state.fault_budget() > 0;
+        for (switch_id, switch) in state.switches() {
+            if state.is_crashed(switch_id) {
+                // A crashed switch can only come back; recovery is
+                // budget-free so a crash can never strand the system.
+                out.push(Transition::SwitchReconnect { switch: switch_id });
+                continue;
+            }
+            if !budget_left {
+                continue;
+            }
+            if plan.switch_crash {
+                out.push(Transition::SwitchCrash { switch: switch_id });
+            }
+            if plan.channel.any_enabled() {
+                // The per-channel fault models were seeded from the plan at
+                // state construction, so out-of-scope channels report none.
+                for &port in &switch.ports {
+                    let faults = state
+                        .ingress(switch_id, port)
+                        .map(|ch| ch.enabled_faults())
+                        .unwrap_or_default();
+                    for fault in faults {
+                        out.push(Transition::ChannelFault {
+                            switch: switch_id,
+                            port,
+                            fault,
+                        });
+                    }
+                }
+            }
+            if plan.of_mutations {
+                if let Some(head) = state.ctrl_to_sw(switch_id).and_then(|ch| ch.peek()) {
+                    for mutation in head.mutations() {
+                        out.push(Transition::MutateOfHead {
+                            switch: switch_id,
+                            mutation,
+                        });
+                    }
+                }
+            }
+        }
+        if budget_left && plan.failover.is_some() {
+            out.push(Transition::ControllerFailover);
+        }
+    }
+
     out
 }
 
@@ -495,6 +621,73 @@ pub fn execute(
                     pattern: rule.pattern,
                 });
             }
+        }
+
+        Transition::ChannelFault {
+            switch,
+            port,
+            fault,
+        } => {
+            state.consume_fault_budget();
+            state
+                .ingress_mut(*switch, *port)
+                .expect("unknown ingress channel")
+                .apply_fault(*fault);
+        }
+
+        Transition::SwitchCrash { switch } => {
+            state.consume_fault_budget();
+            state.crash_switch(*switch);
+        }
+
+        Transition::SwitchReconnect { switch } => {
+            state.reconnect_switch(*switch);
+        }
+
+        Transition::ControllerFailover => {
+            state.consume_fault_budget();
+            let staleness = scenario
+                .fault_plan
+                .failover
+                .expect("failover scheduled without a plan");
+            let mut standby = ControllerRuntime::new(scenario.app.clone_app());
+            let live: Vec<(SwitchId, OfMessage)> = state
+                .switches()
+                .filter(|(id, _)| !state.is_crashed(*id))
+                .map(|(id, sw)| (id, sw.join_message()))
+                .collect();
+            match staleness {
+                FailoverStaleness::Warm => {
+                    // The standby's switch registry is warm: joins are
+                    // replayed synchronously before it takes over.
+                    let mut produced = Vec::new();
+                    for (_, join) in &live {
+                        produced.extend(standby.handle_message(join));
+                    }
+                    state.replace_controller(standby);
+                    for (target, m) in produced {
+                        state.enqueue_to_switch(target, m);
+                    }
+                }
+                FailoverStaleness::Cold => {
+                    // Cold standby: switches re-handshake asynchronously,
+                    // so the checker explores every interleaving of the
+                    // joins with in-flight traffic.
+                    state.replace_controller(standby);
+                    for (id, join) in live {
+                        state.enqueue_to_controller(id, join);
+                    }
+                }
+            }
+        }
+
+        Transition::MutateOfHead { switch, mutation } => {
+            state.consume_fault_budget();
+            state
+                .ctrl_to_sw_mut(*switch)
+                .and_then(|ch| ch.peek_mut())
+                .expect("mutate_of with empty channel")
+                .apply_mutation(*mutation);
         }
     }
 }

@@ -12,8 +12,21 @@
 use nice_mc::scenario::CheckerConfig;
 use nice_mc::testutil;
 use nice_mc::transition::{enabled_transitions, execute, DiscoveryMemo};
-use nice_mc::{independent, Scenario, SystemState, Transition};
+use nice_mc::{independent, FailoverStaleness, FaultPlan, Scenario, SystemState, Transition};
 use proptest::prelude::*;
+
+/// The hub workload with every fault class armed: lossy channels, switch
+/// crashes, warm controller failover and Byzantine message mutations, under
+/// a shared budget of 2. Used to sample states whose enabled sets mix fault
+/// and non-fault transitions.
+fn faulty_hub_scenario(pings: u32) -> Scenario {
+    testutil::hub_ping_scenario(pings).with_fault_plan(
+        FaultPlan::lossy(2)
+            .with_switch_crash()
+            .with_failover(FailoverStaleness::Warm)
+            .with_of_mutations(),
+    )
+}
 
 /// Walks `steps` pseudo-random transitions from the initial state and
 /// returns the reached state (deterministic in `seed`).
@@ -120,6 +133,22 @@ proptest! {
         prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
     }
 
+    /// Fault-injection transitions (channel faults, crashes, reconnects,
+    /// failover, message mutations) obey the same independence relation:
+    /// any footprint-disjoint pair — fault/fault or fault/non-fault —
+    /// commutes both ways to the same fingerprint.
+    #[test]
+    fn independent_pairs_commute_under_fault_injection(
+        seed in 0u64..1_000_000,
+        steps in 0usize..14,
+    ) {
+        let scenario = faulty_hub_scenario(2);
+        let config = CheckerConfig::default().with_fault_injection(true);
+        let state = random_state(&scenario, &config, seed, steps);
+        let outcome = check_commutation(&state, &scenario, &config);
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    }
+
     /// Fine-grained (per-port) packet processing obeys the same relation.
     #[test]
     fn independent_pairs_commute_with_fine_grained_processing(
@@ -150,5 +179,35 @@ fn commutation_property_is_not_vacuous() {
     assert!(
         total > 0,
         "no independent pairs were ever generated; the property is vacuous"
+    );
+}
+
+/// The fault leg is not vacuous either: the walk reaches states with
+/// independent (fault, non-fault) pairs, and they commute.
+#[test]
+fn fault_commutation_covers_mixed_pairs() {
+    let scenario = faulty_hub_scenario(2);
+    let config = CheckerConfig::default().with_fault_injection(true);
+    let mut mixed = 0;
+    for seed in 0..60 {
+        for steps in [2, 5, 8, 11] {
+            let state = random_state(&scenario, &config, seed, steps);
+            check_commutation(&state, &scenario, &config).expect("commutation under faults");
+            let enabled = enabled_transitions(&state, &scenario, &config);
+            for i in 0..enabled.len() {
+                for j in (i + 1)..enabled.len() {
+                    let (a, b) = (&enabled[i], &enabled[j]);
+                    if independent(a, b, &state, &scenario)
+                        && (a.fault_counter_index().is_some() != b.fault_counter_index().is_some())
+                    {
+                        mixed += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        mixed > 0,
+        "no independent (fault, non-fault) pairs were ever generated; the fault leg is vacuous"
     );
 }

@@ -137,9 +137,32 @@ impl<T> FifoChannel<T> {
         self.queue.front()
     }
 
+    /// Mutable access to the head of the queue (used by the Byzantine
+    /// message mutator to corrupt a message in flight).
+    pub fn peek_mut(&mut self) -> Option<&mut T> {
+        self.queue.front_mut()
+    }
+
     /// Iterates over queued messages from head to tail.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.queue.iter()
+    }
+
+    /// Fails the link from outside the channel's own fault model: queued
+    /// messages are discarded and future pushes are dropped until
+    /// [`FifoChannel::restore`]. Models the connection to a crashed
+    /// component (a crashed switch's control channel), which is why —
+    /// unlike [`ChannelFault::FailLink`] — it does not require
+    /// `allow_link_failure`.
+    pub fn fail(&mut self) {
+        self.failed = true;
+        self.queue.clear();
+    }
+
+    /// Restores a failed link: the channel is empty and accepts messages
+    /// again (messages sent while the link was down stay lost).
+    pub fn restore(&mut self) {
+        self.failed = false;
     }
 
     /// Lists the fault transitions currently enabled, given the fault model
@@ -286,6 +309,21 @@ mod tests {
             "a failed link silently discards new messages"
         );
         assert!(ch.enabled_faults().is_empty());
+    }
+
+    #[test]
+    fn external_fail_and_restore() {
+        let mut ch: FifoChannel<u32> = FifoChannel::reliable();
+        ch.push(1);
+        ch.fail();
+        assert!(ch.is_failed());
+        assert!(ch.is_empty());
+        ch.push(2);
+        assert!(ch.is_empty(), "pushes while failed are discarded");
+        ch.restore();
+        assert!(!ch.is_failed());
+        ch.push(3);
+        assert_eq!(ch.pop(), Some(3));
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Equivalence guarantees of the fault-injection layer, exercised through
+//! the public API.
+//!
+//! Two invariants are pinned here:
+//!
+//! 1. **Faults off is free.** A scenario whose fault plan is empty — or
+//!    whose (non-empty) plan is dormant because the checker runs without
+//!    `inject_faults` — produces a report bit-identical to today's: the same
+//!    transition and state counts, the same verdict, the same violated
+//!    properties and witness lengths, across sequential and parallel engines
+//!    and with POR on or off.
+//! 2. **POR stays sound under faults.** With injection on, FullDfs+POR
+//!    reports the same verdict and violated-property set as FullDfs alone
+//!    while exploring no more (and on the chain workload strictly fewer)
+//!    transitions.
+
+use nice::prelude::*;
+use nice::scenarios::{bug_scenario, BugId};
+use nice_bench::{chain_fault_workload, chain_ping_workload};
+
+/// Worker count for the parallel legs (CI sets `NICE_TEST_WORKERS=4`).
+fn test_workers() -> usize {
+    std::env::var("NICE_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Violated property names, sorted and deduplicated.
+fn violated_properties(report: &CheckReport) -> Vec<String> {
+    let mut names: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| v.property.clone())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Length of the shortest violation trace per property.
+fn shortest_traces(report: &CheckReport) -> Vec<(String, usize)> {
+    let mut out: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for v in &report.violations {
+        let entry = out.entry(v.property.clone()).or_insert(usize::MAX);
+        *entry = (*entry).min(v.trace.len());
+    }
+    out.into_iter().collect()
+}
+
+fn run(scenario: Scenario, config: CheckerConfig) -> CheckReport {
+    Nice::new(scenario)
+        .with_config(config)
+        .collect_all_violations()
+        .check()
+}
+
+/// Asserts that two exhaustive reports describe the same search: identical
+/// counts, verdicts, violated properties, and (sequentially) witnesses.
+fn assert_identical_reports(a: &CheckReport, b: &CheckReport, workers: usize, label: &str) {
+    assert!(
+        !a.stats.truncated && !b.stats.truncated,
+        "{label}: equivalence requires exhaustive searches"
+    );
+    // Transition counts are only comparable on the deterministic sequential
+    // engine: parallel workers race to claim fingerprints, so the exact
+    // number of executed transitions (and the sleep sets POR builds from
+    // them) varies run to run even without faults. State coverage does not.
+    if workers == 1 {
+        assert_eq!(
+            a.stats.transitions, b.stats.transitions,
+            "{label}: transition counts differ"
+        );
+    }
+    assert_eq!(
+        a.stats.unique_states, b.stats.unique_states,
+        "{label}: unique state counts differ"
+    );
+    assert_eq!(
+        a.stats.terminal_states, b.stats.terminal_states,
+        "{label}: terminal coverage differs"
+    );
+    assert_eq!(a.passed(), b.passed(), "{label}: verdicts differ");
+    assert_eq!(
+        violated_properties(a),
+        violated_properties(b),
+        "{label}: violated property sets differ"
+    );
+    if workers == 1 {
+        assert_eq!(
+            shortest_traces(a),
+            shortest_traces(b),
+            "{label}: shortest witnesses differ"
+        );
+    }
+}
+
+/// The faults-off matrix: for each workload, each worker count and each
+/// reduction, (a) an *empty* plan with injection on and (b) a *non-empty*
+/// plan with injection off must both reproduce the plain report exactly.
+#[test]
+fn dormant_fault_plans_are_bit_identical_to_plain_runs() {
+    type Workload = (&'static str, fn() -> Scenario);
+    let workloads: [Workload; 2] = [
+        ("pyswitch-chain", || chain_ping_workload(3, 1)),
+        ("loadbalancer-bug-v", || bug_scenario(BugId::BugV)),
+    ];
+    for (name, make) in workloads {
+        for workers in [1, test_workers()] {
+            for reduction in [ReductionKind::None, ReductionKind::Por] {
+                let config = CheckerConfig::default()
+                    .with_workers(workers)
+                    .with_reduction(reduction);
+                let label = format!("{name} x{workers} {reduction:?}");
+                let plain = run(make(), config.clone());
+
+                let empty_plan_injecting = run(
+                    make().with_fault_plan(FaultPlan::none()),
+                    config.clone().with_fault_injection(true),
+                );
+                assert_identical_reports(
+                    &plain,
+                    &empty_plan_injecting,
+                    workers,
+                    &format!("{label} (empty plan, injection on)"),
+                );
+                assert!(
+                    !empty_plan_injecting.stats.faults.any(),
+                    "{label}: an empty plan injected faults"
+                );
+
+                let armed_plan_dormant = run(
+                    make().with_fault_plan(FaultPlan::crashes(1)),
+                    config.clone(),
+                );
+                assert_identical_reports(
+                    &plain,
+                    &armed_plan_dormant,
+                    workers,
+                    &format!("{label} (armed plan, injection off)"),
+                );
+                assert!(
+                    !armed_plan_dormant.stats.faults.any(),
+                    "{label}: a dormant plan injected faults"
+                );
+            }
+        }
+    }
+}
+
+/// POR under faults: same verdict and violated properties as the full
+/// search, never more transitions, and on the chain workload a real
+/// reduction — the footprints of the fault transitions keep the sleep sets
+/// pruning.
+#[test]
+fn por_reduces_the_chain_under_faults_without_changing_the_verdict() {
+    let faulty = |reduction: ReductionKind| {
+        run(
+            chain_fault_workload(3, 1),
+            CheckerConfig::default()
+                .with_reduction(reduction)
+                .with_fault_injection(true),
+        )
+    };
+    let full = faulty(ReductionKind::None);
+    let por = faulty(ReductionKind::Por);
+    assert!(!full.stats.truncated && !por.stats.truncated);
+    assert!(
+        full.stats.faults.any() && por.stats.faults.any(),
+        "fault transitions were explored on both sides"
+    );
+    assert_eq!(full.passed(), por.passed(), "verdicts differ under faults");
+    assert_eq!(
+        violated_properties(&full),
+        violated_properties(&por),
+        "violated property sets differ under faults"
+    );
+    assert_eq!(
+        full.stats.terminal_states, por.stats.terminal_states,
+        "terminal coverage differs under faults"
+    );
+    assert!(
+        por.stats.transitions < full.stats.transitions,
+        "POR stopped reducing the chain under faults ({} vs {})",
+        por.stats.transitions,
+        full.stats.transitions
+    );
+    assert!(por.stats.pruned_by_por > 0);
+}
+
+/// The fault-dependent registry bug keeps its violation set with POR on or
+/// off, sequentially and in parallel — the acceptance bar for layering new
+/// transition kinds under the reduction.
+#[test]
+fn bug_xii_violations_survive_por_and_parallelism() {
+    for workers in [1, test_workers()] {
+        let hunt = |reduction: ReductionKind| {
+            run(
+                bug_scenario(BugId::BugXII),
+                CheckerConfig::default()
+                    .with_workers(workers)
+                    .with_reduction(reduction)
+                    .with_fault_injection(true),
+            )
+        };
+        let full = hunt(ReductionKind::None);
+        let por = hunt(ReductionKind::Por);
+        assert_eq!(
+            violated_properties(&full),
+            vec!["NoAbandonedPackets".to_string()],
+            "x{workers}: the crash bug must be found by the full search"
+        );
+        assert_eq!(
+            violated_properties(&full),
+            violated_properties(&por),
+            "x{workers}: POR changed the violation set"
+        );
+        assert!(por.stats.transitions <= full.stats.transitions);
+    }
+}
