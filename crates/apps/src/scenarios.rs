@@ -257,6 +257,10 @@ fn load_balancer_scenario(
         .send_policy(SendPolicy::Discover)
         .packet_domains(domains)
         .property(property)
+        // Inert unless the checker enables fault injection: `--faults` runs
+        // additionally explore duplicated control-plane messages (the load
+        // balancer must be idempotent against them).
+        .fault_plan(FaultPlan::duplicates(2))
         .build()
 }
 

@@ -21,11 +21,11 @@
 //! Regenerate the committed baseline with
 //! `cargo run --release -p nice-bench --bin ci_gate -- --out bench/baseline.json`.
 
-use nice_bench::jsonv::validate_json;
+use nice_bench::jsonv::{validate_json, validate_trace_json};
 use nice_bench::{
     chain_fault_workload, chain_ping_workload, engine_configs, exhaustive, load_balancer_workload,
 };
-use nice_mc::{CheckerConfig, Scenario};
+use nice_mc::{CheckerConfig, ModelChecker, Scenario};
 
 /// One engine's measurements on one workload.
 struct EngineRow {
@@ -197,6 +197,29 @@ fn main() {
     println!(
         "dormant-fault-plan check: OK ({} transitions, {} states either way)",
         plain.transitions, plain.unique_states
+    );
+
+    // The debugging toolkit contract: every witness the checker reports
+    // must serialize to schema-valid `nice-trace-v1` JSON and reproduce its
+    // violation under replay. Gated here so a trace-format or replay
+    // regression fails CI even if no unit test covers the exact scenario.
+    let checker = ModelChecker::new(load_balancer_workload(), CheckerConfig::default());
+    let report = checker.run();
+    let violation = report
+        .first_violation()
+        .expect("the load-balancer workload is the BUG-V witness generator");
+    let trace_json = violation.trace.to_json();
+    validate_trace_json(&trace_json)
+        .expect("emitted witness trace failed nice-trace-v1 validation");
+    let replay = checker.replay(&violation.trace);
+    assert!(
+        replay.completed() && replay.reproduces(&violation.trace),
+        "emitted witness trace did not reproduce under replay: {replay}"
+    );
+    println!(
+        "trace self-validation check: OK ({} steps, {} bytes of nice-trace-v1)",
+        violation.trace.len(),
+        trace_json.len()
     );
 
     let profiles = vec![

@@ -6,22 +6,37 @@
 //!   application and the property each one is expected to violate (or pass).
 //! * `nice run <scenario>` — an observable, cancellable check of one
 //!   registry scenario: streams progress to stderr, honours a wall-clock
-//!   budget (`--time-budget-ms`), and with `--json` emits one
-//!   machine-readable object (schema `nice-cli-run-v1`, documented in
-//!   `bench/README.md`).
+//!   budget (`--time-budget-ms`), with `--json` emits one machine-readable
+//!   object embedding the first counterexample as a typed trace (schema
+//!   `nice-cli-run-v3`, documented in `bench/README.md`), and with
+//!   `--trace-out FILE` writes that trace as a standalone `nice-trace-v1`
+//!   file.
 //! * `nice sweep <scenario>` — the strategies × reductions matrix on one
 //!   scenario, as a JSON report in the same hand-rolled style as the bench
-//!   gate's `BENCH_ci.json` (schema `nice-cli-sweep-v1`).
+//!   gate's `BENCH_ci.json` (schema `nice-cli-sweep-v3`).
+//! * `nice replay <trace.json>` — re-executes a saved trace step by step on
+//!   the deterministic engine, checking every property at every step.
+//! * `nice minimize <trace.json>` — ddmin delta debugging: shrinks the
+//!   trace while it still violates the same property under replay.
+//! * `nice bisect <trace.json>` — reports the first transition after which
+//!   the violation becomes unavoidable.
+//! * `nice timeline <trace.json>` — renders the trace as an ASCII timeline,
+//!   one lane per switch/host/controller.
 //! * `nice validate-json` — reads stdin and exits non-zero unless it is one
-//!   well-formed JSON value (what CI pipes `--json` output through).
+//!   well-formed JSON value (what CI pipes `--json` output through); input
+//!   self-identifying as `nice-trace-v1` is additionally parsed as a typed
+//!   trace.
 //!
 //! Every emitted JSON document is self-checked with the same validator
 //! before it is printed, so the CLI can never ship what `validate-json`
 //! would reject.
 
 use nice_apps::scenarios::{find_scenario, registry, ScenarioEntry, ScenarioKind};
-use nice_bench::jsonv::{escape_json, validate_json};
-use nice_mc::{CheckEvent, CheckReport, CheckerConfig, ModelChecker, ReductionKind, StrategyKind};
+use nice_bench::jsonv::{escape_json, validate_json, validate_trace_json};
+use nice_mc::{
+    render_timeline, CheckEvent, CheckReport, CheckerConfig, ModelChecker, ReductionKind,
+    StrategyKind, Trace, TRACE_SCHEMA,
+};
 use std::io::Read;
 use std::time::Duration;
 
@@ -32,6 +47,10 @@ USAGE:
   nice list [--names]
   nice run <scenario> [OPTIONS]
   nice sweep <scenario> [OPTIONS]
+  nice replay <trace.json> [--expect-violation]
+  nice minimize <trace.json> [--out <FILE>]
+  nice bisect <trace.json> [--max-explored <N>]
+  nice timeline <trace.json>
   nice validate-json            (reads stdin)
 
 RUN / SWEEP OPTIONS:
@@ -50,6 +69,20 @@ RUN / SWEEP OPTIONS:
   --matrix strategies-x-reductions                sweep matrix selector (sweep only; the default)
   --json                                          emit machine-readable JSON on stdout
   --quiet                                         suppress streamed progress on stderr
+  --trace-out <FILE>                              write the first violation's trace as a
+                                                  nice-trace-v1 JSON file (run only)
+
+TRACE COMMANDS (operate on nice-trace-v1 files, produced by `nice run --trace-out`):
+  replay     re-execute the trace on the deterministic engine, checking every
+             property at every step; --expect-violation exits non-zero unless
+             replay reproduces the trace's recorded violation
+  minimize   ddmin delta debugging: emit the shortest sub-trace found that
+             still violates the same property under replay (stdout, or --out)
+  bisect     binary-search the first step after which the violation is
+             unavoidable; --max-explored bounds each probe's state exploration
+             (default 2000000, 0 = unlimited)
+  timeline   ASCII timeline: one lane per switch/host/controller, with packet
+             sends, flow-mods, barriers, faults and the violation marked
 
 Scenario names come from `nice list`; schemas are documented in bench/README.md.";
 
@@ -59,6 +92,10 @@ fn main() {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("minimize") => cmd_minimize(&args[1..]),
+        Some("bisect") => cmd_bisect(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
         Some("validate-json") => cmd_validate_json(),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
@@ -98,6 +135,7 @@ struct RunOptions {
     expect: bool,
     json: bool,
     quiet: bool,
+    trace_out: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -116,6 +154,7 @@ impl Default for RunOptions {
             expect: false,
             json: false,
             quiet: false,
+            trace_out: None,
         }
     }
 }
@@ -181,6 +220,13 @@ fn parse_run_options(args: &[String], mode: Mode) -> Result<RunOptions, String> 
                 if v != "strategies-x-reductions" && v != "strategies×reductions" {
                     return Err(format!("unknown matrix '{v}' (strategies-x-reductions)"));
                 }
+                i += 2;
+            }
+            "--trace-out" => {
+                if mode == Mode::Sweep {
+                    return Err("--trace-out is run-only (sweep cells race for the witness)".into());
+                }
+                opts.trace_out = Some(take_value(i)?.clone());
                 i += 2;
             }
             "--faults" => {
@@ -343,8 +389,27 @@ fn cmd_run(args: &[String]) -> i32 {
         }
     });
 
+    let mut trace_file: Option<String> = None;
+    if let Some(path) = &opts.trace_out {
+        match report.first_violation() {
+            Some(v) => {
+                let doc = v.trace.to_json();
+                validate_trace_json(&doc).expect("nice run emitted a malformed trace");
+                if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                    eprintln!("cannot write trace to '{path}': {e}");
+                    return 2;
+                }
+                if !opts.quiet {
+                    eprintln!("trace written to {path} ({} steps)", v.trace.len());
+                }
+                trace_file = Some(path.clone());
+            }
+            None => eprintln!("note: no violation found — '{path}' not written"),
+        }
+    }
+
     if opts.json {
-        let json = render_run_json(&entry, &opts, &report);
+        let json = render_run_json(&entry, &opts, &report, trace_file.as_deref());
         validate_json(&json).expect("nice run emitted malformed JSON");
         println!("{json}");
     } else {
@@ -396,7 +461,12 @@ fn expectation_met(entry: &ScenarioEntry, report: &CheckReport, faults: bool) ->
     }
 }
 
-fn render_run_json(entry: &ScenarioEntry, opts: &RunOptions, report: &CheckReport) -> String {
+fn render_run_json(
+    entry: &ScenarioEntry,
+    opts: &RunOptions,
+    report: &CheckReport,
+    trace_file: Option<&str>,
+) -> String {
     let mut violated: Vec<&str> = report
         .violations
         .iter()
@@ -417,13 +487,24 @@ fn render_run_json(entry: &ScenarioEntry, opts: &RunOptions, report: &CheckRepor
         .map(|(label, count)| format!("\"{label}\": {count}"))
         .collect::<Vec<_>>()
         .join(", ");
+    // Which engine produced the first witness: the trace's own record when
+    // there is one, otherwise inferred from the worker count.
+    let engine = report
+        .first_violation()
+        .map(|v| v.trace.engine.label())
+        .unwrap_or(if opts.workers.max(1) == 1 {
+            "sequential"
+        } else {
+            "parallel"
+        });
     format!(
-        "{{\n  \"schema\": \"nice-cli-run-v2\",\n  \"scenario\": \"{}\",\n  \"app\": \"{}\",\n  \
+        "{{\n  \"schema\": \"nice-cli-run-v3\",\n  \"scenario\": \"{}\",\n  \"app\": \"{}\",\n  \
          \"bug\": \"{}\",\n  \"kind\": \"{}\",\n  \"expected_violation\": {},\n  \
-         \"strategy\": \"{}\",\n  \"reduction\": \"{}\",\n  \"workers\": {},\n  \
+         \"strategy\": \"{}\",\n  \"reduction\": \"{}\",\n  \"workers\": {},\n  \"engine\": \"{}\",\n  \
          \"faults_enabled\": {},\n  \"injected_faults\": {{{}}},\n  \
          \"outcome\": \"{}\",\n  \"passed\": {},\n  \"expectation_met\": {},\n  \
          \"violated_properties\": [{}],\n  \"first_trace_len\": {},\n  \
+         \"trace\": {},\n  \"trace_file\": {},\n  \
          \"states\": {},\n  \"transitions\": {},\n  \"terminal_states\": {},\n  \
          \"pruned_by_strategy\": {},\n  \"pruned_by_por\": {},\n  \"dedup_hits\": {},\n  \
          \"max_depth\": {},\n  \"duration_secs\": {:.6},\n  \"states_per_sec\": {:.1}\n}}",
@@ -439,6 +520,7 @@ fn render_run_json(entry: &ScenarioEntry, opts: &RunOptions, report: &CheckRepor
         opts.strategy.name(),
         opts.reduction.name(),
         opts.workers.max(1),
+        engine,
         opts.faults,
         injected,
         report.outcome.label(stats.truncated),
@@ -448,6 +530,10 @@ fn render_run_json(entry: &ScenarioEntry, opts: &RunOptions, report: &CheckRepor
         report
             .first_violation()
             .map_or("null".to_string(), |v| v.trace.len().to_string()),
+        report
+            .first_violation()
+            .map_or("null".to_string(), |v| v.trace.to_json()),
+        trace_file.map_or("null".to_string(), |p| format!("\"{}\"", escape_json(p))),
         stats.unique_states,
         stats.transitions,
         stats.terminal_states,
@@ -524,11 +610,16 @@ fn render_sweep_json(
     cells: &[(StrategyKind, ReductionKind, CheckReport)],
 ) -> String {
     let mut out = format!(
-        "{{\n  \"schema\": \"nice-cli-sweep-v2\",\n  \"scenario\": \"{}\",\n  \
-         \"matrix\": \"strategies-x-reductions\",\n  \"workers\": {},\n  \
+        "{{\n  \"schema\": \"nice-cli-sweep-v3\",\n  \"scenario\": \"{}\",\n  \
+         \"matrix\": \"strategies-x-reductions\",\n  \"workers\": {},\n  \"engine\": \"{}\",\n  \
          \"faults_enabled\": {},\n  \"cells\": [\n",
         escape_json(&entry.name),
         opts.workers.max(1),
+        if opts.workers.max(1) == 1 {
+            "sequential"
+        } else {
+            "parallel"
+        },
         opts.faults,
     );
     for (i, (strategy, reduction, report)) in cells.iter().enumerate() {
@@ -553,6 +644,195 @@ fn render_sweep_json(
 }
 
 // ---------------------------------------------------------------------------
+// nice replay / minimize / bisect / timeline
+// ---------------------------------------------------------------------------
+
+/// Loads a `nice-trace-v1` file and builds the checker for its scenario —
+/// resolved through the registry by the trace's own scenario name, with
+/// fault injection matching the recorded engine (so fault transitions in
+/// BUG-XII traces replay).
+fn load_trace(path: &str) -> Result<(Trace, ModelChecker), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let trace = Trace::from_json(&text).map_err(|e| format!("'{path}': {e}"))?;
+    let entry = find_scenario(&trace.scenario).ok_or_else(|| {
+        format!(
+            "trace names scenario '{}', which the registry does not know \
+             (`nice list` enumerates them)",
+            trace.scenario
+        )
+    })?;
+    let config = CheckerConfig::default()
+        .with_strategy(trace.engine.strategy)
+        .with_reduction(trace.engine.reduction)
+        .with_fault_injection(trace.engine.faults);
+    Ok((trace, ModelChecker::new(entry.build(), config)))
+}
+
+/// Parses `<trace.json> [flags...]`: one positional path plus the given
+/// boolean flags and valued flags. Returns (path, set flags, flag values).
+#[allow(clippy::type_complexity)]
+fn parse_trace_args(
+    args: &[String],
+    bool_flags: &[&str],
+    value_flags: &[&str],
+) -> Result<(String, Vec<String>, Vec<(String, String)>), String> {
+    let mut path: Option<String> = None;
+    let mut set = Vec::new();
+    let mut values = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if bool_flags.contains(&arg) {
+            set.push(arg.to_string());
+            i += 1;
+        } else if value_flags.contains(&arg) {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{arg} needs a value"))?;
+            values.push((arg.to_string(), v.clone()));
+            i += 2;
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown option '{arg}'"));
+        } else if path.replace(arg.to_string()).is_some() {
+            return Err("more than one trace file given".into());
+        } else {
+            i += 1;
+        }
+    }
+    let path = path.ok_or_else(|| "a trace file is required".to_string())?;
+    Ok((path, set, values))
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let (path, flags, _) = match parse_trace_args(args, &["--expect-violation"], &[]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let expect_violation = flags.iter().any(|f| f == "--expect-violation");
+    let (trace, checker) = match load_trace(&path) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let report = checker.replay(&trace);
+    print!("{report}");
+    if expect_violation {
+        if report.completed() && report.reproduces(&trace) {
+            0
+        } else {
+            eprintln!(
+                "replay did not reproduce the recorded violation{}",
+                trace
+                    .property
+                    .as_deref()
+                    .map(|p| format!(" of {p}"))
+                    .unwrap_or_default()
+            );
+            1
+        }
+    } else if report.completed() {
+        0
+    } else {
+        1
+    }
+}
+
+fn cmd_minimize(args: &[String]) -> i32 {
+    let (path, _, values) = match parse_trace_args(args, &[], &["--out"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let out = values.iter().find(|(f, _)| f == "--out").map(|(_, v)| v);
+    let (trace, checker) = match load_trace(&path) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let report = match checker.minimize(&trace) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    // Summary to stderr; the minimized trace (a valid nice-trace-v1
+    // document) to stdout or --out, so pipelines stay clean.
+    eprint!("{report}");
+    let doc = report.minimized.to_json();
+    validate_trace_json(&doc).expect("nice minimize emitted a malformed trace");
+    match out {
+        Some(file) => {
+            if let Err(e) = std::fs::write(file, format!("{doc}\n")) {
+                eprintln!("cannot write minimized trace to '{file}': {e}");
+                return 2;
+            }
+            eprintln!("minimized trace written to {file}");
+        }
+        None => println!("{doc}"),
+    }
+    0
+}
+
+fn cmd_bisect(args: &[String]) -> i32 {
+    let (path, _, values) = match parse_trace_args(args, &[], &["--max-explored"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let max_explored = match values.iter().find(|(f, _)| f == "--max-explored") {
+        Some((_, v)) => match parse_number(v, "--max-explored") {
+            Ok(n) => n,
+            Err(e) => return usage_error(&e),
+        },
+        None => 2_000_000,
+    };
+    let (trace, checker) = match load_trace(&path) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match checker.bisect(&trace, max_explored) {
+        Ok(report) => {
+            print!("{report}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_timeline(args: &[String]) -> i32 {
+    let (path, _, _) = match parse_trace_args(args, &[], &[]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let (trace, checker) = match load_trace(&path) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match render_timeline(&checker, &trace) {
+        Ok(timeline) => {
+            print!("{timeline}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // nice validate-json
 // ---------------------------------------------------------------------------
 
@@ -562,9 +842,32 @@ fn cmd_validate_json() -> i32 {
         eprintln!("cannot read stdin: {e}");
         return 2;
     }
-    match validate_json(&input) {
+    // Trace documents get the stricter typed validation: well-formed JSON
+    // that also parses as a `nice-trace-v1` trace. Only the *top-level*
+    // schema key counts — a run-v3 report embeds a whole trace document,
+    // so a substring match anywhere would mis-route it here. Trace files
+    // are canonical compact JSON, so the schema key is the first key with
+    // no inner whitespace; tolerate leading whitespace and pretty spacing
+    // for hand-edited files.
+    let head: String = input
+        .trim_start()
+        .chars()
+        .take(64)
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    let is_trace = head.starts_with(&format!("{{\"schema\":\"{TRACE_SCHEMA}\""));
+    let result = if is_trace {
+        validate_trace_json(&input)
+    } else {
+        validate_json(&input)
+    };
+    match result {
         Ok(()) => {
-            eprintln!("valid JSON ({} bytes)", input.len());
+            eprintln!(
+                "valid {} ({} bytes)",
+                if is_trace { TRACE_SCHEMA } else { "JSON" },
+                input.len()
+            );
             0
         }
         Err(message) => {

@@ -44,10 +44,11 @@ pub mod prelude {
         NoForwardingLoops, Property, StrictDirectPaths,
     };
     pub use nice_mc::{
-        CancelToken, CheckEvent, CheckObserver, CheckReport, CheckSession, CheckerConfig,
-        FailoverStaleness, FaultPlan, FaultStats, InterruptReason, ModelChecker, NoopObserver,
-        Outcome, ReductionKind, Scenario, ScenarioBuilder, SendPolicy, StateStorage, StrategyKind,
-        Violation,
+        render_timeline, BisectReport, CancelToken, CheckEvent, CheckObserver, CheckReport,
+        CheckSession, CheckerConfig, FailoverStaleness, FaultPlan, FaultStats, InterruptReason,
+        MinimizeReport, ModelChecker, NoopObserver, Outcome, ReductionKind, ReplayOutcome,
+        ReplayReport, ReplayViolation, Scenario, ScenarioBuilder, SendPolicy, StateStorage,
+        StrategyKind, Timeline, Trace, TraceEngine, TraceStep, Violation, TRACE_SCHEMA,
     };
     pub use nice_openflow::{
         Action, HostId, MacAddr, MatchPattern, NwAddr, Packet, PortId, SwitchId, Topology,

@@ -51,6 +51,7 @@ use crate::scenario::{CheckerConfig, Scenario, StateStorage};
 use crate::session::{Outcome, SessionCtrl};
 use crate::state::SystemState;
 use crate::strategy::{build_reduction, build_strategy, SearchStrategy};
+use crate::trace::{Trace, TraceEngine, TraceStep};
 use crate::transition::{
     drain_control_plane, enabled_transitions, execute, DiscoveryMemo, SharedDiscoveryCache,
     Transition,
@@ -72,9 +73,13 @@ pub struct Violation {
     pub property: String,
     /// The violation message.
     pub message: String,
-    /// The transitions from the initial state that reproduce the violation,
-    /// in order, rendered as human-readable labels.
-    pub trace: Vec<String>,
+    /// The typed, replayable transitions from the initial state that
+    /// reproduce the violation, in order, plus the scenario name and engine
+    /// configuration they were recorded under. Serialize with
+    /// [`Trace::to_json`], re-execute with
+    /// [`ModelChecker::replay`](crate::replay), render labels with
+    /// [`Trace::labels`].
+    pub trace: Trace,
     /// How many transitions had been explored when the violation was found.
     pub transitions_explored: u64,
     /// How many unique states had been seen when the violation was found.
@@ -91,10 +96,9 @@ impl fmt::Display for Violation {
             self.unique_states,
             self.trace.len()
         )?;
-        for (i, step) in self.trace.iter().enumerate() {
-            writeln!(f, "    {:>3}. {}", i + 1, step)?;
-        }
-        Ok(())
+        // `Trace`'s Display renders exactly the numbered-label lines the
+        // stringified representation printed, keeping this byte-identical.
+        write!(f, "{}", self.trace)
     }
 }
 
@@ -507,6 +511,49 @@ impl ModelChecker {
         }
     }
 
+    /// Builds the typed witness for a violation found at `transitions`
+    /// (plus the optional violating transition) — shared by the sequential
+    /// and parallel engines so their traces can never diverge.
+    fn make_trace(
+        &self,
+        transitions: &[Transition],
+        last: Option<&Transition>,
+        property: &str,
+        message: &str,
+    ) -> Trace {
+        let mut trace = Trace::from_transitions(
+            &self.scenario.name,
+            TraceEngine::from_config(&self.config),
+            transitions.iter().cloned(),
+        );
+        if let Some(t) = last {
+            trace.steps.push(TraceStep::Transition(t.clone()));
+        }
+        trace.property = Some(property.to_string());
+        trace.message = Some(message.to_string());
+        trace
+    }
+
+    /// Appends a violation (with its typed trace) to a sequential-engine
+    /// report.
+    fn record_violation(
+        &self,
+        report: &mut CheckReport,
+        property: &str,
+        message: String,
+        trace: &[Transition],
+        last: Option<&Transition>,
+    ) {
+        let trace = self.make_trace(trace, last, property, &message);
+        report.violations.push(Violation {
+            property: property.to_string(),
+            message,
+            trace,
+            transitions_explored: report.stats.transitions,
+            unique_states: report.stats.unique_states,
+        });
+    }
+
     /// Clones a state for a child node, honouring the benchmark-only
     /// deep-clone switch.
     fn clone_state(&self, state: &SystemState) -> SystemState {
@@ -728,7 +775,13 @@ impl ModelChecker {
                     report.stats.terminal_states += 1;
                     for property in &properties {
                         if let Some(message) = property.check_final(&state) {
-                            record_violation(&mut report, property.name(), message, &trace, None);
+                            self.record_violation(
+                                &mut report,
+                                property.name(),
+                                message,
+                                &trace,
+                                None,
+                            );
                             ctrl.notify_violation(report.violations.last().unwrap());
                             if self.config.stop_at_first_violation {
                                 break 'search;
@@ -775,7 +828,13 @@ impl ModelChecker {
 
                 let violated = !violations.is_empty();
                 for (property, message) in violations {
-                    record_violation(&mut report, &property, message, &trace, Some(&transition));
+                    self.record_violation(
+                        &mut report,
+                        &property,
+                        message,
+                        &trace,
+                        Some(&transition),
+                    );
                     ctrl.notify_violation(report.violations.last().unwrap());
                 }
                 if violated {
@@ -916,12 +975,13 @@ impl ModelChecker {
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Workers race, so impose a stable order: shortest trace first, then
-        // lexicographic. `first_violation` then means "a shortest witness".
+        // lexicographic by rendered labels. `first_violation` then means "a
+        // shortest witness".
         report.violations.sort_by(|a, b| {
-            (a.trace.len(), &a.property, &a.trace, &a.message).cmp(&(
+            (a.trace.len(), &a.property, a.trace.labels(), &a.message).cmp(&(
                 b.trace.len(),
                 &b.property,
-                &b.trace,
+                b.trace.labels(),
                 &b.message,
             ))
         });
@@ -984,7 +1044,8 @@ impl ModelChecker {
                     shared.terminal_states.fetch_add(1, Ordering::Relaxed);
                     for property in &properties {
                         if let Some(message) = property.check_final(&state) {
-                            let v = shared.record_violation(property.name(), message, &trace, None);
+                            let typed = self.make_trace(&trace, None, property.name(), &message);
+                            let v = shared.record_violation(property.name(), message, typed);
                             ctrl.notify_violation(&v);
                             if self.config.stop_at_first_violation {
                                 shared.signal_stop();
@@ -1036,7 +1097,8 @@ impl ModelChecker {
 
                 let violated = !violations.is_empty();
                 for (property, message) in violations {
-                    let v = shared.record_violation(&property, message, &trace, Some(&transition));
+                    let typed = self.make_trace(&trace, Some(&transition), &property, &message);
+                    let v = shared.record_violation(&property, message, typed);
                     ctrl.notify_violation(&v);
                 }
                 if violated {
@@ -1136,7 +1198,13 @@ impl ModelChecker {
                     report.stats.terminal_states += 1;
                     for property in &properties {
                         if let Some(message) = property.check_final(&state) {
-                            record_violation(&mut report, property.name(), message, &trace, None);
+                            self.record_violation(
+                                &mut report,
+                                property.name(),
+                                message,
+                                &trace,
+                                None,
+                            );
                             if self.config.stop_at_first_violation {
                                 break 'walks;
                             }
@@ -1181,7 +1249,7 @@ impl ModelChecker {
                 }
                 for property in &properties {
                     if let Some(message) = property.check(&state) {
-                        record_violation(
+                        self.record_violation(
                             &mut report,
                             property.name(),
                             message,
@@ -1343,18 +1411,13 @@ impl SharedSearch {
     }
 
     /// Records a violation and returns the caller's copy of it (for
-    /// streaming through the session observer).
-    fn record_violation(
-        &self,
-        property: &str,
-        message: String,
-        trace: &[Transition],
-        last: Option<&Transition>,
-    ) -> Violation {
+    /// streaming through the session observer). The typed trace is built by
+    /// the worker (via [`ModelChecker::make_trace`]) before taking the lock.
+    fn record_violation(&self, property: &str, message: String, trace: Trace) -> Violation {
         let violation = Violation {
             property: property.to_string(),
             message,
-            trace: trace_labels(trace, last),
+            trace,
             transitions_explored: self.transitions.load(Ordering::Relaxed),
             unique_states: self.unique_states.load(Ordering::Relaxed),
         };
@@ -1377,33 +1440,6 @@ impl Drop for StopOnPanic<'_> {
             self.0.signal_stop();
         }
     }
-}
-
-/// Renders a violation trace (plus the optional violating transition) as
-/// human-readable labels — shared by the sequential and parallel engines so
-/// their traces can never diverge in format.
-fn trace_labels(trace: &[Transition], last: Option<&Transition>) -> Vec<String> {
-    let mut labels: Vec<String> = trace.iter().map(|t| t.to_string()).collect();
-    if let Some(t) = last {
-        labels.push(t.to_string());
-    }
-    labels
-}
-
-fn record_violation(
-    report: &mut CheckReport,
-    property: &str,
-    message: String,
-    trace: &[Transition],
-    last: Option<&Transition>,
-) {
-    report.violations.push(Violation {
-        property: property.to_string(),
-        message,
-        trace: trace_labels(trace, last),
-        transitions_explored: report.stats.transitions,
-        unique_states: report.stats.unique_states,
-    });
 }
 
 #[cfg(test)]

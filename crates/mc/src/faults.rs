@@ -98,6 +98,22 @@ impl FaultPlan {
         }
     }
 
+    /// A plan enabling only message *duplication* on all ingress channels,
+    /// with the given budget. Duplication never loses information, so it is
+    /// the mildest channel fault: apps must merely be idempotent. Scenarios
+    /// use it to give `--faults` runs redundant schedules without making
+    /// loss-sensitive properties trivially violable.
+    pub fn duplicates(budget: u32) -> Self {
+        FaultPlan {
+            channel: FaultModel {
+                allow_duplicate: true,
+                ..FaultModel::RELIABLE
+            },
+            budget,
+            ..FaultPlan::none()
+        }
+    }
+
     /// A plan enabling switch crashes (and reconnects) with the given
     /// budget.
     pub fn crashes(budget: u32) -> Self {

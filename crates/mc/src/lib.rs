@@ -30,28 +30,42 @@
 //! * [`session`] — observable, cancellable check sessions: streamed
 //!   [`CheckEvent`]s, [`CancelToken`]/deadline interruption, and the
 //!   [`Outcome`] recorded on every report.
+//! * [`trace`] — typed, replayable violation traces and the stable
+//!   `nice-trace-v1` JSON schema.
+//! * [`replay`] — deterministic step-by-step re-execution of a recorded
+//!   trace ([`ModelChecker::replay`]).
+//! * [`minimize`] — the counterexample debugging toolkit: ddmin trace
+//!   minimization ([`ModelChecker::minimize`]) and first-unavoidable-step
+//!   bisection ([`ModelChecker::bisect`]).
+//! * [`timeline`] — an ASCII lane-per-component renderer for traces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checker;
 pub mod faults;
+pub mod minimize;
 pub mod por;
 pub mod properties;
+pub mod replay;
 pub mod scenario;
 pub mod session;
 pub mod state;
 pub mod strategy;
 pub mod testutil;
+pub mod timeline;
+pub mod trace;
 pub mod transition;
 
 pub use checker::{CheckReport, FaultStats, ModelChecker, SearchStats, Violation};
 pub use faults::{FailoverStaleness, FaultPlan};
+pub use minimize::{BisectReport, MinimizeReport};
 pub use por::{independent, Footprint};
 pub use properties::{
     DirectPaths, Event, FlowAffinity, NoAbandonedPackets, NoBlackHoles, NoForgottenPackets,
     NoForwardingLoops, Property, StrictDirectPaths,
 };
+pub use replay::{ReplayOutcome, ReplayReport, ReplayViolation};
 pub use scenario::{
     CheckerConfig, ReductionKind, Scenario, ScenarioBuilder, SendPolicy, StateStorage, StrategyKind,
 };
@@ -63,4 +77,6 @@ pub use strategy::{
     FlowIr, FullDfs, NoDelay, NoReduction, PorReduction, Reduction, ReductionChoice,
     SearchStrategy, Unusual,
 };
+pub use timeline::{render_timeline, Timeline};
+pub use trace::{Trace, TraceEngine, TraceStep, TRACE_SCHEMA};
 pub use transition::Transition;

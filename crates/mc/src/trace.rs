@@ -1,0 +1,1118 @@
+//! Typed, replayable violation traces and the stable `nice-trace-v1` JSON
+//! schema.
+//!
+//! The paper's value proposition is the *witness*: a concrete transition
+//! sequence reproducing a bug. A [`Trace`] carries that sequence as typed
+//! [`Transition`]s — not rendered strings — together with the scenario name
+//! and the engine configuration that produced it, so a trace saved to disk
+//! is self-contained: `ModelChecker::replay` re-executes it step by step,
+//! `minimize`/`bisect` shrink and localise it, and `nice timeline` renders
+//! it, all without re-running the search that found it.
+//!
+//! Serialization is the hand-rolled, dependency-free `nice-trace-v1` JSON
+//! schema (documented in `bench/README.md`): [`Trace::to_json`] emits one
+//! canonical compact line (byte-deterministic for a given trace, so CI can
+//! diff archived artifacts), [`Trace::from_json`] parses it back.
+
+use crate::scenario::{CheckerConfig, ReductionKind, StrategyKind};
+use crate::transition::Transition;
+use nice_openflow::{
+    ChannelFault, EthType, HostId, IpProto, Location, MacAddr, NwAddr, OfMutation, Packet,
+    PacketId, PortId, PortStatsEntry, SwitchId, TcpFlags,
+};
+use std::fmt;
+
+/// The current trace schema identifier.
+pub const TRACE_SCHEMA: &str = "nice-trace-v1";
+
+// ---------------------------------------------------------------------------
+// Engine metadata
+// ---------------------------------------------------------------------------
+
+/// The engine configuration a trace was produced (or should be replayed)
+/// under — everything that affects which transitions are enabled and how a
+/// step executes, but not search-only knobs like budgets or state storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEngine {
+    /// The search strategy (affects lock-step control-plane draining and
+    /// which transitions the engine would have offered).
+    pub strategy: StrategyKind,
+    /// The partial-order reduction the search ran with. Informational:
+    /// replay follows the recorded sequence and never prunes.
+    pub reduction: ReductionKind,
+    /// Worker threads of the producing search. `1` means the trace came
+    /// from the fully deterministic sequential engine; larger values mean
+    /// the witness choice was scheduling-dependent (replay itself is always
+    /// deterministic either way).
+    pub workers: usize,
+    /// Whether fault transitions were schedulable.
+    pub faults: bool,
+    /// Whether `process_pkt` serviced all busy ports at once.
+    pub coarse_packet_processing: bool,
+}
+
+impl TraceEngine {
+    /// Captures the trace-relevant slice of a checker configuration.
+    pub fn from_config(config: &CheckerConfig) -> Self {
+        TraceEngine {
+            strategy: config.strategy,
+            reduction: config.reduction,
+            workers: config.workers.max(1),
+            faults: config.inject_faults,
+            coarse_packet_processing: config.coarse_packet_processing,
+        }
+    }
+
+    /// True if the producing engine was the deterministic sequential one.
+    pub fn deterministic(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// A stable label for which engine produced the trace — what
+    /// `nice run --json` records as `"engine"`.
+    pub fn label(&self) -> &'static str {
+        if self.deterministic() {
+            "sequential"
+        } else {
+            "parallel"
+        }
+    }
+}
+
+impl Default for TraceEngine {
+    fn default() -> Self {
+        TraceEngine::from_config(&CheckerConfig::default())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Steps
+// ---------------------------------------------------------------------------
+
+/// One step of a trace.
+///
+/// Traces recorded by the checker contain only [`TraceStep::Transition`]
+/// steps. [`TraceStep::Opaque`] exists solely to back the deprecated
+/// label-only constructor ([`Trace::from_labels`]): it renders but cannot be
+/// replayed, minimized or bisected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceStep {
+    /// A typed, replayable system transition.
+    Transition(Transition),
+    /// A display-only label from a legacy stringified trace.
+    Opaque(String),
+}
+
+impl TraceStep {
+    /// The typed transition, if this step has one.
+    pub fn transition(&self) -> Option<&Transition> {
+        match self {
+            TraceStep::Transition(t) => Some(t),
+            TraceStep::Opaque(_) => None,
+        }
+    }
+
+    /// The human-readable label of the step — for transitions, exactly the
+    /// `Display` rendering the stringified traces used, so migrating to
+    /// typed traces changed no printed output.
+    pub fn label(&self) -> String {
+        match self {
+            TraceStep::Transition(t) => t.to_string(),
+            TraceStep::Opaque(label) => label.clone(),
+        }
+    }
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceStep::Transition(t) => t.fmt(f),
+            TraceStep::Opaque(label) => f.write_str(label),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+/// An ordered, replayable witness: the transitions from the initial state,
+/// plus the metadata needed to re-execute them.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Name of the scenario the trace belongs to (what
+    /// `nice replay`/`minimize`/`timeline` resolve through the registry).
+    pub scenario: String,
+    /// The engine configuration that produced the trace.
+    pub engine: TraceEngine,
+    /// The steps, in execution order.
+    pub steps: Vec<TraceStep>,
+    /// The property this trace witnesses a violation of, if any.
+    pub property: Option<String>,
+    /// The violation message, if any.
+    pub message: Option<String>,
+}
+
+impl Trace {
+    /// Creates a trace from typed transitions (the checker's constructor).
+    pub fn from_transitions(
+        scenario: &str,
+        engine: TraceEngine,
+        transitions: impl IntoIterator<Item = Transition>,
+    ) -> Self {
+        Trace {
+            scenario: scenario.to_string(),
+            engine,
+            steps: transitions.into_iter().map(TraceStep::Transition).collect(),
+            property: None,
+            message: None,
+        }
+    }
+
+    /// Creates a display-only trace from rendered labels — the shim for the
+    /// pre-redesign `Violation { trace: Vec<String>, .. }` shape. The result
+    /// prints identically but cannot be replayed; construct traces from
+    /// typed [`Transition`]s instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "label-only traces cannot be replayed; build a Trace from typed Transitions"
+    )]
+    pub fn from_labels(scenario: &str, labels: Vec<String>) -> Self {
+        Trace {
+            scenario: scenario.to_string(),
+            engine: TraceEngine::default(),
+            steps: labels.into_iter().map(TraceStep::Opaque).collect(),
+            property: None,
+            message: None,
+        }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the trace has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterates over the steps.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceStep> {
+        self.steps.iter()
+    }
+
+    /// The human-readable labels, one per step — exactly what the
+    /// stringified trace representation used to carry.
+    pub fn labels(&self) -> Vec<String> {
+        self.steps.iter().map(TraceStep::label).collect()
+    }
+
+    /// The typed transitions, or the index of the first step that has none
+    /// (an [`TraceStep::Opaque`] label from a legacy trace).
+    pub fn transitions(&self) -> Result<Vec<&Transition>, usize> {
+        self.steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.transition().ok_or(i))
+            .collect()
+    }
+
+    /// Serializes the trace as one canonical `nice-trace-v1` JSON line.
+    /// Byte-deterministic: the same trace always yields the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.steps.len() * 64);
+        out.push_str("{\"schema\":\"");
+        out.push_str(TRACE_SCHEMA);
+        out.push_str("\",\"scenario\":\"");
+        out.push_str(&escape(&self.scenario));
+        out.push_str("\",\"property\":");
+        push_opt_str(&mut out, self.property.as_deref());
+        out.push_str(",\"message\":");
+        push_opt_str(&mut out, self.message.as_deref());
+        out.push_str(",\"engine\":");
+        out.push_str(&engine_to_json(&self.engine));
+        out.push_str(",\"steps\":[");
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&step_to_json(step));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a `nice-trace-v1` JSON document.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let value = json::parse(input)?;
+        let obj = value.as_obj().ok_or("trace document must be an object")?;
+        let schema = obj
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != TRACE_SCHEMA {
+            return Err(format!(
+                "unsupported trace schema '{schema}' (expected {TRACE_SCHEMA})"
+            ));
+        }
+        let scenario = obj
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("missing \"scenario\"")?
+            .to_string();
+        let property = opt_str(obj.get("property"), "property")?;
+        let message = opt_str(obj.get("message"), "message")?;
+        let engine = engine_from_json(obj.get("engine").ok_or("missing \"engine\"")?)?;
+        let steps_value = obj
+            .get("steps")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"steps\" array")?;
+        let mut steps = Vec::with_capacity(steps_value.len());
+        for (i, v) in steps_value.iter().enumerate() {
+            steps.push(step_from_json(v).map_err(|e| format!("step {i}: {e}"))?);
+        }
+        Ok(Trace {
+            scenario,
+            engine,
+            steps,
+            property,
+            message,
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "    {:>3}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_opt_str(out: &mut String, value: Option<&str>) {
+    match value {
+        Some(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        None => out.push_str("null"),
+    }
+}
+
+fn opt_str(value: Option<&Json>, key: &str) -> Result<Option<String>, String> {
+    match value {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("\"{key}\" must be a string or null")),
+    }
+}
+
+fn engine_to_json(engine: &TraceEngine) -> String {
+    format!(
+        "{{\"strategy\":\"{}\",\"reduction\":\"{}\",\"workers\":{},\"faults\":{},\
+         \"coarse_packet_processing\":{},\"deterministic\":{}}}",
+        engine.strategy.name().to_ascii_lowercase(),
+        engine.reduction.name(),
+        engine.workers,
+        engine.faults,
+        engine.coarse_packet_processing,
+        engine.deterministic(),
+    )
+}
+
+fn engine_from_json(value: &Json) -> Result<TraceEngine, String> {
+    let obj = value.as_obj().ok_or("\"engine\" must be an object")?;
+    let strategy_name = obj
+        .get("strategy")
+        .and_then(Json::as_str)
+        .ok_or("engine: missing \"strategy\"")?;
+    let strategy = StrategyKind::parse(strategy_name)
+        .ok_or_else(|| format!("engine: unknown strategy '{strategy_name}'"))?;
+    let reduction_name = obj
+        .get("reduction")
+        .and_then(Json::as_str)
+        .ok_or("engine: missing \"reduction\"")?;
+    let reduction = ReductionKind::parse(reduction_name)
+        .ok_or_else(|| format!("engine: unknown reduction '{reduction_name}'"))?;
+    Ok(TraceEngine {
+        strategy,
+        reduction,
+        workers: obj
+            .get("workers")
+            .and_then(Json::as_u64)
+            .ok_or("engine: missing \"workers\"")?
+            .max(1) as usize,
+        faults: obj
+            .get("faults")
+            .and_then(Json::as_bool)
+            .ok_or("engine: missing \"faults\"")?,
+        coarse_packet_processing: obj
+            .get("coarse_packet_processing")
+            .and_then(Json::as_bool)
+            .ok_or("engine: missing \"coarse_packet_processing\"")?,
+    })
+}
+
+fn packet_to_json(p: &Packet) -> String {
+    format!(
+        "{{\"id\":{},\"src_mac\":{},\"dst_mac\":{},\"eth_type\":{},\"src_ip\":{},\
+         \"dst_ip\":{},\"nw_proto\":{},\"src_port\":{},\"dst_port\":{},\"tcp_flags\":{},\
+         \"arp_op\":{},\"payload\":{}}}",
+        p.id.0,
+        p.src_mac.0,
+        p.dst_mac.0,
+        p.eth_type.value(),
+        p.src_ip.0,
+        p.dst_ip.0,
+        p.nw_proto.value(),
+        p.src_port,
+        p.dst_port,
+        p.tcp_flags.0,
+        p.arp_op,
+        p.payload,
+    )
+}
+
+fn packet_from_json(value: &Json) -> Result<Packet, String> {
+    let obj = value.as_obj().ok_or("\"packet\" must be an object")?;
+    let field = |key: &str| -> Result<u64, String> {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("packet: missing numeric \"{key}\""))
+    };
+    Ok(Packet {
+        id: PacketId(field("id")?),
+        src_mac: MacAddr(field("src_mac")?),
+        dst_mac: MacAddr(field("dst_mac")?),
+        eth_type: EthType::from_value(field("eth_type")? as u16),
+        src_ip: NwAddr(field("src_ip")? as u32),
+        dst_ip: NwAddr(field("dst_ip")? as u32),
+        nw_proto: IpProto::from_value(field("nw_proto")? as u8),
+        src_port: field("src_port")? as u16,
+        dst_port: field("dst_port")? as u16,
+        tcp_flags: TcpFlags(field("tcp_flags")? as u8),
+        arp_op: field("arp_op")? as u8,
+        payload: field("payload")? as u32,
+    })
+}
+
+fn stats_to_json(stats: &[PortStatsEntry]) -> String {
+    let entries: Vec<String> = stats
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"port\":{},\"rx_packets\":{},\"tx_packets\":{},\"rx_bytes\":{},\
+                 \"tx_bytes\":{}}}",
+                e.port.0, e.rx_packets, e.tx_packets, e.rx_bytes, e.tx_bytes
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+fn stats_from_json(value: &Json) -> Result<Vec<PortStatsEntry>, String> {
+    let arr = value.as_arr().ok_or("\"stats\" must be an array")?;
+    arr.iter()
+        .map(|v| {
+            let obj = v.as_obj().ok_or("stats entry must be an object")?;
+            let field = |key: &str| -> Result<u64, String> {
+                obj.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("stats entry: missing numeric \"{key}\""))
+            };
+            Ok(PortStatsEntry {
+                port: PortId(field("port")? as u16),
+                rx_packets: field("rx_packets")?,
+                tx_packets: field("tx_packets")?,
+                rx_bytes: field("rx_bytes")?,
+                tx_bytes: field("tx_bytes")?,
+            })
+        })
+        .collect()
+}
+
+fn channel_fault_name(fault: ChannelFault) -> &'static str {
+    match fault {
+        ChannelFault::DropHead => "drop_head",
+        ChannelFault::DuplicateHead => "duplicate_head",
+        ChannelFault::ReorderHead => "reorder_head",
+        ChannelFault::FailLink => "fail_link",
+    }
+}
+
+fn channel_fault_parse(name: &str) -> Option<ChannelFault> {
+    match name {
+        "drop_head" => Some(ChannelFault::DropHead),
+        "duplicate_head" => Some(ChannelFault::DuplicateHead),
+        "reorder_head" => Some(ChannelFault::ReorderHead),
+        "fail_link" => Some(ChannelFault::FailLink),
+        _ => None,
+    }
+}
+
+fn mutation_parse(name: &str) -> Option<OfMutation> {
+    match name {
+        "drop_actions" => Some(OfMutation::DropActions),
+        "zero_priority" => Some(OfMutation::ZeroPriority),
+        _ => None,
+    }
+}
+
+fn step_to_json(step: &TraceStep) -> String {
+    let t = match step {
+        TraceStep::Opaque(label) => {
+            return format!("{{\"kind\":\"opaque\",\"label\":\"{}\"}}", escape(label));
+        }
+        TraceStep::Transition(t) => t,
+    };
+    let kind = t.kind();
+    match t {
+        Transition::HostSend { host, packet } => format!(
+            "{{\"kind\":\"{kind}\",\"host\":{},\"packet\":{}}}",
+            host.0,
+            packet_to_json(packet)
+        ),
+        Transition::HostReceive { host } | Transition::DiscoverPackets { host } => {
+            format!("{{\"kind\":\"{kind}\",\"host\":{}}}", host.0)
+        }
+        Transition::HostMove { host, to } => format!(
+            "{{\"kind\":\"{kind}\",\"host\":{},\"switch\":{},\"port\":{}}}",
+            host.0, to.switch.0, to.port.0
+        ),
+        Transition::ProcessPacket { switch }
+        | Transition::ProcessOf { switch }
+        | Transition::ControllerHandle { switch }
+        | Transition::DiscoverStats { switch }
+        | Transition::SwitchCrash { switch }
+        | Transition::SwitchReconnect { switch } => {
+            format!("{{\"kind\":\"{kind}\",\"switch\":{}}}", switch.0)
+        }
+        Transition::ProcessPacketOn { switch, port } => format!(
+            "{{\"kind\":\"{kind}\",\"switch\":{},\"port\":{}}}",
+            switch.0, port.0
+        ),
+        Transition::InjectStats { switch, stats } => format!(
+            "{{\"kind\":\"{kind}\",\"switch\":{},\"stats\":{}}}",
+            switch.0,
+            stats_to_json(stats)
+        ),
+        Transition::ExpireRule { switch, rule_index } => format!(
+            "{{\"kind\":\"{kind}\",\"switch\":{},\"rule_index\":{rule_index}}}",
+            switch.0
+        ),
+        Transition::ChannelFault {
+            switch,
+            port,
+            fault,
+        } => format!(
+            "{{\"kind\":\"{kind}\",\"switch\":{},\"port\":{},\"fault\":\"{}\"}}",
+            switch.0,
+            port.0,
+            channel_fault_name(*fault)
+        ),
+        Transition::ControllerFailover => format!("{{\"kind\":\"{kind}\"}}"),
+        Transition::MutateOfHead { switch, mutation } => format!(
+            "{{\"kind\":\"{kind}\",\"switch\":{},\"mutation\":\"{}\"}}",
+            switch.0,
+            mutation.name()
+        ),
+    }
+}
+
+fn step_from_json(value: &Json) -> Result<TraceStep, String> {
+    let obj = value.as_obj().ok_or("step must be an object")?;
+    let kind = obj
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("step: missing \"kind\"")?;
+    let num = |key: &str| -> Result<u64, String> {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{kind}: missing numeric \"{key}\""))
+    };
+    let switch = |key: &str| -> Result<SwitchId, String> { Ok(SwitchId(num(key)? as u32)) };
+    let host = || -> Result<HostId, String> { Ok(HostId(num("host")? as u32)) };
+    let transition = match kind {
+        "opaque" => {
+            let label = obj
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("opaque: missing \"label\"")?;
+            return Ok(TraceStep::Opaque(label.to_string()));
+        }
+        "host_send" => Transition::HostSend {
+            host: host()?,
+            packet: packet_from_json(obj.get("packet").ok_or("host_send: missing \"packet\"")?)?,
+        },
+        "host_receive" => Transition::HostReceive { host: host()? },
+        "host_move" => Transition::HostMove {
+            host: host()?,
+            to: Location {
+                switch: switch("switch")?,
+                port: PortId(num("port")? as u16),
+            },
+        },
+        "process_pkt" => Transition::ProcessPacket {
+            switch: switch("switch")?,
+        },
+        "process_pkt_on" => Transition::ProcessPacketOn {
+            switch: switch("switch")?,
+            port: PortId(num("port")? as u16),
+        },
+        "process_of" => Transition::ProcessOf {
+            switch: switch("switch")?,
+        },
+        "ctrl_handle" => Transition::ControllerHandle {
+            switch: switch("switch")?,
+        },
+        "discover_packets" => Transition::DiscoverPackets { host: host()? },
+        "discover_stats" => Transition::DiscoverStats {
+            switch: switch("switch")?,
+        },
+        "process_stats" => Transition::InjectStats {
+            switch: switch("switch")?,
+            stats: stats_from_json(obj.get("stats").ok_or("process_stats: missing \"stats\"")?)?,
+        },
+        "expire_rule" => Transition::ExpireRule {
+            switch: switch("switch")?,
+            rule_index: num("rule_index")? as usize,
+        },
+        "channel_fault" => {
+            let name = obj
+                .get("fault")
+                .and_then(Json::as_str)
+                .ok_or("channel_fault: missing \"fault\"")?;
+            Transition::ChannelFault {
+                switch: switch("switch")?,
+                port: PortId(num("port")? as u16),
+                fault: channel_fault_parse(name)
+                    .ok_or_else(|| format!("channel_fault: unknown fault '{name}'"))?,
+            }
+        }
+        "switch_crash" => Transition::SwitchCrash {
+            switch: switch("switch")?,
+        },
+        "switch_reconnect" => Transition::SwitchReconnect {
+            switch: switch("switch")?,
+        },
+        "ctrl_failover" => Transition::ControllerFailover,
+        "mutate_of" => {
+            let name = obj
+                .get("mutation")
+                .and_then(Json::as_str)
+                .ok_or("mutate_of: missing \"mutation\"")?;
+            Transition::MutateOfHead {
+                switch: switch("switch")?,
+                mutation: mutation_parse(name)
+                    .ok_or_else(|| format!("mutate_of: unknown mutation '{name}'"))?,
+            }
+        }
+        other => return Err(format!("unknown step kind '{other}'")),
+    };
+    Ok(TraceStep::Transition(transition))
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser
+// ---------------------------------------------------------------------------
+
+use json::Json;
+
+/// A minimal JSON value parser, private to trace deserialization.
+///
+/// `nice-bench` owns the workspace's JSON *validator*, but `nice-mc` cannot
+/// depend on it (the dependency points the other way), and this offline
+/// build has no serde — so the trace format carries its own ~150-line
+/// recursive-descent reader. Numbers keep their raw text, so `u64` values
+/// round-trip exactly (no `f64` detour).
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number, kept as its raw source text for exact integer reads.
+        Num(String),
+        /// A string (escapes decoded).
+        Str(String),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object, as insertion-ordered key/value pairs.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_obj(&self) -> Option<ObjRef<'_>> {
+            match self {
+                Json::Obj(pairs) => Some(ObjRef { pairs }),
+                _ => None,
+            }
+        }
+    }
+
+    /// A borrowed view of an object with keyed lookup.
+    #[derive(Clone, Copy)]
+    pub struct ObjRef<'a> {
+        pairs: &'a [(String, Json)],
+    }
+
+    impl<'a> ObjRef<'a> {
+        pub fn get(&self, key: &str) -> Option<&'a Json> {
+            self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+    }
+
+    /// Parses exactly one JSON value (with no trailing garbage).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, message: &str) -> String {
+            format!("invalid JSON at byte {}: {}", self.pos, message)
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), String> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected '{}'", byte as char)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string().map(Json::Str),
+                Some(b't') => self.literal("true").map(|_| Json::Bool(true)),
+                Some(b'f') => self.literal("false").map(|_| Json::Bool(false)),
+                Some(b'n') => self.literal("null").map(|_| Json::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(self.err("expected a JSON value")),
+            }
+        }
+
+        fn literal(&mut self, lit: &str) -> Result<(), String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected '{lit}'")))
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut digits = 0;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+                digits += 1;
+            }
+            if digits == 0 {
+                return Err(self.err("expected digits in number"));
+            }
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid UTF-8 in number"))?;
+            Ok(Json::Num(raw.to_string()))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'b') => out.push('\u{0008}'),
+                            Some(b'f') => out.push('\u{000c}'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                self.pos += 1;
+                                let code = self.hex4()?;
+                                // BMP only: the trace writer never emits
+                                // surrogate pairs (labels are ASCII).
+                                out.push(
+                                    char::from_u32(u32::from(code))
+                                        .ok_or_else(|| self.err("invalid \\u escape"))?,
+                                );
+                                continue;
+                            }
+                            _ => return Err(self.err("invalid escape")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                    Some(_) => {
+                        // Consume one UTF-8 scalar.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u16, String> {
+            let mut code: u16 = 0;
+            for _ in 0..4 {
+                let d = match self.peek() {
+                    Some(c @ b'0'..=b'9') => c - b'0',
+                    Some(c @ b'a'..=b'f') => c - b'a' + 10,
+                    Some(c @ b'A'..=b'F') => c - b'A' + 10,
+                    _ => return Err(self.err("expected 4 hex digits after \\u")),
+                };
+                code = code << 4 | u16::from(d);
+                self.pos += 1;
+            }
+            // Leave pos on the last hex digit; caller's loop continues.
+            self.pos -= 1;
+            self.pos += 1;
+            Ok(code)
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect(b'{')?;
+            self.skip_ws();
+            let mut pairs = Vec::new();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                pairs.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(self.err("expected ',' or '}' in object")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect(b'[')?;
+            self.skip_ws();
+            let mut items = Vec::new();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(self.err("expected ',' or ']' in array")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let packet = Packet::l2_ping(7, MacAddr::for_host(1), MacAddr::for_host(2), 3);
+        Trace {
+            scenario: "hub-ping".to_string(),
+            engine: TraceEngine::default(),
+            steps: vec![
+                TraceStep::Transition(Transition::HostSend {
+                    host: HostId(1),
+                    packet,
+                }),
+                TraceStep::Transition(Transition::ProcessPacket {
+                    switch: SwitchId(1),
+                }),
+                TraceStep::Transition(Transition::ChannelFault {
+                    switch: SwitchId(1),
+                    port: PortId(2),
+                    fault: ChannelFault::DropHead,
+                }),
+                TraceStep::Transition(Transition::ControllerFailover),
+                TraceStep::Transition(Transition::MutateOfHead {
+                    switch: SwitchId(2),
+                    mutation: OfMutation::ZeroPriority,
+                }),
+                TraceStep::Transition(Transition::InjectStats {
+                    switch: SwitchId(1),
+                    stats: vec![PortStatsEntry {
+                        port: PortId(1),
+                        rx_packets: 3,
+                        tx_packets: 4,
+                        rx_bytes: 1500,
+                        tx_bytes: 9000,
+                    }],
+                }),
+            ],
+            property: Some("NoAbandonedPackets".to_string()),
+            message: Some("packet 7 was \"lost\"".to_string()),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_step() {
+        let trace = sample_trace();
+        let json = trace.to_json();
+        let parsed = Trace::from_json(&json).expect("round trip");
+        assert_eq!(trace, parsed);
+        // Canonical serialization: re-serializing yields identical bytes.
+        assert_eq!(json, parsed.to_json());
+    }
+
+    #[test]
+    fn every_transition_kind_round_trips() {
+        let all = vec![
+            Transition::HostSend {
+                host: HostId(3),
+                packet: Packet::l2_ping(9, MacAddr::for_host(3), MacAddr::for_host(4), 0),
+            },
+            Transition::HostReceive { host: HostId(2) },
+            Transition::HostMove {
+                host: HostId(1),
+                to: Location {
+                    switch: SwitchId(2),
+                    port: PortId(3),
+                },
+            },
+            Transition::ProcessPacket {
+                switch: SwitchId(1),
+            },
+            Transition::ProcessPacketOn {
+                switch: SwitchId(1),
+                port: PortId(2),
+            },
+            Transition::ProcessOf {
+                switch: SwitchId(4),
+            },
+            Transition::ControllerHandle {
+                switch: SwitchId(5),
+            },
+            Transition::DiscoverPackets { host: HostId(1) },
+            Transition::DiscoverStats {
+                switch: SwitchId(1),
+            },
+            Transition::InjectStats {
+                switch: SwitchId(1),
+                stats: vec![PortStatsEntry::zero(PortId(1))],
+            },
+            Transition::ExpireRule {
+                switch: SwitchId(2),
+                rule_index: 5,
+            },
+            Transition::ChannelFault {
+                switch: SwitchId(1),
+                port: PortId(1),
+                fault: ChannelFault::FailLink,
+            },
+            Transition::SwitchCrash {
+                switch: SwitchId(3),
+            },
+            Transition::SwitchReconnect {
+                switch: SwitchId(3),
+            },
+            Transition::ControllerFailover,
+            Transition::MutateOfHead {
+                switch: SwitchId(1),
+                mutation: OfMutation::DropActions,
+            },
+        ];
+        let trace = Trace::from_transitions("kinds", TraceEngine::default(), all.clone());
+        let parsed = Trace::from_json(&trace.to_json()).expect("round trip");
+        let transitions = parsed.transitions().expect("all typed");
+        assert_eq!(transitions.len(), all.len());
+        for (original, parsed) in all.iter().zip(transitions) {
+            assert_eq!(original, parsed);
+        }
+    }
+
+    #[test]
+    fn labels_match_transition_display() {
+        let trace = sample_trace();
+        for (step, label) in trace.iter().zip(trace.labels()) {
+            assert_eq!(step.to_string(), label);
+        }
+    }
+
+    #[test]
+    fn opaque_steps_round_trip_but_expose_no_transition() {
+        #[allow(deprecated)]
+        let trace = Trace::from_labels("legacy", vec!["step one".into(), "step two".into()]);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.transitions(), Err(0));
+        let parsed = Trace::from_json(&trace.to_json()).expect("round trip");
+        assert_eq!(parsed.labels(), vec!["step one", "step two"]);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(Trace::from_json("").is_err());
+        assert!(Trace::from_json("{}").is_err());
+        assert!(Trace::from_json("{\"schema\":\"nice-trace-v0\"}").is_err());
+        assert!(Trace::from_json("[1,2,3]").is_err());
+        let missing_engine = "{\"schema\":\"nice-trace-v1\",\"scenario\":\"x\",\"property\":null,\
+             \"message\":null,\"steps\":[]}";
+        assert!(Trace::from_json(missing_engine).is_err());
+        let bad_step = "{\"schema\":\"nice-trace-v1\",\"scenario\":\"x\",\"property\":null,\
+             \"message\":null,\"engine\":{\"strategy\":\"pkt-seq\",\"reduction\":\"none\",\
+             \"workers\":1,\"faults\":false,\"coarse_packet_processing\":true},\
+             \"steps\":[{\"kind\":\"warp\"}]}";
+        let err = Trace::from_json(bad_step).unwrap_err();
+        assert!(err.contains("unknown step kind"), "{err}");
+    }
+
+    #[test]
+    fn engine_metadata_round_trips_for_every_strategy_and_reduction() {
+        for strategy in StrategyKind::ALL {
+            for reduction in ReductionKind::ALL {
+                let engine = TraceEngine {
+                    strategy,
+                    reduction,
+                    workers: 4,
+                    faults: true,
+                    coarse_packet_processing: false,
+                };
+                let trace = Trace::from_transitions("t", engine, []);
+                let parsed = Trace::from_json(&trace.to_json()).expect("round trip");
+                assert_eq!(parsed.engine, engine);
+                assert_eq!(parsed.engine.label(), "parallel");
+            }
+        }
+    }
+
+    #[test]
+    fn string_escapes_survive_the_round_trip() {
+        let mut trace = sample_trace();
+        trace.message = Some("quote \" backslash \\ newline \n tab \t".to_string());
+        let parsed = Trace::from_json(&trace.to_json()).expect("round trip");
+        assert_eq!(parsed.message, trace.message);
+    }
+}

@@ -46,7 +46,7 @@ fn violation_set(report: &CheckReport) -> Vec<(String, Vec<String>)> {
     let mut out: Vec<(String, Vec<String>)> = report
         .violations
         .iter()
-        .map(|v| (v.property.clone(), v.trace.clone()))
+        .map(|v| (v.property.clone(), v.trace.labels()))
         .collect();
     out.sort();
     out
