@@ -14,6 +14,9 @@
 //!   `UseCorrectRoutingTable` property.
 //! * [`scenarios`] — one ready-to-check [`nice_mc::Scenario`] per bug,
 //!   matching the topologies and workloads of Table 2.
+//! * [`workloads`] — the Section 7 benchmark workloads (ping, switch
+//!   chains, fault chains) plus the spec resolver the `nice-dist` worker
+//!   processes rebuild job scenarios from.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod loadbalancer;
 pub mod pyswitch;
 pub mod scenarios;
 pub mod util;
+pub mod workloads;
 
 pub use energyte::{EnergyTeApp, EnergyTeConfig, UseCorrectRoutingTable};
 pub use loadbalancer::{LoadBalancerApp, LoadBalancerConfig};

@@ -25,6 +25,7 @@ use nice_bench::jsonv::{validate_json, validate_trace_json};
 use nice_bench::{
     chain_fault_workload, chain_ping_workload, engine_configs, exhaustive, load_balancer_workload,
 };
+use nice_dist::{Coordinator, JobSpec};
 use nice_mc::{CheckerConfig, ModelChecker, Scenario};
 
 /// One engine's measurements on one workload.
@@ -94,6 +95,41 @@ fn profile(label: &str, rate_gated: bool, scenario: impl Fn() -> Scenario) -> Pr
         scenario: label.to_string(),
         engines,
         rate_gated,
+    }
+}
+
+/// One distributed row: the coordinator + worker-process service checking
+/// the same workload. Transition counts are sharding-invariant (each
+/// fingerprint has exactly one owner), so they gate like any engine's; the
+/// rate leg is exempt — process spawn and IPC framing costs depend on the
+/// runner, and the in-process reference engine is not a fair yardstick for
+/// a multi-process run.
+fn dist_profile(coordinator: &mut Coordinator, label: &str, spec: &JobSpec) -> Profile {
+    let name = format!("dist-{}proc", coordinator.workers());
+    let mut best_rate = 0.0f64;
+    let mut first: Option<nice_mc::CheckReport> = None;
+    for _ in 0..MEASUREMENT_CYCLES {
+        let report = coordinator
+            .run_job(spec, |_| {}, None)
+            .expect("distributed gate job");
+        let rate =
+            report.stats.unique_states as f64 / report.stats.duration.as_secs_f64().max(1e-9);
+        best_rate = best_rate.max(rate);
+        if first.is_none() {
+            first = Some(report);
+        }
+    }
+    let report = first.expect("at least one measurement cycle");
+    Profile {
+        scenario: label.to_string(),
+        engines: vec![EngineRow {
+            name,
+            states: report.stats.unique_states,
+            transitions: report.stats.transitions,
+            states_per_sec: best_rate,
+            relative_rate: 1.0,
+        }],
+        rate_gated: false,
     }
 }
 
@@ -222,12 +258,38 @@ fn main() {
         trace_json.len()
     );
 
-    let profiles = vec![
+    let mut profiles = vec![
         profile("pyswitch-chain-5sw-2pings", true, || {
             chain_ping_workload(5, 2)
         }),
         profile("loadbalancer-bug-v", false, load_balancer_workload),
     ];
+
+    // Multi-worker rows: the same workloads through `nice serve`'s
+    // coordinator + 2 sharded worker processes. One pool serves all cycles
+    // (respawning per cycle would measure process startup, not checking).
+    // Needs `cargo build --release` first: the pool execs the
+    // `nice-dist-worker` binary next to this one.
+    let mut coordinator = Coordinator::new(2).expect("spawn distributed worker pool");
+    let chain_spec = JobSpec {
+        stop_at_first_violation: false,
+        ..JobSpec::new("chain:5:2")
+    };
+    profiles.push(dist_profile(
+        &mut coordinator,
+        "pyswitch-chain-5sw-2pings-dist",
+        &chain_spec,
+    ));
+    let bug_v_spec = JobSpec {
+        stop_at_first_violation: false,
+        ..JobSpec::new("bug-v-packets-dropped-in-transition")
+    };
+    profiles.push(dist_profile(
+        &mut coordinator,
+        "loadbalancer-bug-v-dist",
+        &bug_v_spec,
+    ));
+    drop(coordinator);
 
     let json = render_json(&profiles);
     validate_json(&json).expect("ci_gate emitted malformed JSON");

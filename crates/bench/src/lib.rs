@@ -22,104 +22,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use nice_apps::pyswitch::{PySwitchApp, PySwitchVariant};
-use nice_apps::scenarios::{bug_scenario, find_scenario, BugId};
-use nice_hosts::{ClientHost, HostModel, SendBudget};
+use nice_apps::scenarios::{bug_scenario, BugId};
 use nice_mc::{
-    CheckObserver, CheckerConfig, FaultPlan, ModelChecker, NoopObserver, ReductionKind, Scenario,
-    SearchStats, StateStorage, StrategyKind,
+    CheckObserver, CheckerConfig, ModelChecker, NoopObserver, ReductionKind, Scenario, SearchStats,
+    StateStorage, StrategyKind,
 };
-use nice_openflow::{HostId, Packet, PortId, SwitchConfig, SwitchId, Topology};
 use std::time::Duration;
 
-pub mod jsonv;
+// The JSON validator moved into `nice-mc` (the `nice-dist-v1` wire protocol
+// self-validates its frames with it); re-exported here so existing
+// `nice_bench::jsonv` consumers keep compiling.
+pub use nice_mc::jsonv;
 
-/// The layer-2 ping workload of Section 7: host A sends `pings` pings to
-/// host B over the Figure 1 topology, host B echoes each one, and the
-/// controller runs the MAC-learning switch of Figure 3. Symbolic execution is
-/// off (scripted sends), matching Table 1's setup.
-pub fn ping_workload(pings: u32, canonical_switch_model: bool) -> Scenario {
-    let topology = Topology::linear_two_switches();
-    let host_a = *topology.host(HostId(1)).unwrap();
-    let host_b = *topology.host(HostId(2)).unwrap();
-    let hosts: Vec<Box<dyn HostModel>> = vec![
-        Box::new(ClientHost::new(host_a, SendBudget::sends(pings))),
-        Box::new(ClientHost::new(host_b, SendBudget::SILENT).with_echo()),
-    ];
-    let script: Vec<Packet> = (0..pings)
-        .map(|i| Packet::l2_ping(i as u64 + 1, host_a.mac, host_b.mac, i))
-        .collect();
-    Scenario::builder(format!("ping-{pings}"))
-        .topology(topology)
-        .app(Box::new(PySwitchApp::new(PySwitchVariant::Original)))
-        .hosts(hosts)
-        .scripted_sends([(HostId(1), script)])
-        .switch_config(SwitchConfig {
-            canonical_flow_table: canonical_switch_model,
-            ..SwitchConfig::default()
-        })
-        .build()
-}
-
-/// The ping workload stretched over a chain of `switches` switches: host A
-/// at one end of the chain, the echoing host B at the other, pyswitch
-/// learning MACs along the way. Used by the exploration-engine benches —
-/// the larger the system, the more a full state clone costs and the more
-/// copy-on-write snapshots win.
-pub fn chain_ping_workload(switches: u32, pings: u32) -> Scenario {
-    assert!(switches >= 2, "a chain needs at least two switches");
-    // Port plan per switch: 1 = host (ends only), 2 = towards the next
-    // switch, 3 = towards the previous switch.
-    let mut builder = Topology::builder();
-    for s in 1..=switches {
-        builder = builder.switch(SwitchId(s), &[1, 2, 3]);
-    }
-    builder = builder.host(HostId(1), SwitchId(1), PortId(1)).host(
-        HostId(2),
-        SwitchId(switches),
-        PortId(1),
-    );
-    for s in 1..switches {
-        builder = builder.link(SwitchId(s), PortId(2), SwitchId(s + 1), PortId(3));
-    }
-    let topology = builder.build();
-
-    let host_a = *topology.host(HostId(1)).unwrap();
-    let host_b = *topology.host(HostId(2)).unwrap();
-    let hosts: Vec<Box<dyn HostModel>> = vec![
-        Box::new(ClientHost::new(host_a, SendBudget::sends(pings))),
-        Box::new(ClientHost::new(host_b, SendBudget::SILENT).with_echo()),
-    ];
-    let script: Vec<Packet> = (0..pings)
-        .map(|i| Packet::l2_ping(i as u64 + 1, host_a.mac, host_b.mac, i))
-        .collect();
-    Scenario::builder(format!("chain{switches}-ping-{pings}"))
-        .topology(topology)
-        .app(Box::new(PySwitchApp::new(PySwitchVariant::Original)))
-        .hosts(hosts)
-        .scripted_sends([(HostId(1), script)])
-        .build()
-}
-
-/// The chain ping workload with a fault plan attached: a switch-crash budget
-/// plus lossy ingress channels. With fault injection *off* (the default) the
-/// plan is dormant and the explored state space is bit-identical to
-/// [`chain_ping_workload`] — the CI bench gate asserts exactly that — while
-/// runs with [`CheckerConfig::inject_faults`] stress the crash/recovery
-/// paths of the same topology.
-pub fn chain_fault_workload(switches: u32, pings: u32) -> Scenario {
-    chain_ping_workload(switches, pings).with_fault_plan(FaultPlan::lossy(1).with_switch_crash())
-}
-
-/// The load-balancer bug-hunt scenario (BUG-V) explored exhaustively — the
-/// second workload the exploration-engine benches must demonstrate wins on.
-/// Resolved through the scenario registry, so the bench bins exercise the
-/// same entry `nice run` does.
-pub fn load_balancer_workload() -> Scenario {
-    find_scenario("bug-v-packets-dropped-in-transition")
-        .expect("BUG-V is registered")
-        .build()
-}
+// The benchmark workloads moved into `nice_apps::workloads` so the
+// `nice-dist` worker processes can rebuild job scenarios by spec without
+// depending on this harness; the bench surface is unchanged.
+pub use nice_apps::workloads::{
+    chain_fault_workload, chain_ping_workload, load_balancer_workload, ping_workload,
+};
 
 /// The engine matrix the exploration benches and the CI bench gate profile:
 /// the pre-COW deep-clone baseline, copy-on-write snapshots, checkpointed

@@ -31,6 +31,8 @@
 //! before it is printed, so the CLI can never ship what `validate-json`
 //! would reject.
 
+mod serve;
+
 use nice_apps::scenarios::{find_scenario, registry, ScenarioEntry, ScenarioKind};
 use nice_bench::jsonv::{escape_json, validate_json, validate_trace_json};
 use nice_mc::{
@@ -44,9 +46,11 @@ const USAGE: &str = "\
 nice — model-check OpenFlow controller programs (NICE, NSDI'12)
 
 USAGE:
-  nice list [--names]
+  nice list [--names|--json]
   nice run <scenario> [OPTIONS]
   nice sweep <scenario> [OPTIONS]
+  nice serve --socket <PATH> [--workers <N>] [--max-jobs <N>]
+  nice submit --socket <PATH> <scenario> [OPTIONS]
   nice replay <trace.json> [--expect-violation]
   nice minimize <trace.json> [--out <FILE>]
   nice bisect <trace.json> [--max-explored <N>]
@@ -57,6 +61,8 @@ RUN / SWEEP OPTIONS:
   --strategy <pkt-seq|no-delay|flow-ir|unusual>   search strategy (run only; default pkt-seq)
   --reduction <none|por>                          partial-order reduction (run only; default none)
   --workers <N>                                   search worker threads (default 1)
+  --dist <N>                                      run only: distribute the search over N worker
+                                                  processes (fingerprint-sharded explored set)
   --max-transitions <N>                           transition budget (default 500000; 0 = unlimited)
   --max-depth <N>                                 depth bound (default 400)
   --time-budget-ms <N>                            interrupt the search (each sweep cell) after N wall-clock ms
@@ -71,6 +77,16 @@ RUN / SWEEP OPTIONS:
   --quiet                                         suppress streamed progress on stderr
   --trace-out <FILE>                              write the first violation's trace as a
                                                   nice-trace-v1 JSON file (run only)
+
+SERVE / SUBMIT (the distributed checking service — see README \"Serving checks\"):
+  serve      bind a Unix socket, spawn a pool of nice-dist-worker processes
+             sharding the fingerprint space, and accept check jobs from any
+             number of clients (fair round-robin across connections);
+             --max-jobs N exits after N jobs (CI smoke)
+  submit     send one job to a running server (scenario name or a spec like
+             ping:2 / chain:5:2 / chain-faults:3:1) and stream its progress;
+             accepts --strategy/--reduction/--faults/--all-violations/
+             --max-transitions/--max-depth/--time-budget-ms/--expect/--quiet
 
 TRACE COMMANDS (operate on nice-trace-v1 files, produced by `nice run --trace-out`):
   replay     re-execute the trace on the deterministic engine, checking every
@@ -92,6 +108,8 @@ fn main() {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => serve::cmd_serve(&args[1..]),
+        Some("submit") => serve::cmd_submit(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("minimize") => cmd_minimize(&args[1..]),
         Some("bisect") => cmd_bisect(&args[1..]),
@@ -126,6 +144,9 @@ struct RunOptions {
     strategy: StrategyKind,
     reduction: ReductionKind,
     workers: usize,
+    /// Distributed mode: shard the search over this many worker
+    /// *processes* (0 = off, the in-process engine).
+    dist: usize,
     max_transitions: u64,
     max_depth: usize,
     time_budget: Option<Duration>,
@@ -145,6 +166,7 @@ impl Default for RunOptions {
             strategy: StrategyKind::FullDfs,
             reduction: ReductionKind::None,
             workers: 1,
+            dist: 0,
             max_transitions: 500_000,
             max_depth: 400,
             time_budget: None,
@@ -189,6 +211,13 @@ fn parse_run_options(args: &[String], mode: Mode) -> Result<RunOptions, String> 
             }
             "--workers" => {
                 opts.workers = parse_number(take_value(i)?, "--workers")? as usize;
+                i += 2;
+            }
+            "--dist" => {
+                if mode == Mode::Sweep {
+                    return Err("--dist is run-only (sweep cells stay in-process)".into());
+                }
+                opts.dist = parse_number(take_value(i)?, "--dist")? as usize;
                 i += 2;
             }
             "--max-transitions" => {
@@ -299,10 +328,20 @@ fn config_from(
 
 fn cmd_list(args: &[String]) -> i32 {
     let names_only = args.iter().any(|a| a == "--names");
-    if let Some(bad) = args.iter().find(|a| *a != "--names") {
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(bad) = args.iter().find(|a| *a != "--names" && *a != "--json") {
         return usage_error(&format!("unknown option '{bad}'"));
     }
+    if names_only && json {
+        return usage_error("--names and --json are mutually exclusive");
+    }
     let entries = registry();
+    if json {
+        let doc = render_list_json(&entries);
+        validate_json(&doc).expect("nice list emitted malformed JSON");
+        println!("{doc}");
+        return 0;
+    }
     if names_only {
         for e in &entries {
             println!("{}", e.name);
@@ -335,6 +374,35 @@ fn cmd_list(args: &[String]) -> i32 {
     0
 }
 
+/// The machine-readable registry dump (schema `nice-cli-list-v1`,
+/// documented in `bench/README.md`): what CI and scripting consume instead
+/// of scraping the human table.
+fn render_list_json(entries: &[ScenarioEntry]) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"nice-cli-list-v1\",\n  \"count\": {},\n  \"scenarios\": [\n",
+        entries.len()
+    );
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"app\": \"{}\", \"bug\": \"{}\", \"kind\": \"{}\", \
+             \"expected_violation\": {}, \"requires_faults\": {}}}{}\n",
+            escape_json(&e.name),
+            escape_json(e.app),
+            e.bug.label(),
+            match e.kind {
+                ScenarioKind::Buggy => "bug",
+                ScenarioKind::Fixed => "fixed",
+            },
+            e.expected_violation
+                .map_or("null".to_string(), |p| format!("\"{}\"", escape_json(p))),
+            e.requires_faults,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
 // ---------------------------------------------------------------------------
 // nice run
 // ---------------------------------------------------------------------------
@@ -351,6 +419,33 @@ fn cmd_run(args: &[String]) -> i32 {
         eprintln!("unknown scenario '{name}'; `nice list` enumerates them");
         return 2;
     };
+
+    if opts.dist > 0 && opts.workers > 1 {
+        return usage_error(
+            "--dist and --workers are mutually exclusive \
+             (each dist worker process runs the sequential engine over its shard)",
+        );
+    }
+    if opts.dist > 0 {
+        let spec = nice_dist::JobSpec {
+            scenario: entry.name.clone(),
+            strategy: opts.strategy,
+            reduction: opts.reduction,
+            inject_faults: opts.faults,
+            stop_at_first_violation: !opts.all_violations,
+            max_transitions: opts.max_transitions,
+            max_depth: opts.max_depth,
+            time_budget_ms: opts.time_budget.map_or(0, |d| d.as_millis() as u64),
+        };
+        let report = match serve::run_distributed(&spec, opts.dist, opts.quiet) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        return finish_run(&entry, &opts, &report);
+    }
 
     let config = config_from(&opts, opts.strategy, opts.reduction);
     let checker = ModelChecker::new(entry.build(), config);
@@ -389,6 +484,13 @@ fn cmd_run(args: &[String]) -> i32 {
         }
     });
 
+    finish_run(&entry, &opts, &report)
+}
+
+/// The shared tail of `nice run`, for both the in-process engines and
+/// `--dist`: write `--trace-out`, print the report (or its JSON form), and
+/// apply `--expect`.
+fn finish_run(entry: &ScenarioEntry, opts: &RunOptions, report: &CheckReport) -> i32 {
     let mut trace_file: Option<String> = None;
     if let Some(path) = &opts.trace_out {
         match report.first_violation() {
@@ -409,12 +511,12 @@ fn cmd_run(args: &[String]) -> i32 {
     }
 
     if opts.json {
-        let json = render_run_json(&entry, &opts, &report, trace_file.as_deref());
+        let json = render_run_json(entry, opts, report, trace_file.as_deref());
         validate_json(&json).expect("nice run emitted malformed JSON");
         println!("{json}");
     } else {
         print!("{report}");
-        match effective_expectation(&entry, opts.faults) {
+        match effective_expectation(entry, opts.faults) {
             Some(property) if report.passed() => eprintln!(
                 "note: expected a {property} violation but none was found \
                  (budget too small, or an over-restrictive strategy?)"
@@ -428,11 +530,11 @@ fn cmd_run(args: &[String]) -> i32 {
             _ => {}
         }
     }
-    if opts.expect && !expectation_met(&entry, &report, opts.faults) {
+    if opts.expect && !expectation_met(entry, report, opts.faults) {
         eprintln!(
             "expectation not met for '{}': {}",
             entry.name,
-            match effective_expectation(&entry, opts.faults) {
+            match effective_expectation(entry, opts.faults) {
                 Some(property) => format!("expected a {property} violation, found none"),
                 None => "this scenario was expected to pass".to_string(),
             }

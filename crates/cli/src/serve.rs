@@ -1,0 +1,522 @@
+//! `nice serve` and `nice submit`: the distributed checking service.
+//!
+//! `serve` binds a Unix socket, spawns one [`nice_dist::Coordinator`] (a
+//! pool of `nice-dist-worker` processes sharding the fingerprint space by
+//! digest prefix), and accepts check jobs from any number of concurrent
+//! client connections. Jobs are serialized over the one worker pool with
+//! **fair queuing**: the scheduler round-robins across connections that
+//! have jobs pending, so one chatty client cannot starve the others.
+//!
+//! The client protocol is `nice-dist-v1` itself — the same length-prefixed
+//! JSON frames the coordinator speaks to its workers: a client sends a
+//! `job` frame (its `shard` field is ignored; sharding is the server's
+//! business) and receives `progress` and `violation` frames while the job
+//! runs, then exactly one `job_done` (merged job-wide stats + violations)
+//! or `error`. A `cancel` frame stops the named job whether it is running
+//! or still queued.
+//!
+//! `submit` is the matching client: build a [`JobSpec`] from the usual
+//! `run` flags, send it, stream progress to stderr, print the verdict.
+
+use crate::{parse_number, usage_error};
+use nice_apps::scenarios::find_scenario;
+use nice_dist::{read_frame, write_frame, Coordinator, Frame, JobEvent, JobSpec, WireViolation};
+use nice_mc::{CheckReport, ReductionKind, ShardSpec, StrategyKind, Violation};
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// nice serve
+// ---------------------------------------------------------------------------
+
+/// One accepted client connection, shared between its reader thread (which
+/// appends to `pending`) and the scheduler (which drains it).
+struct Client {
+    /// Jobs submitted but not yet started: client job id + spec.
+    pending: VecDeque<(u64, JobSpec)>,
+    /// The running job's client id and cancel flag, while one is running.
+    current: Option<(u64, Arc<AtomicBool>)>,
+    /// Write half of the connection.
+    writer: UnixStream,
+    /// Reader saw EOF — drop the client once its queue drains.
+    closed: bool,
+}
+
+pub(crate) fn cmd_serve(args: &[String]) -> i32 {
+    let mut socket: Option<String> = None;
+    let mut workers: usize = 2;
+    let mut max_jobs: u64 = 0;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--socket" => match take(i) {
+                Ok(v) => {
+                    socket = Some(v.clone());
+                    i += 2;
+                }
+                Err(e) => return usage_error(&e),
+            },
+            "--workers" => match take(i).and_then(|v| parse_number(v, "--workers")) {
+                Ok(n) => {
+                    workers = n as usize;
+                    i += 2;
+                }
+                Err(e) => return usage_error(&e),
+            },
+            "--max-jobs" => match take(i).and_then(|v| parse_number(v, "--max-jobs")) {
+                Ok(n) => {
+                    max_jobs = n;
+                    i += 2;
+                }
+                Err(e) => return usage_error(&e),
+            },
+            other => return usage_error(&format!("unknown serve option '{other}'")),
+        }
+    }
+    let Some(socket) = socket else {
+        return usage_error("serve needs --socket PATH");
+    };
+
+    let _ = std::fs::remove_file(&socket);
+    let listener = match UnixListener::bind(&socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind '{socket}': {e}");
+            return 2;
+        }
+    };
+    let mut coordinator = match Coordinator::new(workers) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot start worker pool: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "nice serve: listening on {socket} ({} worker process{})",
+        coordinator.workers(),
+        if coordinator.workers() == 1 { "" } else { "es" }
+    );
+
+    let clients: Arc<Mutex<Vec<Client>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_clients = Arc::clone(&clients);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let Ok(writer) = stream.try_clone() else {
+                continue;
+            };
+            let index = {
+                let mut clients = accept_clients.lock().unwrap();
+                clients.push(Client {
+                    pending: VecDeque::new(),
+                    current: None,
+                    writer,
+                    closed: false,
+                });
+                clients.len() - 1
+            };
+            let reader_clients = Arc::clone(&accept_clients);
+            std::thread::spawn(move || client_reader(index, stream, reader_clients));
+        }
+    });
+
+    let mut served: u64 = 0;
+    let mut next_client = 0usize;
+    loop {
+        // Round-robin pick: the first connection at or after the cursor
+        // with a job pending.
+        let picked = {
+            let mut clients = clients.lock().unwrap();
+            let n = clients.len();
+            let mut picked = None;
+            for offset in 0..n {
+                let index = (next_client + offset) % n;
+                if let Some((job, spec)) = clients[index].pending.pop_front() {
+                    let cancel = Arc::new(AtomicBool::new(false));
+                    clients[index].current = Some((job, Arc::clone(&cancel)));
+                    let writer = clients[index].writer.try_clone();
+                    next_client = index + 1;
+                    picked = Some((index, job, spec, cancel, writer));
+                    break;
+                }
+            }
+            picked
+        };
+        let Some((index, job, spec, cancel, writer)) = picked else {
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        };
+        let Ok(mut writer) = writer else { continue };
+
+        eprintln!("job {job} (client {index}): {}", spec.scenario);
+        let result = coordinator.run_job(
+            &spec,
+            |event| {
+                // A client that stopped reading must not wedge the job;
+                // stream errors are ignored and the final frame decides.
+                let _ = match event {
+                    JobEvent::Progress {
+                        transitions,
+                        unique_states,
+                        depth,
+                    } => write_frame(
+                        &mut writer,
+                        &Frame::Progress {
+                            job,
+                            transitions,
+                            unique_states,
+                            depth,
+                        },
+                    ),
+                    JobEvent::Violation(violation) => {
+                        write_frame(&mut writer, &Frame::Violation { job, violation })
+                    }
+                    JobEvent::Started { .. } | JobEvent::WorkerRestarted { .. } => Ok(()),
+                };
+            },
+            Some(&cancel),
+        );
+        let finale = match &result {
+            Ok(report) => Frame::JobDone {
+                job,
+                stats: report.stats.clone(),
+                violations: report.violations.iter().map(wire_violation).collect(),
+            },
+            Err(e) => Frame::Error {
+                job,
+                message: e.to_string(),
+            },
+        };
+        let _ = write_frame(&mut writer, &finale);
+        match &result {
+            Ok(report) => eprintln!(
+                "job {job} done: {} states, {} transitions, {} violation{}",
+                report.stats.unique_states,
+                report.stats.transitions,
+                report.violations.len(),
+                if report.violations.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                }
+            ),
+            Err(e) => eprintln!("job {job} failed: {e}"),
+        }
+        clients.lock().unwrap()[index].current = None;
+
+        served += 1;
+        if max_jobs > 0 && served >= max_jobs {
+            eprintln!(
+                "nice serve: served {served} job{}, exiting (--max-jobs)",
+                if served == 1 { "" } else { "s" }
+            );
+            let _ = std::fs::remove_file(&socket);
+            return 0;
+        }
+    }
+}
+
+/// Reads a client's frames: `job` enqueues, `cancel` stops a queued or
+/// running job, EOF closes the connection (and cancels its running job).
+fn client_reader(index: usize, stream: UnixStream, clients: Arc<Mutex<Vec<Client>>>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(Frame::Job { job, spec, .. })) => {
+                clients.lock().unwrap()[index]
+                    .pending
+                    .push_back((job, spec));
+            }
+            Ok(Some(Frame::Cancel { job })) => {
+                let mut clients = clients.lock().unwrap();
+                let client = &mut clients[index];
+                if let Some((current, cancel)) = &client.current {
+                    if *current == job {
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                }
+                client.pending.retain(|(id, _)| *id != job);
+            }
+            Ok(Some(_)) => {} // clients only submit and cancel
+            Ok(None) | Err(_) => {
+                let mut clients = clients.lock().unwrap();
+                let client = &mut clients[index];
+                client.closed = true;
+                client.pending.clear();
+                if let Some((_, cancel)) = &client.current {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn wire_violation(v: &Violation) -> WireViolation {
+    WireViolation {
+        property: v.property.clone(),
+        message: v.message.clone(),
+        steps: v.trace.transitions().into_iter().cloned().collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nice submit
+// ---------------------------------------------------------------------------
+
+pub(crate) fn cmd_submit(args: &[String]) -> i32 {
+    let mut socket: Option<String> = None;
+    let mut spec = JobSpec::new("");
+    let mut scenario: Option<String> = None;
+    let mut expect = false;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        let step = match args[i].as_str() {
+            "--socket" => take(i).map(|v| {
+                socket = Some(v.clone());
+                2
+            }),
+            "--strategy" => take(i).and_then(|v| {
+                StrategyKind::parse(v)
+                    .map(|s| {
+                        spec.strategy = s;
+                        2
+                    })
+                    .ok_or_else(|| format!("unknown strategy '{v}'"))
+            }),
+            "--reduction" => take(i).and_then(|v| {
+                ReductionKind::parse(v)
+                    .map(|r| {
+                        spec.reduction = r;
+                        2
+                    })
+                    .ok_or_else(|| format!("unknown reduction '{v}'"))
+            }),
+            "--max-transitions" => take(i)
+                .and_then(|v| parse_number(v, "--max-transitions"))
+                .map(|n| {
+                    spec.max_transitions = n;
+                    2
+                }),
+            "--max-depth" => take(i)
+                .and_then(|v| parse_number(v, "--max-depth"))
+                .map(|n| {
+                    spec.max_depth = n as usize;
+                    2
+                }),
+            "--time-budget-ms" => take(i)
+                .and_then(|v| parse_number(v, "--time-budget-ms"))
+                .map(|n| {
+                    spec.time_budget_ms = n;
+                    2
+                }),
+            "--faults" => {
+                spec.inject_faults = true;
+                Ok(1)
+            }
+            "--all-violations" => {
+                spec.stop_at_first_violation = false;
+                Ok(1)
+            }
+            "--expect" => {
+                expect = true;
+                Ok(1)
+            }
+            "--quiet" => {
+                quiet = true;
+                Ok(1)
+            }
+            flag if flag.starts_with('-') => Err(format!("unknown submit option '{flag}'")),
+            name => {
+                if scenario.replace(name.to_string()).is_some() {
+                    Err("more than one scenario given".into())
+                } else {
+                    Ok(1)
+                }
+            }
+        };
+        match step {
+            Ok(n) => i += n,
+            Err(e) => return usage_error(&e),
+        }
+    }
+    let Some(socket) = socket else {
+        return usage_error("submit needs --socket PATH");
+    };
+    let Some(scenario) = scenario else {
+        return usage_error("submit needs a scenario (a registry name or a spec like chain:5:2)");
+    };
+    spec.scenario = scenario.clone();
+
+    // --expect needs the registry's prediction; parameterised specs
+    // (ping:N, chain:S:P) carry none.
+    let entry = find_scenario(&scenario);
+    if expect && entry.is_none() {
+        eprintln!("--expect needs a registry scenario (`nice list`); '{scenario}' is not one");
+        return 2;
+    }
+
+    let stream = match UnixStream::connect(&socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to '{socket}': {e} (is `nice serve` running?)");
+            return 2;
+        }
+    };
+    let Ok(mut writer) = stream.try_clone() else {
+        eprintln!("cannot clone socket stream");
+        return 2;
+    };
+    if let Err(e) = write_frame(
+        &mut writer,
+        &Frame::Job {
+            job: 1,
+            shard: ShardSpec::solo(), // the server shards; this field is its business
+            spec: spec.clone(),
+        },
+    ) {
+        eprintln!("cannot submit job: {e}");
+        return 2;
+    }
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(Frame::Progress {
+                transitions,
+                unique_states,
+                depth,
+                ..
+            })) => {
+                if !quiet {
+                    eprintln!(
+                        "  {unique_states} states / {transitions} transitions, depth {depth}"
+                    );
+                }
+            }
+            Ok(Some(Frame::Violation { violation, .. })) => {
+                if !quiet {
+                    eprintln!(
+                        "  violation: {} — {}",
+                        violation.property, violation.message
+                    );
+                }
+            }
+            Ok(Some(Frame::JobDone {
+                stats, violations, ..
+            })) => {
+                let passed = violations.is_empty();
+                println!(
+                    "{}: {} unique states, {} transitions, {} violation{} ({:.3}s)",
+                    spec.scenario,
+                    stats.unique_states,
+                    stats.transitions,
+                    violations.len(),
+                    if violations.len() == 1 { "" } else { "s" },
+                    stats.duration.as_secs_f64(),
+                );
+                let mut properties: Vec<&str> =
+                    violations.iter().map(|v| v.property.as_str()).collect();
+                properties.sort_unstable();
+                properties.dedup();
+                for property in &properties {
+                    println!("  violated: {property}");
+                }
+                if expect {
+                    let entry = entry.expect("checked above");
+                    let expected = crate::effective_expectation(&entry, spec.inject_faults);
+                    let met = match expected {
+                        Some(property) => properties.contains(&property),
+                        None => passed,
+                    };
+                    if !met {
+                        eprintln!(
+                            "expectation not met for '{}': {}",
+                            entry.name,
+                            match expected {
+                                Some(p) => format!("expected a {p} violation, found none"),
+                                None => "this scenario was expected to pass".to_string(),
+                            }
+                        );
+                        return 1;
+                    }
+                }
+                return 0;
+            }
+            Ok(Some(Frame::Error { message, .. })) => {
+                eprintln!("server error: {message}");
+                return 2;
+            }
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                eprintln!("server closed the connection before finishing the job");
+                return 2;
+            }
+            Err(e) => {
+                eprintln!("protocol error: {e}");
+                return 2;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nice run --dist N
+// ---------------------------------------------------------------------------
+
+/// Runs a check through an in-process [`Coordinator`] with `dist` worker
+/// processes — `nice run <scenario> --dist N` without a server.
+pub(crate) fn run_distributed(
+    spec: &JobSpec,
+    dist: usize,
+    quiet: bool,
+) -> Result<CheckReport, String> {
+    let mut coordinator = Coordinator::new(dist).map_err(|e| e.to_string())?;
+    coordinator
+        .run_job(
+            spec,
+            |event| {
+                if quiet {
+                    return;
+                }
+                match event {
+                    JobEvent::Started { workers } => eprintln!(
+                        "checking {} over {workers} worker process{} (strategy {}, reduction {})",
+                        spec.scenario,
+                        if workers == 1 { "" } else { "es" },
+                        spec.strategy.name(),
+                        spec.reduction.name(),
+                    ),
+                    JobEvent::Progress {
+                        transitions,
+                        unique_states,
+                        depth,
+                    } => eprintln!(
+                        "  {unique_states} states / {transitions} transitions, depth {depth}"
+                    ),
+                    JobEvent::Violation(v) => {
+                        eprintln!("  violation: {} — {}", v.property, v.message)
+                    }
+                    JobEvent::WorkerRestarted { worker } => {
+                        eprintln!("  worker {worker} crashed; respawned and shard re-derived")
+                    }
+                }
+            },
+            None,
+        )
+        .map_err(|e| e.to_string())
+}

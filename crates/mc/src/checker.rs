@@ -267,6 +267,22 @@ impl CheckReport {
     pub fn first_violation(&self) -> Option<&Violation> {
         self.violations.first()
     }
+
+    /// Imposes the stable violation order racing engines (the parallel
+    /// search's worker threads, the distributed coordinator's shards) need:
+    /// shortest trace first, then lexicographic by property, rendered
+    /// labels and message. [`CheckReport::first_violation`] then means "a
+    /// shortest witness".
+    pub fn sort_violations(&mut self) {
+        self.violations.sort_by(|a, b| {
+            (a.trace.len(), &a.property, a.trace.labels(), &a.message).cmp(&(
+                b.trace.len(),
+                &b.property,
+                b.trace.labels(),
+                &b.message,
+            ))
+        });
+    }
 }
 
 impl fmt::Display for CheckReport {
@@ -303,7 +319,7 @@ impl fmt::Display for CheckReport {
 /// Identity hasher for values that are already 64-bit fingerprints (FNV-1a
 /// outputs): feeding them through SipHash again would be pure overhead.
 #[derive(Debug, Default, Clone)]
-struct FingerprintHasher(u64);
+pub(crate) struct FingerprintHasher(u64);
 
 impl Hasher for FingerprintHasher {
     fn finish(&self) -> u64 {
@@ -332,10 +348,10 @@ impl Hasher for FingerprintHasher {
 /// explored with more pruning than the new path permits, so it must be
 /// re-expanded — with the intersection of the two sleep sets, which only
 /// ever shrinks, guaranteeing termination.
-type FingerprintMap = HashMap<u64, Box<[u64]>, BuildHasherDefault<FingerprintHasher>>;
+pub(crate) type FingerprintMap = HashMap<u64, Box<[u64]>, BuildHasherDefault<FingerprintHasher>>;
 
 /// The verdict on one (fingerprint, sleep set) visit.
-enum Visit {
+pub(crate) enum Visit {
     /// First time this state is seen: explore it.
     New,
     /// Already explored with a sleep set no larger than this one: skip.
@@ -384,7 +400,11 @@ fn sorted_intersection(a: &[u64], b: &[u64]) -> Vec<u64> {
 
 /// Records a visit of `fingerprint` under `sleep_digests` (sorted) and says
 /// whether the state needs (re-)exploring. See [`FingerprintMap`].
-fn visit_explored(map: &mut FingerprintMap, fingerprint: u64, sleep_digests: &[u64]) -> Visit {
+pub(crate) fn visit_explored(
+    map: &mut FingerprintMap,
+    fingerprint: u64,
+    sleep_digests: &[u64],
+) -> Visit {
     match map.entry(fingerprint) {
         Entry::Vacant(v) => {
             v.insert(sleep_digests.into());
@@ -436,9 +456,9 @@ impl ShardedFingerprints {
 // ---------------------------------------------------------------------------
 
 /// A snapshot of the system and property state at some depth of a trace.
-struct Snapshot {
-    state: SystemState,
-    properties: Vec<Box<dyn Property>>,
+pub(crate) struct Snapshot {
+    pub(crate) state: SystemState,
+    pub(crate) properties: Vec<Box<dyn Property>>,
 }
 
 /// One frontier entry of the search.
@@ -454,19 +474,19 @@ struct Snapshot {
 /// survives checkpoint/replay reconstruction unchanged: replaying the trace
 /// suffix rebuilds the state, while the pruning obligations were fixed when
 /// the node was generated.
-struct Node {
-    base: Arc<Snapshot>,
-    base_depth: usize,
-    trace: Vec<Transition>,
+pub(crate) struct Node {
+    pub(crate) base: Arc<Snapshot>,
+    pub(crate) base_depth: usize,
+    pub(crate) trace: Vec<Transition>,
     /// Transitions whose exploration from this node is redundant (already
     /// covered by a commuting sibling branch). Always empty without POR.
-    sleep: Vec<Transition>,
+    pub(crate) sleep: Vec<Transition>,
     /// True if this node re-expands an already-visited state with a
     /// narrowed sleep set (`Visit::Widen`). Re-expansions exist only to
     /// cover successors the first visit pruned; the state itself was
     /// already accounted for, so terminal counting and end-of-trace
     /// property checks must not run again.
-    revisit: bool,
+    pub(crate) revisit: bool,
 }
 
 /// The NICE model checker.
@@ -514,7 +534,7 @@ impl ModelChecker {
     /// Builds the typed witness for a violation found at `transitions`
     /// (plus the optional violating transition) — shared by the sequential
     /// and parallel engines so their traces can never diverge.
-    fn make_trace(
+    pub(crate) fn make_trace(
         &self,
         transitions: &[Transition],
         last: Option<&Transition>,
@@ -536,7 +556,7 @@ impl ModelChecker {
 
     /// Appends a violation (with its typed trace) to a sequential-engine
     /// report.
-    fn record_violation(
+    pub(crate) fn record_violation(
         &self,
         report: &mut CheckReport,
         property: &str,
@@ -567,7 +587,7 @@ impl ModelChecker {
     /// Under checkpointed storage, the parent's snapshot handle must outlive
     /// the parent node (children between checkpoints inherit it); this
     /// captures it before [`ModelChecker::materialize`] consumes the node.
-    fn parent_base(&self, node: &Node) -> Option<(Arc<Snapshot>, usize)> {
+    pub(crate) fn parent_base(&self, node: &Node) -> Option<(Arc<Snapshot>, usize)> {
         match self.config.state_storage {
             StateStorage::Checkpoint { .. } => Some((Arc::clone(&node.base), node.base_depth)),
             _ => None,
@@ -576,7 +596,7 @@ impl ModelChecker {
 
     /// Builds the frontier node for a child reached over `trace`, choosing
     /// what to snapshot according to the storage mode.
-    fn make_node(
+    pub(crate) fn make_node(
         &self,
         root: &Arc<Snapshot>,
         parent_base: &Option<(Arc<Snapshot>, usize)>,
@@ -635,7 +655,7 @@ impl ModelChecker {
     /// the single definition of a search step — the sequential and parallel
     /// engines both call it, so their semantics cannot diverge.
     #[allow(clippy::too_many_arguments, clippy::type_complexity)]
-    fn step_transition(
+    pub(crate) fn step_transition(
         &self,
         state: &SystemState,
         properties: &[Box<dyn Property>],
@@ -677,7 +697,7 @@ impl ModelChecker {
     /// Consumes the node: under `Full` storage the snapshot is uniquely
     /// owned, so the state is moved out without any clone at all.
     #[allow(clippy::type_complexity)]
-    fn materialize(
+    pub(crate) fn materialize(
         &self,
         node: Node,
         strategy: &dyn SearchStrategy,
@@ -726,181 +746,15 @@ impl ModelChecker {
     // Sequential engine
     // -----------------------------------------------------------------------
 
+    /// The canonical sequential depth-first search: a solo-shard
+    /// [`ShardedSearch`](crate::shard::ShardedSearch) driven to completion.
+    /// The expansion loop lives in `shard.rs` — one definition shared with
+    /// the distributed engine, so a 1-shard distributed run is bit-identical
+    /// to this by construction.
     fn run_sequential(&self, ctrl: &SessionCtrl) -> CheckReport {
-        let start = Instant::now();
-        let strategy = build_strategy(self.config.strategy);
-        let reduction = build_reduction(self.config.reduction);
-        let mut memo = DiscoveryMemo::default();
-        let mut report = CheckReport::default();
-        let mut explored = FingerprintMap::default();
-
-        let initial_state = SystemState::initial(&self.scenario);
-        let initial_properties: Vec<Box<dyn Property>> = self.scenario.properties.clone();
-        visit_explored(&mut explored, initial_state.fingerprint(), &[]);
-        report.stats.unique_states = 1;
-
-        let root = Arc::new(Snapshot {
-            state: initial_state,
-            properties: initial_properties,
-        });
-        let mut stack: Vec<Node> = vec![Node {
-            base: Arc::clone(&root),
-            base_depth: 0,
-            trace: Vec::new(),
-            sleep: Vec::new(),
-            revisit: false,
-        }];
-        let mut events: Vec<Event> = Vec::new();
-
-        'search: while let Some(node) = stack.pop() {
-            if ctrl.check_interrupt().is_some() {
-                break 'search;
-            }
-            report.stats.max_depth = report.stats.max_depth.max(node.trace.len());
-
-            let revisit = node.revisit;
-            let parent_base = self.parent_base(&node);
-            let (state, properties, trace, sleep) =
-                self.materialize(node, strategy.as_ref(), &mut memo);
-
-            let enabled = enabled_transitions(&state, &self.scenario, &self.config);
-            let enabled_count = enabled.len();
-            let enabled = strategy.select(&state, enabled);
-            report.stats.pruned_by_strategy += (enabled_count - enabled.len()) as u64;
-
-            if enabled.is_empty() {
-                // A widened revisit of a terminal state was already counted
-                // (and final-checked) on its first visit.
-                if !revisit {
-                    report.stats.terminal_states += 1;
-                    for property in &properties {
-                        if let Some(message) = property.check_final(&state) {
-                            self.record_violation(
-                                &mut report,
-                                property.name(),
-                                message,
-                                &trace,
-                                None,
-                            );
-                            ctrl.notify_violation(report.violations.last().unwrap());
-                            if self.config.stop_at_first_violation {
-                                break 'search;
-                            }
-                        }
-                    }
-                }
-                continue;
-            }
-
-            if trace.len() >= self.config.max_depth {
-                report.stats.truncated = true;
-                continue;
-            }
-
-            let choice = reduction.select(&state, &self.scenario, enabled, &sleep);
-            report.stats.pruned_by_por += choice.pruned;
-            let mut child_sleeps =
-                reduction.child_sleeps(&state, &self.scenario, &choice.explore, &sleep);
-
-            for (index, transition) in choice.explore.into_iter().enumerate() {
-                if self.config.max_transitions > 0
-                    && report.stats.transitions >= self.config.max_transitions
-                {
-                    report.stats.truncated = true;
-                    break 'search;
-                }
-
-                let (next_state, next_properties, violations) = self.step_transition(
-                    &state,
-                    &properties,
-                    &transition,
-                    strategy.as_ref(),
-                    &mut memo,
-                    &mut events,
-                );
-                report.stats.transitions += 1;
-                report.stats.faults.record(&transition);
-                ctrl.maybe_progress(
-                    report.stats.transitions,
-                    report.stats.unique_states,
-                    trace.len() + 1,
-                );
-
-                let violated = !violations.is_empty();
-                for (property, message) in violations {
-                    self.record_violation(
-                        &mut report,
-                        &property,
-                        message,
-                        &trace,
-                        Some(&transition),
-                    );
-                    ctrl.notify_violation(report.violations.last().unwrap());
-                }
-                if violated {
-                    if self.config.stop_at_first_violation {
-                        break 'search;
-                    }
-                    // Do not explore past a violating state: the trace is the
-                    // shortest continuation through this branch and deeper
-                    // states would just repeat the same violation.
-                    continue;
-                }
-
-                let child_sleep = std::mem::take(&mut child_sleeps[index]);
-                let mut child_digests: Vec<u64> =
-                    child_sleep.iter().map(Transition::digest).collect();
-                child_digests.sort_unstable();
-                child_digests.dedup();
-
-                let fingerprint = next_state.fingerprint();
-                match visit_explored(&mut explored, fingerprint, &child_digests) {
-                    Visit::New => {
-                        report.stats.unique_states += 1;
-                        let mut child_trace = trace.clone();
-                        child_trace.push(transition.clone());
-                        stack.push(self.make_node(
-                            &root,
-                            &parent_base,
-                            child_trace,
-                            next_state,
-                            next_properties,
-                            child_sleep,
-                        ));
-                    }
-                    Visit::Known => {
-                        report.stats.dedup_hits += 1;
-                    }
-                    Visit::Widen(narrowed) => {
-                        // The state was explored before, but with stronger
-                        // pruning than this path justifies: re-expand it
-                        // with the narrowed sleep set so nothing reachable
-                        // only through the previously pruned transitions is
-                        // missed.
-                        let narrowed_sleep: Vec<Transition> = child_sleep
-                            .into_iter()
-                            .filter(|t| narrowed.binary_search(&t.digest()).is_ok())
-                            .collect();
-                        let mut child_trace = trace.clone();
-                        child_trace.push(transition.clone());
-                        let mut node = self.make_node(
-                            &root,
-                            &parent_base,
-                            child_trace,
-                            next_state,
-                            next_properties,
-                            narrowed_sleep,
-                        );
-                        node.revisit = true;
-                        stack.push(node);
-                    }
-                }
-            }
-        }
-
-        report.stats.symbolic_executions = memo.symbolic_executions;
-        report.stats.duration = start.elapsed();
-        report
+        let mut search = crate::shard::ShardedSearch::new(self, crate::shard::ShardSpec::solo());
+        while search.step_ctrl(Some(ctrl)) == crate::shard::StepOutcome::Expanded {}
+        search.finish()
     }
 
     // -----------------------------------------------------------------------
@@ -974,17 +828,9 @@ impl ModelChecker {
             .violations
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        // Workers race, so impose a stable order: shortest trace first, then
-        // lexicographic by rendered labels. `first_violation` then means "a
-        // shortest witness".
-        report.violations.sort_by(|a, b| {
-            (a.trace.len(), &a.property, a.trace.labels(), &a.message).cmp(&(
-                b.trace.len(),
-                &b.property,
-                b.trace.labels(),
-                &b.message,
-            ))
-        });
+        // Workers race, so impose a stable order; `first_violation` then
+        // means "a shortest witness".
+        report.sort_violations();
         report.stats.duration = start.elapsed();
         report
     }

@@ -198,13 +198,13 @@ impl Parser<'_> {
 
 /// Validates a `nice-trace-v1` document: it must be well-formed JSON
 /// (per [`validate_json`]) *and* parse into a typed
-/// [`nice_mc::Trace`] — schema tag, engine block, and every step. The
+/// [`crate::Trace`] — schema tag, engine block, and every step. The
 /// `ci_gate` binary runs this over the trace files it emits, and
 /// `nice validate-json` applies it whenever the input self-identifies
 /// with `"schema": "nice-trace-v1"`.
 pub fn validate_trace_json(input: &str) -> Result<(), String> {
     validate_json(input)?;
-    nice_mc::Trace::from_json(input).map(|_| ())
+    crate::Trace::from_json(input).map(|_| ())
 }
 
 /// Escapes a string for inclusion in hand-rolled JSON output (quotes,
@@ -271,10 +271,10 @@ mod tests {
         assert!(validate_trace_json("{}").is_err());
         assert!(validate_trace_json(r#"{"schema": "nice-trace-v1"}"#).is_err());
         // ...while a real trace round-trips.
-        let trace = nice_mc::Trace::from_transitions(
+        let trace = crate::Trace::from_transitions(
             "demo",
-            nice_mc::TraceEngine::default(),
-            std::iter::empty::<nice_mc::Transition>(),
+            crate::TraceEngine::default(),
+            std::iter::empty::<crate::Transition>(),
         );
         assert!(validate_trace_json(&trace.to_json()).is_ok());
     }

@@ -38,18 +38,27 @@
 //!   minimization ([`ModelChecker::minimize`]) and first-unavoidable-step
 //!   bisection ([`ModelChecker::bisect`]).
 //! * [`timeline`] — an ASCII lane-per-component renderer for traces.
+//! * [`jsonv`] — a strict, dependency-free JSON well-formedness validator
+//!   shared by the CLI, the bench gate, and the `nice-dist-v1` wire
+//!   protocol.
+//! * [`shard`] — fingerprint-space sharding: [`shard::ShardedSearch`]
+//!   explores only the states a shard owns and exports the rest as
+//!   replayable frontier nodes, the substrate of the `nice-dist`
+//!   coordinator/worker service.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checker;
 pub mod faults;
+pub mod jsonv;
 pub mod minimize;
 pub mod por;
 pub mod properties;
 pub mod replay;
 pub mod scenario;
 pub mod session;
+pub mod shard;
 pub mod state;
 pub mod strategy;
 pub mod testutil;
@@ -72,6 +81,7 @@ pub use scenario::{
 pub use session::{
     CancelToken, CheckEvent, CheckObserver, CheckSession, InterruptReason, NoopObserver, Outcome,
 };
+pub use shard::{FrontierExport, ShardSpec, ShardedSearch, StepOutcome};
 pub use state::SystemState;
 pub use strategy::{
     FlowIr, FullDfs, NoDelay, NoReduction, PorReduction, Reduction, ReductionChoice,

@@ -170,15 +170,9 @@ impl ModelChecker {
     /// the deterministic 1-worker engine) still violates the same property.
     /// See the [module docs](crate::minimize) for the exact predicate.
     ///
-    /// Errors if the trace contains opaque (label-only) steps, or if replay
-    /// does not reproduce a violation to minimize against.
+    /// Errors if replay does not reproduce a violation to minimize against.
     pub fn minimize(&self, trace: &Trace) -> Result<MinimizeReport, String> {
-        let transitions: Vec<Transition> = trace
-            .transitions()
-            .map_err(|i| format!("step {} is an opaque label and cannot be replayed", i + 1))?
-            .into_iter()
-            .cloned()
-            .collect();
+        let transitions: Vec<Transition> = trace.transitions().into_iter().cloned().collect();
         let mut engine = trace.engine;
         engine.workers = 1;
         let original_len = transitions.len();
@@ -432,12 +426,7 @@ impl ModelChecker {
     /// `decided` flag is false and `first_unavoidable` is the best verified
     /// upper bound.
     pub fn bisect(&self, trace: &Trace, max_explored: u64) -> Result<BisectReport, String> {
-        let transitions: Vec<Transition> = trace
-            .transitions()
-            .map_err(|i| format!("step {} is an opaque label and cannot be replayed", i + 1))?
-            .into_iter()
-            .cloned()
-            .collect();
+        let transitions: Vec<Transition> = trace.transitions().into_iter().cloned().collect();
         let mut engine = trace.engine;
         engine.workers = 1;
 

@@ -38,12 +38,6 @@ pub enum ReplayOutcome {
         /// 0-based index of the impossible step.
         step: usize,
     },
-    /// Step `step` is a display-only label (from a deprecated stringified
-    /// trace) and cannot be executed.
-    OpaqueStep {
-        /// 0-based index of the opaque step.
-        step: usize,
-    },
 }
 
 /// One property violation observed during replay.
@@ -116,11 +110,6 @@ impl fmt::Display for ReplayReport {
                 "DIVERGED at step {} (after {} executed steps): transition not enabled",
                 step + 1,
                 self.steps_executed
-            )?,
-            ReplayOutcome::OpaqueStep { step } => writeln!(
-                f,
-                "step {} is an opaque label and cannot be executed",
-                step + 1
             )?,
         }
         if self.violations.is_empty() {
@@ -316,15 +305,7 @@ impl ModelChecker {
         let mut replayer = Replayer::new(self, &trace.engine);
         let mut violations = Vec::new();
         for (index, step) in trace.steps.iter().enumerate() {
-            let Some(transition) = step.transition() else {
-                return ReplayReport {
-                    outcome: ReplayOutcome::OpaqueStep { step: index },
-                    violations,
-                    steps_executed: replayer.steps_executed(),
-                    final_fingerprint: replayer.fingerprint(),
-                    terminal: false,
-                };
-            };
+            let transition = step.transition();
             match replayer.step(transition) {
                 StepResult::Diverged => {
                     return ReplayReport {
@@ -431,15 +412,6 @@ mod tests {
         let replay = checker.replay(&trace);
         assert_eq!(replay.outcome, ReplayOutcome::Diverged { step: 0 });
         assert_eq!(replay.steps_executed, 0);
-    }
-
-    #[test]
-    fn replay_rejects_opaque_steps() {
-        let checker = violating_checker();
-        #[allow(deprecated)]
-        let trace = Trace::from_labels("legacy", vec!["something happened".into()]);
-        let replay = checker.replay(&trace);
-        assert_eq!(replay.outcome, ReplayOutcome::OpaqueStep { step: 0 });
     }
 
     #[test]

@@ -142,12 +142,9 @@ fn priority(symbol: char) -> u8 {
 }
 
 /// Replays a trace and renders it as a per-component timeline. Errors if
-/// the trace has opaque steps or diverges (is not a real execution of the
-/// checker's scenario).
+/// the trace diverges (is not a real execution of the checker's scenario).
 pub fn render_timeline(checker: &ModelChecker, trace: &Trace) -> Result<Timeline, String> {
-    let transitions = trace
-        .transitions()
-        .map_err(|i| format!("step {} is an opaque label and cannot be replayed", i + 1))?;
+    let transitions = trace.transitions();
     let columns = transitions.len();
 
     // Lanes: controller, then switches and hosts in id order.

@@ -91,44 +91,35 @@ impl Default for TraceEngine {
 
 /// One step of a trace.
 ///
-/// Traces recorded by the checker contain only [`TraceStep::Transition`]
-/// steps. [`TraceStep::Opaque`] exists solely to back the deprecated
-/// label-only constructor ([`Trace::from_labels`]): it renders but cannot be
-/// replayed, minimized or bisected.
+/// Every step carries a typed, replayable [`Transition`]. The enum shape is
+/// kept (rather than a bare newtype) so the `nice-trace-v1` step objects
+/// retain their `"kind"` discriminant and future step categories can be
+/// added without a schema bump.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceStep {
     /// A typed, replayable system transition.
     Transition(Transition),
-    /// A display-only label from a legacy stringified trace.
-    Opaque(String),
 }
 
 impl TraceStep {
-    /// The typed transition, if this step has one.
-    pub fn transition(&self) -> Option<&Transition> {
+    /// The typed transition of this step.
+    pub fn transition(&self) -> &Transition {
         match self {
-            TraceStep::Transition(t) => Some(t),
-            TraceStep::Opaque(_) => None,
+            TraceStep::Transition(t) => t,
         }
     }
 
-    /// The human-readable label of the step — for transitions, exactly the
-    /// `Display` rendering the stringified traces used, so migrating to
-    /// typed traces changed no printed output.
+    /// The human-readable label of the step — exactly the `Display`
+    /// rendering of the transition, so migrating to typed traces changed no
+    /// printed output.
     pub fn label(&self) -> String {
-        match self {
-            TraceStep::Transition(t) => t.to_string(),
-            TraceStep::Opaque(label) => label.clone(),
-        }
+        self.transition().to_string()
     }
 }
 
 impl fmt::Display for TraceStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TraceStep::Transition(t) => t.fmt(f),
-            TraceStep::Opaque(label) => f.write_str(label),
-        }
+        self.transition().fmt(f)
     }
 }
 
@@ -169,24 +160,6 @@ impl Trace {
         }
     }
 
-    /// Creates a display-only trace from rendered labels — the shim for the
-    /// pre-redesign `Violation { trace: Vec<String>, .. }` shape. The result
-    /// prints identically but cannot be replayed; construct traces from
-    /// typed [`Transition`]s instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "label-only traces cannot be replayed; build a Trace from typed Transitions"
-    )]
-    pub fn from_labels(scenario: &str, labels: Vec<String>) -> Self {
-        Trace {
-            scenario: scenario.to_string(),
-            engine: TraceEngine::default(),
-            steps: labels.into_iter().map(TraceStep::Opaque).collect(),
-            property: None,
-            message: None,
-        }
-    }
-
     /// Number of steps.
     pub fn len(&self) -> usize {
         self.steps.len()
@@ -208,14 +181,9 @@ impl Trace {
         self.steps.iter().map(TraceStep::label).collect()
     }
 
-    /// The typed transitions, or the index of the first step that has none
-    /// (an [`TraceStep::Opaque`] label from a legacy trace).
-    pub fn transitions(&self) -> Result<Vec<&Transition>, usize> {
-        self.steps
-            .iter()
-            .enumerate()
-            .map(|(i, s)| s.transition().ok_or(i))
-            .collect()
+    /// The typed transitions, one per step.
+    pub fn transitions(&self) -> Vec<&Transition> {
+        self.steps.iter().map(TraceStep::transition).collect()
     }
 
     /// Serializes the trace as one canonical `nice-trace-v1` JSON line.
@@ -483,12 +451,7 @@ fn mutation_parse(name: &str) -> Option<OfMutation> {
 }
 
 fn step_to_json(step: &TraceStep) -> String {
-    let t = match step {
-        TraceStep::Opaque(label) => {
-            return format!("{{\"kind\":\"opaque\",\"label\":\"{}\"}}", escape(label));
-        }
-        TraceStep::Transition(t) => t,
-    };
+    let TraceStep::Transition(t) = step;
     let kind = t.kind();
     match t {
         Transition::HostSend { host, packet } => format!(
@@ -557,13 +520,6 @@ fn step_from_json(value: &Json) -> Result<TraceStep, String> {
     let switch = |key: &str| -> Result<SwitchId, String> { Ok(SwitchId(num(key)? as u32)) };
     let host = || -> Result<HostId, String> { Ok(HostId(num("host")? as u32)) };
     let transition = match kind {
-        "opaque" => {
-            let label = obj
-                .get("label")
-                .and_then(Json::as_str)
-                .ok_or("opaque: missing \"label\"")?;
-            return Ok(TraceStep::Opaque(label.to_string()));
-        }
         "host_send" => Transition::HostSend {
             host: host()?,
             packet: packet_from_json(obj.get("packet").ok_or("host_send: missing \"packet\"")?)?,
@@ -636,20 +592,52 @@ fn step_from_json(value: &Json) -> Result<TraceStep, String> {
     Ok(TraceStep::Transition(transition))
 }
 
+/// Serializes a step sequence as a canonical JSON array of `nice-trace-v1`
+/// step objects — the fragment the `nice-dist-v1` wire frames embed when a
+/// worker forwards frontier states to the shard owner.
+pub fn steps_to_json(steps: &[TraceStep]) -> String {
+    let mut out = String::with_capacity(2 + steps.len() * 64);
+    out.push('[');
+    for (i, step) in steps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&step_to_json(step));
+    }
+    out.push(']');
+    out
+}
+
+/// Parses a JSON array of `nice-trace-v1` step objects (the inverse of
+/// [`steps_to_json`]), accepting either a raw JSON string or an
+/// already-parsed [`json::Json`] array via [`steps_from_value`].
+pub fn steps_from_json(input: &str) -> Result<Vec<TraceStep>, String> {
+    steps_from_value(&json::parse(input)?)
+}
+
+/// Parses a step array out of an already-parsed JSON value.
+pub fn steps_from_value(value: &Json) -> Result<Vec<TraceStep>, String> {
+    let arr = value.as_arr().ok_or("steps must be an array")?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, v)| step_from_json(v).map_err(|e| format!("step {i}: {e}")))
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Minimal JSON value parser
 // ---------------------------------------------------------------------------
 
-use json::Json;
+pub use json::Json;
 
-/// A minimal JSON value parser, private to trace deserialization.
+/// A minimal JSON value parser, originally private to trace
+/// deserialization and now shared with the `nice-dist-v1` wire protocol.
 ///
-/// `nice-bench` owns the workspace's JSON *validator*, but `nice-mc` cannot
-/// depend on it (the dependency points the other way), and this offline
-/// build has no serde — so the trace format carries its own ~150-line
-/// recursive-descent reader. Numbers keep their raw text, so `u64` values
-/// round-trip exactly (no `f64` detour).
-mod json {
+/// `nice-mc` sits below the crates that could otherwise supply a parser,
+/// and this offline build has no serde — so the trace format carries its
+/// own ~150-line recursive-descent reader. Numbers keep their raw text, so
+/// `u64` values round-trip exactly (no `f64` detour).
+pub mod json {
     /// A parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Json {
@@ -668,6 +656,7 @@ mod json {
     }
 
     impl Json {
+        /// The string value, if this is a string.
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Json::Str(s) => Some(s),
@@ -675,6 +664,7 @@ mod json {
             }
         }
 
+        /// The boolean value, if this is a boolean.
         pub fn as_bool(&self) -> Option<bool> {
             match self {
                 Json::Bool(b) => Some(*b),
@@ -682,6 +672,7 @@ mod json {
             }
         }
 
+        /// The number as an exact `u64`, if this is a non-negative integer.
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Json::Num(raw) => raw.parse().ok(),
@@ -689,6 +680,7 @@ mod json {
             }
         }
 
+        /// The items, if this is an array.
         pub fn as_arr(&self) -> Option<&[Json]> {
             match self {
                 Json::Arr(items) => Some(items),
@@ -696,10 +688,34 @@ mod json {
             }
         }
 
+        /// A keyed-lookup view, if this is an object.
         pub fn as_obj(&self) -> Option<ObjRef<'_>> {
             match self {
                 Json::Obj(pairs) => Some(ObjRef { pairs }),
                 _ => None,
+            }
+        }
+
+        /// Re-serializes the value as compact JSON. Numbers are emitted
+        /// with their original source text, so a parse → render round trip
+        /// is lossless for the integer-only documents the workspace emits.
+        pub fn render(&self) -> String {
+            match self {
+                Json::Null => "null".to_string(),
+                Json::Bool(b) => b.to_string(),
+                Json::Num(raw) => raw.clone(),
+                Json::Str(s) => format!("\"{}\"", super::escape(s)),
+                Json::Arr(items) => {
+                    let rendered: Vec<String> = items.iter().map(Json::render).collect();
+                    format!("[{}]", rendered.join(","))
+                }
+                Json::Obj(pairs) => {
+                    let rendered: Vec<String> = pairs
+                        .iter()
+                        .map(|(k, v)| format!("\"{}\":{}", super::escape(k), v.render()))
+                        .collect();
+                    format!("{{{}}}", rendered.join(","))
+                }
             }
         }
     }
@@ -711,6 +727,7 @@ mod json {
     }
 
     impl<'a> ObjRef<'a> {
+        /// The value stored under `key`, if present.
         pub fn get(&self, key: &str) -> Option<&'a Json> {
             self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
         }
@@ -1047,7 +1064,7 @@ mod tests {
         ];
         let trace = Trace::from_transitions("kinds", TraceEngine::default(), all.clone());
         let parsed = Trace::from_json(&trace.to_json()).expect("round trip");
-        let transitions = parsed.transitions().expect("all typed");
+        let transitions = parsed.transitions();
         assert_eq!(transitions.len(), all.len());
         for (original, parsed) in all.iter().zip(transitions) {
             assert_eq!(original, parsed);
@@ -1063,13 +1080,28 @@ mod tests {
     }
 
     #[test]
-    fn opaque_steps_round_trip_but_expose_no_transition() {
-        #[allow(deprecated)]
-        let trace = Trace::from_labels("legacy", vec!["step one".into(), "step two".into()]);
-        assert_eq!(trace.len(), 2);
-        assert_eq!(trace.transitions(), Err(0));
-        let parsed = Trace::from_json(&trace.to_json()).expect("round trip");
-        assert_eq!(parsed.labels(), vec!["step one", "step two"]);
+    fn opaque_step_kind_is_gone_from_the_schema() {
+        // The deprecated label-only steps were removed: a document carrying
+        // the old "opaque" kind is rejected like any unknown kind.
+        let legacy = "{\"schema\":\"nice-trace-v1\",\"scenario\":\"x\",\"property\":null,\
+             \"message\":null,\"engine\":{\"strategy\":\"pkt-seq\",\"reduction\":\"none\",\
+             \"workers\":1,\"faults\":false,\"coarse_packet_processing\":true},\
+             \"steps\":[{\"kind\":\"opaque\",\"label\":\"step one\"}]}";
+        let err = Trace::from_json(legacy).unwrap_err();
+        assert!(err.contains("unknown step kind"), "{err}");
+    }
+
+    #[test]
+    fn step_arrays_round_trip_standalone() {
+        let trace = sample_trace();
+        let json = steps_to_json(&trace.steps);
+        let parsed = steps_from_json(&json).expect("round trip");
+        assert_eq!(parsed, trace.steps);
+        // A rendered Json value re-parses to the same steps (the dist wire
+        // frames embed step arrays as nested values and re-render them).
+        let value = json::parse(&json).expect("parse");
+        assert_eq!(steps_from_value(&value).expect("from value"), trace.steps);
+        assert_eq!(value.render(), json);
     }
 
     #[test]

@@ -161,7 +161,7 @@ fn minimize_shrinks_the_bug_xii_fault_witness_by_40_percent() {
             .minimized
             .steps
             .iter()
-            .filter_map(|s| s.transition())
+            .map(|s| s.transition())
             .any(|t| t.fault_counter_index().is_some()),
         "the crash must remain in the minimized trace:\n{}",
         report.minimized
