@@ -26,7 +26,7 @@ use nice_bench::{
     chain_fault_workload, chain_ping_workload, engine_configs, exhaustive, load_balancer_workload,
 };
 use nice_dist::{Coordinator, JobSpec};
-use nice_mc::{CheckerConfig, ModelChecker, Scenario};
+use nice_mc::{CheckerConfig, ExploredMode, ModelChecker, Scenario};
 
 /// One engine's measurements on one workload.
 struct EngineRow {
@@ -37,6 +37,22 @@ struct EngineRow {
     /// states/s divided by the reference (first) engine's states/s of the
     /// same run — the machine-independent number the gate compares.
     relative_rate: f64,
+    /// Frontier nodes stolen between workers (work-stealing legs only).
+    work_steals: u64,
+    /// Explored-set high-water mark in bytes.
+    peak_explored_bytes: u64,
+    /// Cold explored-set shards spilled to disk (tiered legs only).
+    spilled_shards: u64,
+    /// Disk probes the spill segments' bloom filters avoided.
+    filter_hits: u64,
+    /// Binary searches actually performed against spilled segments.
+    disk_probes: u64,
+    /// Whether this engine's rate participates in the gate. Legs running a
+    /// deliberately degraded explored set (forced spill, bitstate) are
+    /// gated on their deterministic counters only: their states/s is
+    /// dominated by per-visit disk I/O or hashing and flaps with runner
+    /// load far beyond [`RATE_TOLERANCE`].
+    rate_gated: bool,
 }
 
 struct Profile {
@@ -83,12 +99,18 @@ fn profile(label: &str, rate_gated: bool, scenario: impl Fn() -> Scenario) -> Pr
         .into_iter()
         .zip(stats)
         .zip(best_rates)
-        .map(|(((name, _), s), best_rate)| EngineRow {
+        .map(|(((name, config), s), best_rate)| EngineRow {
             name,
             states: s.unique_states,
             transitions: s.transitions,
             states_per_sec: best_rate,
             relative_rate: best_rate / reference,
+            work_steals: s.work_steals,
+            peak_explored_bytes: s.peak_explored_bytes,
+            spilled_shards: s.spilled_shards,
+            filter_hits: s.filter_hits,
+            disk_probes: s.disk_probes,
+            rate_gated: config.explored.mode == ExploredMode::Mem,
         })
         .collect();
     Profile {
@@ -128,6 +150,12 @@ fn dist_profile(coordinator: &mut Coordinator, label: &str, spec: &JobSpec) -> P
             transitions: report.stats.transitions,
             states_per_sec: best_rate,
             relative_rate: 1.0,
+            work_steals: report.stats.work_steals,
+            peak_explored_bytes: report.stats.peak_explored_bytes,
+            spilled_shards: report.stats.spilled_shards,
+            filter_hits: report.stats.filter_hits,
+            disk_probes: report.stats.disk_probes,
+            rate_gated: false,
         }],
         rate_gated: false,
     }
@@ -151,12 +179,19 @@ fn render_json(profiles: &[Profile]) -> String {
         for (ei, e) in p.engines.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"name\": \"{}\", \"states\": {}, \"transitions\": {}, \
-                 \"states_per_sec\": {:.1}, \"relative_rate\": {:.4}}}{}\n",
+                 \"states_per_sec\": {:.1}, \"relative_rate\": {:.4}, \
+                 \"work_steals\": {}, \"peak_explored_bytes\": {}, \
+                 \"spilled_shards\": {}, \"filter_hits\": {}, \"disk_probes\": {}}}{}\n",
                 e.name,
                 e.states,
                 e.transitions,
                 e.states_per_sec,
                 e.relative_rate,
+                e.work_steals,
+                e.peak_explored_bytes,
+                e.spilled_shards,
+                e.filter_hits,
+                e.disk_probes,
                 if ei + 1 < p.engines.len() { "," } else { "" }
             ));
         }
@@ -293,6 +328,21 @@ fn main() {
 
     let json = render_json(&profiles);
     validate_json(&json).expect("ci_gate emitted malformed JSON");
+    // Schema-presence gate: the scheduler and tiered-explored counters are
+    // part of the BENCH json shape now; a refactor that silently drops them
+    // fails here, not in whatever dashboard consumes the file.
+    for key in [
+        "work_steals",
+        "peak_explored_bytes",
+        "spilled_shards",
+        "filter_hits",
+        "disk_probes",
+    ] {
+        assert!(
+            json.contains(&format!("\"{key}\":")),
+            "BENCH json lost the \"{key}\" counter"
+        );
+    }
     std::fs::write(&out_path, &json).expect("write results");
     println!("wrote {out_path}");
     for p in &profiles {
@@ -301,6 +351,46 @@ fn main() {
             println!(
                 "  {:<32} states {:>8}  transitions {:>8}  {:>10.0} states/s ({:.2}x)",
                 e.name, e.states, e.transitions, e.states_per_sec, e.relative_rate
+            );
+            if e.work_steals + e.spilled_shards + e.disk_probes > 0 {
+                println!(
+                    "  {:<32} steals {}  spilled {}  filter hits {}  disk probes {}  peak {} KiB",
+                    "",
+                    e.work_steals,
+                    e.spilled_shards,
+                    e.filter_hits,
+                    e.disk_probes,
+                    e.peak_explored_bytes >> 10
+                );
+            }
+        }
+    }
+
+    // The headline number of the scheduler rework: work-stealing vs the old
+    // work-donation protocol at GATE_WORKERS on the chain profile. Report
+    // only — the speedup needs >= GATE_WORKERS physical cores to mean
+    // anything, and CI runners vary.
+    let steal_name = format!("parallel ({GATE_WORKERS} workers)");
+    let donate_name = format!("parallel donation ({GATE_WORKERS} workers)");
+    if let Some(chain) = profiles.first() {
+        let rate = |name: &str| {
+            chain
+                .engines
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.states_per_sec)
+        };
+        if let (Some(steal), Some(donate)) = (rate(&steal_name), rate(&donate_name)) {
+            println!(
+                "work-stealing vs donation ({} workers, {} cores): {:.2}x{}",
+                GATE_WORKERS,
+                core_count(),
+                steal / donate.max(1e-9),
+                if core_count() < GATE_WORKERS {
+                    " [fewer cores than workers; speedup not meaningful on this machine]"
+                } else {
+                    ""
+                }
             );
         }
     }
@@ -350,7 +440,11 @@ fn main() {
                     (TRANSITIONS_TOLERANCE - 1.0) * 100.0
                 ));
             }
-            if p.rate_gated && rates_comparable && e.relative_rate < base_rel * RATE_TOLERANCE {
+            if p.rate_gated
+                && e.rate_gated
+                && rates_comparable
+                && e.relative_rate < base_rel * RATE_TOLERANCE
+            {
                 failures.push(format!(
                     "{} / {}: states/s (relative to deep-clone reference) regressed \
                      {base_rel:.2}x -> {:.2}x (>15%)",

@@ -24,8 +24,8 @@
 
 use nice_apps::scenarios::{bug_scenario, BugId};
 use nice_mc::{
-    CheckObserver, CheckerConfig, ModelChecker, NoopObserver, ReductionKind, Scenario, SearchStats,
-    StateStorage, StrategyKind,
+    CheckObserver, CheckerConfig, ExploredMode, ModelChecker, NoopObserver, ReductionKind,
+    Scenario, SchedulerKind, SearchStats, StateStorage, StrategyKind,
 };
 use std::time::Duration;
 
@@ -43,8 +43,10 @@ pub use nice_apps::workloads::{
 
 /// The engine matrix the exploration benches and the CI bench gate profile:
 /// the pre-COW deep-clone baseline, copy-on-write snapshots, checkpointed
-/// replay, the parallel engine, and the POR legs. Shared by the `parallel`
-/// and `ci_gate` bins so their rows can never drift apart.
+/// replay, the parallel engine (both schedulers, so the work-stealing vs
+/// work-donation speedup is visible in every run), the POR legs, and the
+/// tiered / bitstate explored-set legs. Shared by the `parallel` and
+/// `ci_gate` bins so their rows can never drift apart.
 pub fn engine_configs(workers: usize) -> Vec<(String, CheckerConfig)> {
     vec![
         (
@@ -64,6 +66,12 @@ pub fn engine_configs(workers: usize) -> Vec<(String, CheckerConfig)> {
             CheckerConfig::default().with_workers(workers),
         ),
         (
+            format!("parallel donation ({workers} workers)"),
+            CheckerConfig::default()
+                .with_workers(workers)
+                .with_scheduler(SchedulerKind::Donation),
+        ),
+        (
             "por (sleep sets)".into(),
             CheckerConfig::default().with_reduction(ReductionKind::Por),
         ),
@@ -72,6 +80,18 @@ pub fn engine_configs(workers: usize) -> Vec<(String, CheckerConfig)> {
             CheckerConfig::default()
                 .with_reduction(ReductionKind::Por)
                 .with_workers(workers),
+        ),
+        (
+            // A 1-byte budget forces every shard cold immediately: the leg
+            // measures the spill + bloom + disk-probe path, not the cache.
+            "tiered explored (forced spill)".into(),
+            CheckerConfig::default()
+                .with_explored(ExploredMode::Tiered)
+                .with_mem_limit(1),
+        ),
+        (
+            "bitstate explored (lossy)".into(),
+            CheckerConfig::default().with_explored(ExploredMode::Bitstate),
         ),
     ]
 }

@@ -8,7 +8,7 @@
 //!   registry scenario: streams progress to stderr, honours a wall-clock
 //!   budget (`--time-budget-ms`), with `--json` emits one machine-readable
 //!   object embedding the first counterexample as a typed trace (schema
-//!   `nice-cli-run-v3`, documented in `bench/README.md`), and with
+//!   `nice-cli-run-v4`, documented in `bench/README.md`), and with
 //!   `--trace-out FILE` writes that trace as a standalone `nice-trace-v1`
 //!   file.
 //! * `nice sweep <scenario>` — the strategies × reductions matrix on one
@@ -36,8 +36,8 @@ mod serve;
 use nice_apps::scenarios::{find_scenario, registry, ScenarioEntry, ScenarioKind};
 use nice_bench::jsonv::{escape_json, validate_json, validate_trace_json};
 use nice_mc::{
-    render_timeline, CheckEvent, CheckReport, CheckerConfig, ModelChecker, ReductionKind,
-    StrategyKind, Trace, TRACE_SCHEMA,
+    render_timeline, CheckEvent, CheckReport, CheckerConfig, ExploredMode, ModelChecker,
+    ReductionKind, SchedulerKind, StrategyKind, Trace, TRACE_SCHEMA,
 };
 use std::io::Read;
 use std::time::Duration;
@@ -61,6 +61,13 @@ RUN / SWEEP OPTIONS:
   --strategy <pkt-seq|no-delay|flow-ir|unusual>   search strategy (run only; default pkt-seq)
   --reduction <none|por>                          partial-order reduction (run only; default none)
   --workers <N>                                   search worker threads (default 1)
+  --scheduler <work-stealing|donation>            how parallel workers share frontier nodes
+                                                  (default work-stealing; needs --workers > 1)
+  --explored <mem|tiered|bitstate>                explored-set storage: exact in-memory (default),
+                                                  exact with cold-shard spill to disk, or lossy
+                                                  SPIN-style bitstate hashing (PASS not exhaustive)
+  --mem-limit <BYTES>                             explored-set memory budget (0 = mode default:
+                                                  tiered 512 MiB, bitstate 64 MiB; mem ignores it)
   --dist <N>                                      run only: distribute the search over N worker
                                                   processes (fingerprint-sharded explored set)
   --max-transitions <N>                           transition budget (default 500000; 0 = unlimited)
@@ -86,7 +93,8 @@ SERVE / SUBMIT (the distributed checking service — see README \"Serving checks
   submit     send one job to a running server (scenario name or a spec like
              ping:2 / chain:5:2 / chain-faults:3:1) and stream its progress;
              accepts --strategy/--reduction/--faults/--all-violations/
-             --max-transitions/--max-depth/--time-budget-ms/--expect/--quiet
+             --max-transitions/--max-depth/--time-budget-ms/--expect/--quiet/
+             --explored/--mem-limit (each worker shard spills independently)
 
 TRACE COMMANDS (operate on nice-trace-v1 files, produced by `nice run --trace-out`):
   replay     re-execute the trace on the deterministic engine, checking every
@@ -144,6 +152,9 @@ struct RunOptions {
     strategy: StrategyKind,
     reduction: ReductionKind,
     workers: usize,
+    scheduler: SchedulerKind,
+    explored: ExploredMode,
+    mem_limit: u64,
     /// Distributed mode: shard the search over this many worker
     /// *processes* (0 = off, the in-process engine).
     dist: usize,
@@ -166,6 +177,9 @@ impl Default for RunOptions {
             strategy: StrategyKind::FullDfs,
             reduction: ReductionKind::None,
             workers: 1,
+            scheduler: SchedulerKind::default(),
+            explored: ExploredMode::default(),
+            mem_limit: 0,
             dist: 0,
             max_transitions: 500_000,
             max_depth: 400,
@@ -211,6 +225,23 @@ fn parse_run_options(args: &[String], mode: Mode) -> Result<RunOptions, String> 
             }
             "--workers" => {
                 opts.workers = parse_number(take_value(i)?, "--workers")? as usize;
+                i += 2;
+            }
+            "--scheduler" => {
+                let v = take_value(i)?;
+                opts.scheduler = SchedulerKind::parse(v)
+                    .ok_or_else(|| format!("unknown scheduler '{v}' (work-stealing, donation)"))?;
+                i += 2;
+            }
+            "--explored" => {
+                let v = take_value(i)?;
+                opts.explored = ExploredMode::parse(v).ok_or_else(|| {
+                    format!("unknown explored mode '{v}' (mem, tiered, bitstate)")
+                })?;
+                i += 2;
+            }
+            "--mem-limit" => {
+                opts.mem_limit = parse_number(take_value(i)?, "--mem-limit")?;
                 i += 2;
             }
             "--dist" => {
@@ -316,6 +347,9 @@ fn config_from(
         .with_strategy(strategy)
         .with_reduction(reduction)
         .with_workers(opts.workers)
+        .with_scheduler(opts.scheduler)
+        .with_explored(opts.explored)
+        .with_mem_limit(opts.mem_limit)
         .with_max_transitions(opts.max_transitions)
         .with_stop_at_first(!opts.all_violations)
         .with_max_depth(opts.max_depth)
@@ -436,6 +470,8 @@ fn cmd_run(args: &[String]) -> i32 {
             max_transitions: opts.max_transitions,
             max_depth: opts.max_depth,
             time_budget_ms: opts.time_budget.map_or(0, |d| d.as_millis() as u64),
+            explored: opts.explored,
+            mem_limit: opts.mem_limit,
         };
         let report = match serve::run_distributed(&spec, opts.dist, opts.quiet) {
             Ok(report) => report,
@@ -474,8 +510,11 @@ fn cmd_run(args: &[String]) -> i32 {
                 transitions,
                 rate,
                 depth,
+                explored_bytes,
             } => eprintln!(
-                "  {states} states / {transitions} transitions, depth {depth} ({rate:.0} states/s)"
+                "  {states} states / {transitions} transitions, depth {depth} \
+                 ({rate:.0} states/s, explored set {} KiB)",
+                explored_bytes >> 10
             ),
             CheckEvent::ViolationFound(v) => {
                 eprintln!("  violation: {} — {}", v.property, v.message)
@@ -600,15 +639,18 @@ fn render_run_json(
             "parallel"
         });
     format!(
-        "{{\n  \"schema\": \"nice-cli-run-v3\",\n  \"scenario\": \"{}\",\n  \"app\": \"{}\",\n  \
+        "{{\n  \"schema\": \"nice-cli-run-v4\",\n  \"scenario\": \"{}\",\n  \"app\": \"{}\",\n  \
          \"bug\": \"{}\",\n  \"kind\": \"{}\",\n  \"expected_violation\": {},\n  \
          \"strategy\": \"{}\",\n  \"reduction\": \"{}\",\n  \"workers\": {},\n  \"engine\": \"{}\",\n  \
+         \"scheduler\": \"{}\",\n  \"explored\": \"{}\",\n  \"lossy\": {},\n  \
          \"faults_enabled\": {},\n  \"injected_faults\": {{{}}},\n  \
          \"outcome\": \"{}\",\n  \"passed\": {},\n  \"expectation_met\": {},\n  \
          \"violated_properties\": [{}],\n  \"first_trace_len\": {},\n  \
          \"trace\": {},\n  \"trace_file\": {},\n  \
          \"states\": {},\n  \"transitions\": {},\n  \"terminal_states\": {},\n  \
          \"pruned_by_strategy\": {},\n  \"pruned_by_por\": {},\n  \"dedup_hits\": {},\n  \
+         \"work_steals\": {},\n  \"peak_explored_bytes\": {},\n  \"spilled_shards\": {},\n  \
+         \"filter_hits\": {},\n  \"disk_probes\": {},\n  \
          \"max_depth\": {},\n  \"duration_secs\": {:.6},\n  \"states_per_sec\": {:.1}\n}}",
         escape_json(&entry.name),
         escape_json(entry.app),
@@ -623,6 +665,9 @@ fn render_run_json(
         opts.reduction.name(),
         opts.workers.max(1),
         engine,
+        opts.scheduler.name(),
+        opts.explored.name(),
+        report.lossy,
         opts.faults,
         injected,
         report.outcome.label(stats.truncated),
@@ -642,6 +687,11 @@ fn render_run_json(
         stats.pruned_by_strategy,
         stats.pruned_by_por,
         stats.dedup_hits,
+        stats.work_steals,
+        stats.peak_explored_bytes,
+        stats.spilled_shards,
+        stats.filter_hits,
+        stats.disk_probes,
         stats.max_depth,
         stats.duration.as_secs_f64(),
         stats.unique_states as f64 / stats.duration.as_secs_f64().max(1e-9),

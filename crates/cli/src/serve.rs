@@ -324,6 +324,20 @@ pub(crate) fn cmd_submit(args: &[String]) -> i32 {
                     spec.time_budget_ms = n;
                     2
                 }),
+            "--explored" => take(i).and_then(|v| {
+                nice_mc::ExploredMode::parse(v)
+                    .map(|m| {
+                        spec.explored = m;
+                        2
+                    })
+                    .ok_or_else(|| format!("unknown explored mode '{v}' (mem, tiered, bitstate)"))
+            }),
+            "--mem-limit" => take(i)
+                .and_then(|v| parse_number(v, "--mem-limit"))
+                .map(|n| {
+                    spec.mem_limit = n;
+                    2
+                }),
             "--faults" => {
                 spec.inject_faults = true;
                 Ok(1)

@@ -45,10 +45,11 @@ pub mod prelude {
     };
     pub use nice_mc::{
         render_timeline, BisectReport, CancelToken, CheckEvent, CheckObserver, CheckReport,
-        CheckSession, CheckerConfig, FailoverStaleness, FaultPlan, FaultStats, InterruptReason,
-        MinimizeReport, ModelChecker, NoopObserver, Outcome, ReductionKind, ReplayOutcome,
-        ReplayReport, ReplayViolation, Scenario, ScenarioBuilder, SendPolicy, StateStorage,
-        StrategyKind, Timeline, Trace, TraceEngine, TraceStep, Violation, TRACE_SCHEMA,
+        CheckSession, CheckerConfig, ExploredConfig, ExploredMode, ExploredStats,
+        FailoverStaleness, FaultPlan, FaultStats, InterruptReason, MinimizeReport, ModelChecker,
+        NoopObserver, Outcome, ReductionKind, ReplayOutcome, ReplayReport, ReplayViolation,
+        Scenario, ScenarioBuilder, SchedulerKind, SendPolicy, StateStorage, StrategyKind, Timeline,
+        Trace, TraceEngine, TraceStep, Violation, TRACE_SCHEMA,
     };
     pub use nice_openflow::{
         Action, HostId, MacAddr, MatchPattern, NwAddr, Packet, PortId, SwitchId, Topology,

@@ -1,0 +1,463 @@
+//! A Chase-Lev work-stealing deque.
+//!
+//! One thread — the **owner** — pushes and pops work at the *bottom* of the
+//! deque with plain (fence-synchronised) loads and stores; any number of
+//! **thieves** steal from the *top* with a single compare-and-swap. Neither
+//! side takes a lock, so a worker whose deque is hot never contends with
+//! idle siblings, which is the property the parallel model checker's
+//! scheduler needs: local depth-first pushes/pops stay as cheap as a `Vec`,
+//! and stealing only costs anything when somebody is actually out of work.
+//!
+//! The memory-ordering discipline follows Lê, Pop, Cohen & Zappa Nardelli,
+//! *Correct and Efficient Work-Stealing for Weak Memory Models* (PPoPP'13),
+//! which is also the basis of `crossbeam-deque`; this crate exists because
+//! the build is offline and the checker crate forbids `unsafe` internally,
+//! so the few unavoidable unsafe blocks live here behind a safe API.
+//!
+//! ```
+//! use nice_deque::{Steal, Worker};
+//!
+//! let worker = Worker::new();
+//! let stealer = worker.stealer();
+//! worker.push(1);
+//! worker.push(2);
+//! assert_eq!(stealer.steal(), Steal::Success(1)); // thieves see FIFO order
+//! assert_eq!(worker.pop(), Some(2)); // the owner works LIFO (depth-first)
+//! ```
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::mem;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Smallest ring-buffer capacity; always a power of two so indexing is a
+/// mask rather than a modulo.
+const MIN_CAPACITY: usize = 32;
+
+/// The result of a [`Stealer::steal`] attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// The attempt lost a race with the owner or another thief; the deque
+    /// may still hold work, so retrying immediately is reasonable.
+    Retry,
+    /// One element was stolen from the top of the deque.
+    Success(T),
+}
+
+/// A fixed-capacity ring of `T` slots, indexed by *logical* position (the
+/// monotonically increasing top/bottom counters); the physical slot is the
+/// logical index masked by `capacity - 1`. Slots are raw memory: the deque
+/// protocol, not this struct, decides which slots hold live values.
+struct Buffer<T> {
+    slots: *mut T,
+    capacity: usize,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(capacity: usize) -> Buffer<T> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = if mem::size_of::<T>() == 0 {
+            ptr::NonNull::dangling().as_ptr()
+        } else {
+            let layout = Layout::array::<T>(capacity).expect("deque buffer layout");
+            // SAFETY: layout has non-zero size (T is not zero-sized here).
+            let raw = unsafe { alloc(layout) };
+            if raw.is_null() {
+                handle_alloc_error(layout);
+            }
+            raw.cast::<T>()
+        };
+        Buffer { slots, capacity }
+    }
+
+    /// Frees the slot array only. Values still logically inside the deque
+    /// are dropped by `Inner::drop`; values migrated to a larger buffer
+    /// were moved bitwise and must not be touched here.
+    unsafe fn dealloc(&self) {
+        if mem::size_of::<T>() != 0 {
+            let layout = Layout::array::<T>(self.capacity).expect("deque buffer layout");
+            dealloc(self.slots.cast::<u8>(), layout);
+        }
+    }
+
+    unsafe fn slot(&self, index: isize) -> *mut T {
+        self.slots.offset(index & (self.capacity as isize - 1))
+    }
+
+    unsafe fn write(&self, index: isize, value: T) {
+        ptr::write(self.slot(index), value);
+    }
+
+    /// Reads the value at `index` without invalidating the slot. A thief's
+    /// read may race with the owner overwriting the slot after a wrap; the
+    /// protocol only *keeps* the value if the subsequent CAS on `top`
+    /// succeeds, and forgets it otherwise.
+    unsafe fn read(&self, index: isize) -> T {
+        ptr::read(self.slot(index))
+    }
+}
+
+/// State shared between the owner and its thieves.
+struct Inner<T> {
+    /// Next logical index the owner will push at; only the owner writes it.
+    bottom: AtomicIsize,
+    /// Logical index of the oldest element; advanced by successful steals
+    /// (and by the owner when it takes the last element).
+    top: AtomicIsize,
+    /// The current ring buffer.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth. Their values were moved to the new
+    /// buffer, but in-flight thieves may still be *reading* (and then
+    /// forgetting) from them, so the memory is only freed when the whole
+    /// deque drops.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: all cross-thread access to the raw buffers goes through the
+// Chase-Lev protocol above; the pointers themselves carry `T` values.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let bottom = *self.bottom.get_mut();
+        let top = *self.top.get_mut();
+        let buffer = *self.buffer.get_mut();
+        // SAFETY: we have exclusive access; [top, bottom) are the live slots.
+        unsafe {
+            for index in top..bottom {
+                ptr::drop_in_place((*buffer).slot(index));
+            }
+            (*buffer).dealloc();
+            drop(Box::from_raw(buffer));
+            let retired =
+                mem::take(&mut *self.retired.lock().unwrap_or_else(PoisonError::into_inner));
+            for old in retired {
+                (*old).dealloc();
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+/// The owner's handle: push and pop at the bottom. Deliberately `!Sync` and
+/// not `Clone` — exactly one thread owns a deque.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Opts out of `Sync`: the owner-side protocol assumes a single thread.
+    _not_sync: PhantomData<*mut ()>,
+}
+
+// SAFETY: a Worker may migrate to another thread (e.g. into a spawned
+// scope); it just can't be *shared* between threads, which `!Sync` (via the
+// raw-pointer PhantomData) already guarantees.
+unsafe impl<T: Send> Send for Worker<T> {}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty deque owned by the calling thread.
+    pub fn new() -> Worker<T> {
+        let buffer = Box::into_raw(Box::new(Buffer::alloc(MIN_CAPACITY)));
+        Worker {
+            inner: Arc::new(Inner {
+                bottom: AtomicIsize::new(0),
+                top: AtomicIsize::new(0),
+                buffer: AtomicPtr::new(buffer),
+                retired: Mutex::new(Vec::new()),
+            }),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Creates a new thief handle for this deque. Cheap; clone freely.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of elements currently in the deque (a racy snapshot).
+    pub fn len(&self) -> usize {
+        let bottom = self.inner.bottom.load(Ordering::Relaxed);
+        let top = self.inner.top.load(Ordering::Relaxed);
+        (bottom - top).max(0) as usize
+    }
+
+    /// Whether the deque looked empty at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes a value at the bottom of the deque.
+    pub fn push(&self, value: T) {
+        let bottom = self.inner.bottom.load(Ordering::Relaxed);
+        let top = self.inner.top.load(Ordering::Acquire);
+        let mut buffer = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: only the owner mutates `buffer`, so the pointer is stable
+        // for the duration of this call.
+        unsafe {
+            if bottom - top >= (*buffer).capacity as isize {
+                self.grow(bottom, top);
+                buffer = self.inner.buffer.load(Ordering::Relaxed);
+            }
+            (*buffer).write(bottom, value);
+        }
+        // Publish the slot before publishing the new bottom.
+        fence(Ordering::Release);
+        self.inner.bottom.store(bottom + 1, Ordering::Relaxed);
+    }
+
+    /// Pops the most recently pushed value (LIFO — depth-first for the
+    /// scheduler). Returns `None` when the deque is empty or a thief won
+    /// the race for the last element.
+    pub fn pop(&self) -> Option<T> {
+        let bottom = self.inner.bottom.load(Ordering::Relaxed) - 1;
+        let buffer = self.inner.buffer.load(Ordering::Relaxed);
+        self.inner.bottom.store(bottom, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let top = self.inner.top.load(Ordering::Relaxed);
+
+        if top > bottom {
+            // Already empty; restore bottom.
+            self.inner.bottom.store(bottom + 1, Ordering::Relaxed);
+            return None;
+        }
+        if top < bottom {
+            // More than one element left: the slot is unambiguously ours.
+            // SAFETY: thieves cannot pass `bottom` while they see the store above.
+            return Some(unsafe { (*buffer).read(bottom) });
+        }
+        // Exactly one element: race a pending thief for it via `top`.
+        let won = self
+            .inner
+            .top
+            .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        self.inner.bottom.store(bottom + 1, Ordering::Relaxed);
+        if won {
+            // SAFETY: winning the CAS gives exclusive claim on slot `bottom`.
+            Some(unsafe { (*buffer).read(bottom) })
+        } else {
+            None
+        }
+    }
+
+    /// Doubles the buffer, migrating the live range `[top, bottom)`.
+    /// The old buffer is retired, not freed: a thief may still be mid-read.
+    fn grow(&self, bottom: isize, top: isize) {
+        let old = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: owner-only path; values move bitwise to the new buffer and
+        // are never dropped from (or re-read out of) the old one by us.
+        unsafe {
+            let new = Box::into_raw(Box::new(Buffer::alloc((*old).capacity * 2)));
+            for index in top..bottom {
+                (*new).write(index, (*old).read(index));
+            }
+            self.inner.buffer.store(new, Ordering::Release);
+            self.inner
+                .retired
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(old);
+        }
+    }
+}
+
+/// A thief's handle: steal from the top. `Clone + Send + Sync`.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Number of elements currently in the deque (a racy snapshot).
+    pub fn len(&self) -> usize {
+        let top = self.inner.top.load(Ordering::Relaxed);
+        let bottom = self.inner.bottom.load(Ordering::Relaxed);
+        (bottom - top).max(0) as usize
+    }
+
+    /// Whether the deque looked empty at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to steal the oldest element (FIFO — breadth-first from the
+    /// victim's perspective, which steals the work the owner would reach
+    /// last and therefore the biggest unexplored subtrees).
+    pub fn steal(&self) -> Steal<T> {
+        let top = self.inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let bottom = self.inner.bottom.load(Ordering::Acquire);
+        if top >= bottom {
+            return Steal::Empty;
+        }
+        let buffer = self.inner.buffer.load(Ordering::Acquire);
+        // SAFETY: the read may race with the owner wrapping the slot; the
+        // CAS below detects that and the value is forgotten, never used.
+        let value = unsafe { (*buffer).read(top) };
+        if self
+            .inner
+            .top
+            .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn owner_pops_lifo() {
+        let worker = Worker::new();
+        for i in 0..10 {
+            worker.push(i);
+        }
+        for i in (0..10).rev() {
+            assert_eq!(worker.pop(), Some(i));
+        }
+        assert_eq!(worker.pop(), None);
+        assert_eq!(worker.pop(), None); // repeated pops on empty stay None
+    }
+
+    #[test]
+    fn thief_steals_fifo() {
+        let worker = Worker::new();
+        let stealer = worker.stealer();
+        for i in 0..10 {
+            worker.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(stealer.steal(), Steal::Success(i));
+        }
+        assert_eq!(stealer.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn growth_preserves_order_and_values() {
+        let worker = Worker::new();
+        let stealer = worker.stealer();
+        let n = MIN_CAPACITY * 8 + 3; // forces several doublings
+        for i in 0..n {
+            worker.push(Box::new(i));
+        }
+        assert_eq!(worker.len(), n);
+        assert_eq!(stealer.steal(), Steal::Success(Box::new(0)));
+        for i in (2..n).rev() {
+            assert_eq!(worker.pop(), Some(Box::new(i)));
+        }
+        assert_eq!(stealer.steal(), Steal::Success(Box::new(1)));
+        assert_eq!(worker.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_wraps_the_ring() {
+        let worker = Worker::new();
+        // Push/pop more total elements than any buffer capacity while the
+        // length stays small: exercises index wrapping without growth.
+        for round in 0..1000usize {
+            worker.push(round);
+            worker.push(round + 1);
+            assert_eq!(worker.pop(), Some(round + 1));
+            assert_eq!(worker.pop(), Some(round));
+        }
+        assert!(worker.is_empty());
+    }
+
+    /// Counts drops so leak/double-drop bugs show up as wrong counts.
+    struct Counted(Arc<AtomicUsize>);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn dropping_a_nonempty_deque_drops_each_element_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let worker = Worker::new();
+        let n = MIN_CAPACITY * 4; // grown at least once, so retired buffers exist
+        for _ in 0..n {
+            worker.push(Counted(Arc::clone(&drops)));
+        }
+        drop(worker.pop()); // one dropped by us...
+        drop(worker);
+        assert_eq!(drops.load(Ordering::SeqCst), n); // ...the rest by Drop
+    }
+
+    #[test]
+    fn concurrent_stealing_neither_loses_nor_duplicates_work() {
+        const ITEMS: usize = 50_000;
+        const THIEVES: usize = 3;
+
+        let worker: Worker<usize> = Worker::new();
+        let seen: Vec<AtomicUsize> = (0..ITEMS).map(|_| AtomicUsize::new(0)).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                let stealer = worker.stealer();
+                let seen = &seen;
+                scope.spawn(move || loop {
+                    match stealer.steal() {
+                        Steal::Success(i) => {
+                            seen[i].fetch_add(1, Ordering::SeqCst);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            let total: usize = seen.iter().map(|s| s.load(Ordering::SeqCst)).sum();
+                            if total >= ITEMS {
+                                break;
+                            }
+                            thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // The owner pushes everything, popping some of its own work along
+            // the way like a real scheduler does.
+            for i in 0..ITEMS {
+                worker.push(i);
+                if i % 7 == 0 {
+                    if let Some(j) = worker.pop() {
+                        seen[j].fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            while let Some(j) = worker.pop() {
+                seen[j].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(
+                s.load(Ordering::SeqCst),
+                1,
+                "item {i} seen wrong number of times"
+            );
+        }
+    }
+}

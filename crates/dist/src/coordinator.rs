@@ -36,12 +36,21 @@
 use crate::pool::{PoolEvent, WorkerEvent, WorkerPool};
 use crate::proto::{Frame, WireViolation};
 use nice_mc::{
-    CheckReport, CheckerConfig, FaultStats, FrontierExport, InterruptReason, Outcome,
-    ReductionKind, ShardSpec, StrategyKind, Trace, TraceEngine, TraceStep, Violation,
+    shard_of, CheckReport, CheckerConfig, ExploredConfig, ExploredMode, FaultStats, FrontierExport,
+    InterruptReason, Outcome, ReductionKind, ShardSpec, StrategyKind, Trace, TraceEngine,
+    TraceStep, Violation,
 };
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Consecutive no-frame crashes of one worker before the coordinator gives
+/// up on the job instead of respawning forever. Genuine mid-job crashes
+/// reset the streak with every frame the worker produced; only a process
+/// that dies *immediately* on every spawn (stale binary speaking an old
+/// protocol, missing shared library, bad [`crate::WORKER_BIN_ENV`]
+/// override) climbs past this.
+const MAX_CRASH_STREAK: u32 = 5;
 
 /// What to check and how: the distributed analogue of picking a registry
 /// scenario and a [`CheckerConfig`]. Serialized inside the `job` frame.
@@ -67,6 +76,13 @@ pub struct JobSpec {
     pub max_depth: usize,
     /// Wall-clock budget for the job in milliseconds (0 = unlimited).
     pub time_budget_ms: u64,
+    /// Explored-set storage mode each worker runs its shard with
+    /// ([`ExploredMode`]): a `tiered` job spills cold shards to the
+    /// worker-local disk exactly like a local tiered run.
+    pub explored: ExploredMode,
+    /// Per-worker explored-set memory budget in bytes (0 = the mode's
+    /// default; ignored by [`ExploredMode::Mem`]).
+    pub mem_limit: u64,
 }
 
 impl JobSpec {
@@ -83,6 +99,8 @@ impl JobSpec {
             max_transitions: defaults.max_transitions,
             max_depth: defaults.max_depth,
             time_budget_ms: 0,
+            explored: defaults.explored.mode,
+            mem_limit: defaults.explored.mem_limit,
         }
     }
 
@@ -98,6 +116,10 @@ impl JobSpec {
             max_transitions: self.max_transitions,
             max_depth: self.max_depth,
             workers: 1,
+            explored: ExploredConfig {
+                mode: self.explored,
+                mem_limit: self.mem_limit,
+            },
             ..CheckerConfig::default()
         }
     }
@@ -198,6 +220,11 @@ impl Coordinator {
             })
             .collect();
         let mut progress: Vec<(u64, u64, u64)> = vec![(0, 0, 0); count];
+        // Consecutive crashes per worker with no frame in between. A worker
+        // that dies deterministically right after spawn (stale or broken
+        // binary, protocol mismatch) would otherwise be respawned forever
+        // and hang the job.
+        let mut crash_streak: Vec<u32> = vec![0; count];
         let mut cancelled = false;
         let mut interrupted: Option<InterruptReason> = None;
         let mut worker_error: Option<String> = None;
@@ -264,11 +291,25 @@ impl Coordinator {
             }
 
             let frame = match event {
-                WorkerEvent::Frame(frame) => frame,
+                WorkerEvent::Frame(frame) => {
+                    if !matches!(*frame, Frame::Hello { .. }) {
+                        crash_streak[worker] = 0;
+                    }
+                    *frame
+                }
                 WorkerEvent::Eof => {
                     // Crash: respawn, re-send the job, replay the log. The
                     // fresh process re-derives the shard's frontier from the
                     // replayable traces.
+                    crash_streak[worker] += 1;
+                    if crash_streak[worker] > MAX_CRASH_STREAK {
+                        return Err(io::Error::other(format!(
+                            "worker {worker} died {} times in a row without \
+                             producing a frame; giving up (broken or stale \
+                             worker binary?)",
+                            crash_streak[worker]
+                        )));
+                    }
                     on_event(JobEvent::WorkerRestarted { worker });
                     self.pool.respawn(worker)?;
                     jobs[worker].idle_received = None;
@@ -305,6 +346,8 @@ impl Coordinator {
             };
 
             match frame {
+                // `hello` deliberately does not clear the crash streak: a
+                // stale binary still greets before choking on the job frame.
                 Frame::Hello { .. } => {}
                 Frame::Forward { job: j, states } if j == job => {
                     // After `finish` the global frontier was provably empty,
@@ -315,7 +358,7 @@ impl Coordinator {
                     }
                     let mut batches: Vec<Vec<FrontierExport>> = vec![Vec::new(); count];
                     for export in states {
-                        let owner = ((export.fingerprint >> 56) as u32 % count as u32) as usize;
+                        let owner = shard_of(export.fingerprint, count as u32) as usize;
                         jobs[owner].log.push(export.clone());
                         batches[owner].push(export);
                     }
@@ -425,6 +468,13 @@ fn merge_reports(
         report.stats.pruned_by_strategy += stats.pruned_by_strategy;
         report.stats.pruned_by_por += stats.pruned_by_por;
         report.stats.dedup_hits += stats.dedup_hits;
+        report.stats.work_steals += stats.work_steals;
+        // Shards run concurrently, so the job's peak resident footprint is
+        // the sum of the shards' peaks.
+        report.stats.peak_explored_bytes += stats.peak_explored_bytes;
+        report.stats.spilled_shards += stats.spilled_shards;
+        report.stats.filter_hits += stats.filter_hits;
+        report.stats.disk_probes += stats.disk_probes;
         report.stats.max_depth = report.stats.max_depth.max(stats.max_depth);
         report.stats.truncated |= stats.truncated;
         for (i, (_, count)) in stats.faults.labeled().iter().enumerate() {
@@ -450,6 +500,7 @@ fn merge_reports(
     }
     report.stats.faults = FaultStats::from_counts(fault_counts);
     report.stats.duration = duration;
+    report.lossy = spec.explored == ExploredMode::Bitstate;
     for v in &mut report.violations {
         v.transitions_explored = report.stats.transitions;
         v.unique_states = report.stats.unique_states;

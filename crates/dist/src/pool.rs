@@ -16,8 +16,10 @@ use std::sync::mpsc::{Receiver, Sender};
 /// Something a worker process did.
 #[derive(Debug)]
 pub enum WorkerEvent {
-    /// The worker wrote a frame.
-    Frame(Frame),
+    /// The worker wrote a frame (boxed: a `job` frame carries a whole
+    /// [`JobSpec`](crate::JobSpec), which would otherwise dominate the
+    /// event size on the channel).
+    Frame(Box<Frame>),
     /// The worker's stdout closed (process exit or crash). Emitted once per
     /// generation; a corrupt frame on the pipe is reported the same way,
     /// since a process writing garbage is as dead to the protocol as one
@@ -128,7 +130,7 @@ impl WorkerPool {
                             .send(PoolEvent {
                                 worker: index,
                                 generation,
-                                event: WorkerEvent::Frame(frame),
+                                event: WorkerEvent::Frame(Box::new(frame)),
                             })
                             .is_err()
                         {

@@ -32,7 +32,8 @@ use nice_mc::jsonv::{escape_json, validate_json};
 use nice_mc::trace::json::{Json, ObjRef};
 use nice_mc::trace::{json, steps_from_value, steps_to_json, TraceStep};
 use nice_mc::{
-    FaultStats, FrontierExport, ReductionKind, SearchStats, ShardSpec, StrategyKind, Transition,
+    ExploredMode, FaultStats, FrontierExport, ReductionKind, SearchStats, ShardSpec, StrategyKind,
+    Transition,
 };
 use std::io::{self, BufRead, Write};
 use std::time::Duration;
@@ -183,7 +184,9 @@ fn stats_json(stats: &SearchStats) -> String {
     format!(
         "{{\"transitions\":{},\"unique_states\":{},\"terminal_states\":{},\
          \"symbolic_executions\":{},\"pruned_by_strategy\":{},\"pruned_by_por\":{},\
-         \"dedup_hits\":{},\"max_depth\":{},\"truncated\":{},\"duration_ms\":{},\
+         \"dedup_hits\":{},\"work_steals\":{},\"peak_explored_bytes\":{},\
+         \"spilled_shards\":{},\"filter_hits\":{},\"disk_probes\":{},\
+         \"max_depth\":{},\"truncated\":{},\"duration_ms\":{},\
          \"faults\":{{{}}}}}",
         stats.transitions,
         stats.unique_states,
@@ -192,6 +195,11 @@ fn stats_json(stats: &SearchStats) -> String {
         stats.pruned_by_strategy,
         stats.pruned_by_por,
         stats.dedup_hits,
+        stats.work_steals,
+        stats.peak_explored_bytes,
+        stats.spilled_shards,
+        stats.filter_hits,
+        stats.disk_probes,
         stats.max_depth,
         stats.truncated,
         stats.duration.as_millis(),
@@ -211,7 +219,8 @@ fn violation_json(v: &WireViolation) -> String {
 fn spec_json(spec: &JobSpec) -> String {
     format!(
         "{{\"scenario\":\"{}\",\"strategy\":\"{}\",\"reduction\":\"{}\",\"faults\":{},\
-         \"stop_at_first\":{},\"max_transitions\":{},\"max_depth\":{},\"time_budget_ms\":{}}}",
+         \"stop_at_first\":{},\"max_transitions\":{},\"max_depth\":{},\"time_budget_ms\":{},\
+         \"explored\":\"{}\",\"mem_limit\":{}}}",
         escape_json(&spec.scenario),
         spec.strategy.name(),
         spec.reduction.name(),
@@ -220,6 +229,8 @@ fn spec_json(spec: &JobSpec) -> String {
         spec.max_transitions,
         spec.max_depth,
         spec.time_budget_ms,
+        spec.explored.name(),
+        spec.mem_limit,
     )
 }
 
@@ -357,6 +368,11 @@ fn stats_from(value: &Json) -> Result<SearchStats, String> {
         pruned_by_strategy: need_u64(&obj, "pruned_by_strategy")?,
         pruned_by_por: need_u64(&obj, "pruned_by_por")?,
         dedup_hits: need_u64(&obj, "dedup_hits")?,
+        work_steals: need_u64(&obj, "work_steals")?,
+        peak_explored_bytes: need_u64(&obj, "peak_explored_bytes")?,
+        spilled_shards: need_u64(&obj, "spilled_shards")?,
+        filter_hits: need_u64(&obj, "filter_hits")?,
+        disk_probes: need_u64(&obj, "disk_probes")?,
         faults: FaultStats::from_counts(counts),
         max_depth: need_u64(&obj, "max_depth")? as usize,
         truncated: need_bool(&obj, "truncated")?,
@@ -377,6 +393,7 @@ fn spec_from(value: &Json) -> Result<JobSpec, String> {
     let obj = value.as_obj().ok_or("'spec' must be an object")?;
     let strategy = need_str(&obj, "strategy")?;
     let reduction = need_str(&obj, "reduction")?;
+    let explored = need_str(&obj, "explored")?;
     Ok(JobSpec {
         scenario: need_str(&obj, "scenario")?.to_string(),
         strategy: StrategyKind::parse(strategy)
@@ -388,6 +405,9 @@ fn spec_from(value: &Json) -> Result<JobSpec, String> {
         max_transitions: need_u64(&obj, "max_transitions")?,
         max_depth: need_u64(&obj, "max_depth")? as usize,
         time_budget_ms: need_u64(&obj, "time_budget_ms")?,
+        explored: ExploredMode::parse(explored)
+            .ok_or_else(|| format!("unknown explored mode '{explored}'"))?,
+        mem_limit: need_u64(&obj, "mem_limit")?,
     })
 }
 
@@ -560,6 +580,8 @@ mod tests {
             max_transitions: 12345,
             max_depth: 400,
             time_budget_ms: 60_000,
+            explored: ExploredMode::Tiered,
+            mem_limit: 1 << 20,
         };
         let stats = SearchStats {
             transitions: 11,
@@ -569,6 +591,11 @@ mod tests {
             pruned_by_strategy: 3,
             pruned_by_por: 4,
             dedup_hits: 5,
+            work_steals: 6,
+            peak_explored_bytes: 4096,
+            spilled_shards: 2,
+            filter_hits: 13,
+            disk_probes: 8,
             faults: FaultStats {
                 drops: 1,
                 crashes: 2,

@@ -8,15 +8,20 @@
 //! * `workers == 1` (default) — the canonical sequential depth-first search.
 //!   Fully deterministic: a fixed scenario and configuration always yield the
 //!   same transition count, unique-state count and violation traces.
-//! * `workers > 1` — a work-sharing parallel search. Worker threads pop
-//!   frontier nodes from a shared LIFO queue and deduplicate states through a
-//!   sharded fingerprint set, so each unique state is expanded exactly once
-//!   across all workers. With no truncating budget the parallel search visits
-//!   the same state space as the sequential one (identical `unique_states`
-//!   and `transitions`, same set of violated properties), but the *order* of
-//!   exploration — and therefore which trace first reaches a violating
-//!   state, and where a `max_transitions` budget cuts off — is scheduling
-//!   dependent.
+//! * `workers > 1` — a parallel search. By default
+//!   ([`SchedulerKind::WorkStealing`]) each worker owns a lock-free
+//!   Chase-Lev deque: children are pushed and popped locally (depth-first,
+//!   no synchronisation), and an idle worker steals half of a victim's
+//!   oldest work. The legacy mutex-protected donation frontier is kept
+//!   selectable ([`SchedulerKind::Donation`]) so the two can be
+//!   benchmarked against each other. Both deduplicate states through a
+//!   shared [`ExploredStore`], so each unique state is expanded exactly
+//!   once across all workers. With no truncating budget the parallel
+//!   search visits the same state space as the sequential one (identical
+//!   `unique_states` and `transitions`, same set of violated properties),
+//!   but the *order* of exploration — and therefore which trace first
+//!   reaches a violating state, and where a `max_transitions` budget cuts
+//!   off — is scheduling dependent.
 //!
 //! # Frontier storage modes
 //!
@@ -38,30 +43,30 @@
 //!   `interval - 1` transitions instead of the full depth.
 //!
 //! The explored set stores only 64-bit state fingerprints (Section 6 of the
-//! paper), in a map keyed by an identity hasher: the fingerprints are
-//! already uniformly distributed, so re-hashing them through SipHash would be
-//! pure overhead. Under partial-order reduction
+//! paper), behind the tiered [`ExploredStore`] abstraction of
+//! [`crate::explored`]: exact packed in-memory tables by default, an exact
+//! disk-spilling tier for runs past RAM, or lossy bitstate hashing —
+//! selected by [`CheckerConfig::explored`]. Under partial-order reduction
 //! ([`CheckerConfig::reduction`](crate::scenario::CheckerConfig)) each
 //! fingerprint additionally remembers the sleep set it was explored with —
-//! see [`FingerprintMap`] for why that keeps sleep sets sound under state
-//! matching.
+//! see `crate::explored::FingerprintMap` for why that keeps sleep sets
+//! sound under state matching.
 
+use crate::explored::{build_store, visit_explored, ExploredStore, FingerprintMap, Visit};
 use crate::properties::{Event, Property};
-use crate::scenario::{CheckerConfig, Scenario, StateStorage};
+use crate::scenario::{CheckerConfig, Scenario, SchedulerKind, StateStorage};
 use crate::session::{Outcome, SessionCtrl};
 use crate::state::SystemState;
-use crate::strategy::{build_reduction, build_strategy, SearchStrategy};
+use crate::strategy::{build_reduction, build_strategy, Reduction, SearchStrategy};
 use crate::trace::{Trace, TraceEngine, TraceStep};
 use crate::transition::{
     drain_control_plane, enabled_transitions, execute, DiscoveryMemo, SharedDiscoveryCache,
     Transition,
 };
+use nice_deque::{Steal, Stealer, Worker as WorkDeque};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::fmt;
-use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -239,8 +244,31 @@ pub struct SearchStats {
     pub max_depth: usize,
     /// True if a budget (transition or depth limit) cut the search short.
     pub truncated: bool,
+    /// Frontier nodes an idle worker stole from a sibling's deque (only the
+    /// work-stealing parallel scheduler; zero elsewhere).
+    pub work_steals: u64,
+    /// High-water mark of the explored set's in-memory footprint, in bytes.
+    pub peak_explored_bytes: u64,
+    /// Cold explored-set shards spilled to disk (tiered mode only).
+    pub spilled_shards: u64,
+    /// Disk probes avoided because a spilled segment's bloom filter proved
+    /// the fingerprint absent (tiered mode only).
+    pub filter_hits: u64,
+    /// Binary searches actually performed against spilled segments (tiered
+    /// mode only).
+    pub disk_probes: u64,
     /// Wall-clock duration of the search.
     pub duration: Duration,
+}
+
+impl SearchStats {
+    /// Folds an explored-store's counters into the stats.
+    pub(crate) fn absorb_explored(&mut self, stats: crate::explored::ExploredStats) {
+        self.peak_explored_bytes = stats.peak_bytes;
+        self.spilled_shards = stats.spilled_shards;
+        self.filter_hits = stats.filter_hits;
+        self.disk_probes = stats.disk_probes;
+    }
 }
 
 /// The outcome of a model-checking run.
@@ -255,6 +283,12 @@ pub struct CheckReport {
     /// budget-truncated — see [`SearchStats::truncated`]) or stopped early
     /// by a session's cancel token or deadline.
     pub outcome: Outcome,
+    /// True if the explored set was lossy (bitstate hashing): states may
+    /// have been *missed*, so a PASS is not exhaustive. Violations are
+    /// never invented — every reported trace really executed — but
+    /// `--expect pass` semantics are weaker, which is why the flag rides
+    /// on the report itself.
+    pub lossy: bool,
 }
 
 impl CheckReport {
@@ -302,6 +336,25 @@ impl fmt::Display for CheckReport {
             "  pruned by strategy: {} | pruned by POR: {} | dedup hits: {}",
             self.stats.pruned_by_strategy, self.stats.pruned_by_por, self.stats.dedup_hits
         )?;
+        writeln!(
+            f,
+            "  explored set: {} bytes peak | work steals: {}",
+            self.stats.peak_explored_bytes, self.stats.work_steals
+        )?;
+        if self.stats.spilled_shards > 0 || self.stats.disk_probes > 0 || self.stats.filter_hits > 0
+        {
+            writeln!(
+                f,
+                "  spilled shards: {} | filter hits: {} | disk probes: {}",
+                self.stats.spilled_shards, self.stats.filter_hits, self.stats.disk_probes
+            )?;
+        }
+        if self.lossy {
+            writeln!(
+                f,
+                "  lossy: bitstate hashing may have missed states (PASS is not exhaustive)"
+            )?;
+        }
         if self.stats.faults.any() {
             writeln!(f, "  injected faults: {}", self.stats.faults)?;
         }
@@ -309,145 +362,6 @@ impl fmt::Display for CheckReport {
             write!(f, "{v}")?;
         }
         Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Fingerprint set
-// ---------------------------------------------------------------------------
-
-/// Identity hasher for values that are already 64-bit fingerprints (FNV-1a
-/// outputs): feeding them through SipHash again would be pure overhead.
-#[derive(Debug, Default, Clone)]
-pub(crate) struct FingerprintHasher(u64);
-
-impl Hasher for FingerprintHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Generic fallback; the checker only ever hashes u64 fingerprints.
-        for &b in bytes {
-            self.0 = self.0.rotate_left(8) ^ u64::from(b);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.0 = v;
-    }
-}
-
-/// The explored set: each 64-bit state fingerprint (no re-hashing) maps to
-/// the sorted digests of the sleep set the state was last explored with.
-///
-/// Without partial-order reduction every sleep set is empty and this behaves
-/// exactly like the plain fingerprint set it replaced. With POR, the stored
-/// sleep set makes state matching sound (Godefroid): a state revisited with
-/// a sleep set that is *not* a superset of the stored one was previously
-/// explored with more pruning than the new path permits, so it must be
-/// re-expanded — with the intersection of the two sleep sets, which only
-/// ever shrinks, guaranteeing termination.
-pub(crate) type FingerprintMap = HashMap<u64, Box<[u64]>, BuildHasherDefault<FingerprintHasher>>;
-
-/// The verdict on one (fingerprint, sleep set) visit.
-pub(crate) enum Visit {
-    /// First time this state is seen: explore it.
-    New,
-    /// Already explored with a sleep set no larger than this one: skip.
-    Known,
-    /// Previously explored with a sleep set this visit does not subsume:
-    /// re-explore with the narrowed (intersected) sleep digests.
-    Widen(Vec<u64>),
-}
-
-/// True if every element of sorted `sub` occurs in sorted `sup`.
-fn sorted_subset(sub: &[u64], sup: &[u64]) -> bool {
-    let mut j = 0;
-    'outer: for &x in sub {
-        while j < sup.len() {
-            match sup[j].cmp(&x) {
-                std::cmp::Ordering::Less => j += 1,
-                std::cmp::Ordering::Equal => {
-                    j += 1;
-                    continue 'outer;
-                }
-                std::cmp::Ordering::Greater => return false,
-            }
-        }
-        return false;
-    }
-    true
-}
-
-/// Intersection of two sorted slices.
-fn sorted_intersection(a: &[u64], b: &[u64]) -> Vec<u64> {
-    let (mut i, mut j) = (0, 0);
-    let mut out = Vec::new();
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
-}
-
-/// Records a visit of `fingerprint` under `sleep_digests` (sorted) and says
-/// whether the state needs (re-)exploring. See [`FingerprintMap`].
-pub(crate) fn visit_explored(
-    map: &mut FingerprintMap,
-    fingerprint: u64,
-    sleep_digests: &[u64],
-) -> Visit {
-    match map.entry(fingerprint) {
-        Entry::Vacant(v) => {
-            v.insert(sleep_digests.into());
-            Visit::New
-        }
-        Entry::Occupied(mut o) => {
-            if sorted_subset(o.get(), sleep_digests) {
-                Visit::Known
-            } else {
-                let narrowed = sorted_intersection(o.get(), sleep_digests);
-                o.insert(narrowed.clone().into_boxed_slice());
-                Visit::Widen(narrowed)
-            }
-        }
-    }
-}
-
-/// The shared deduplication map of the parallel search: fingerprints sharded
-/// over independently locked maps, indexed by the top bits (hash tables use
-/// the low bits for bucketing, so the top bits are free for shard choice).
-struct ShardedFingerprints {
-    shards: Vec<Mutex<FingerprintMap>>,
-}
-
-const FINGERPRINT_SHARDS: usize = 64;
-
-impl ShardedFingerprints {
-    fn new() -> Self {
-        ShardedFingerprints {
-            shards: (0..FINGERPRINT_SHARDS)
-                .map(|_| Mutex::new(FingerprintMap::default()))
-                .collect(),
-        }
-    }
-
-    /// Records a visit under the shard lock; see [`visit_explored`].
-    fn visit(&self, fingerprint: u64, sleep_digests: &[u64]) -> Visit {
-        let shard = (fingerprint >> 58) as usize % FINGERPRINT_SHARDS;
-        visit_explored(
-            &mut self.shards[shard].lock().unwrap(),
-            fingerprint,
-            sleep_digests,
-        )
     }
 }
 
@@ -772,62 +686,33 @@ impl ModelChecker {
             state: initial_state,
             properties: initial_properties,
         });
-
-        let shared = SharedSearch {
-            workers,
-            explored: ShardedFingerprints::new(),
-            discoveries: Arc::new(SharedDiscoveryCache::default()),
-            frontier: Mutex::new(Frontier {
-                queue: vec![Node {
-                    base: Arc::clone(&root),
-                    base_depth: 0,
-                    trace: Vec::new(),
-                    sleep: Vec::new(),
-                    revisit: false,
-                }],
-                idle: 0,
-                stop: false,
-            }),
-            work_available: Condvar::new(),
-            stop: AtomicBool::new(false),
-            idle_count: AtomicUsize::new(0),
-            transitions: AtomicU64::new(0),
-            unique_states: AtomicU64::new(1),
-            terminal_states: AtomicU64::new(0),
-            symbolic_executions: AtomicU64::new(0),
-            pruned_by_strategy: AtomicU64::new(0),
-            pruned_by_por: AtomicU64::new(0),
-            dedup_hits: AtomicU64::new(0),
-            faults: std::array::from_fn(|_| AtomicU64::new(0)),
-            max_depth: AtomicUsize::new(0),
-            truncated: AtomicBool::new(false),
-            violations: Mutex::new(Vec::new()),
+        let root_node = Node {
+            base: Arc::clone(&root),
+            base_depth: 0,
+            trace: Vec::new(),
+            sleep: Vec::new(),
+            revisit: false,
         };
-        shared.explored.visit(initial_fingerprint, &[]);
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| self.worker_loop(&shared, &root, ctrl));
-            }
-        });
+        let store = build_store(&self.config.explored);
+        store.visit(initial_fingerprint, &[]);
+        let stats = SharedStats::new();
+        stats.unique_states.store(1, Ordering::Relaxed);
 
-        let mut report = CheckReport::default();
-        report.stats.transitions = shared.transitions.load(Ordering::Relaxed);
-        report.stats.unique_states = shared.unique_states.load(Ordering::Relaxed);
-        report.stats.terminal_states = shared.terminal_states.load(Ordering::Relaxed);
-        report.stats.symbolic_executions = shared.symbolic_executions.load(Ordering::Relaxed);
-        report.stats.pruned_by_strategy = shared.pruned_by_strategy.load(Ordering::Relaxed);
-        report.stats.pruned_by_por = shared.pruned_by_por.load(Ordering::Relaxed);
-        report.stats.dedup_hits = shared.dedup_hits.load(Ordering::Relaxed);
-        report.stats.faults = FaultStats::from_counts(std::array::from_fn(|i| {
-            shared.faults[i].load(Ordering::Relaxed)
-        }));
-        report.stats.max_depth = shared.max_depth.load(Ordering::Relaxed);
-        report.stats.truncated = shared.truncated.load(Ordering::Relaxed);
-        report.violations = shared
-            .violations
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cx = WorkerCtx {
+            stats: &stats,
+            store: store.as_ref(),
+            root: &root,
+            ctrl,
+        };
+        match self.config.scheduler {
+            SchedulerKind::WorkStealing => self.run_stealing(workers, root_node, cx),
+            SchedulerKind::Donation => self.run_donation(workers, root_node, cx),
+        }
+
+        let mut report = stats.report();
+        report.stats.absorb_explored(store.stats());
+        report.lossy = store.lossy();
         // Workers race, so impose a stable order; `first_violation` then
         // means "a shortest witness".
         report.sort_violations();
@@ -835,189 +720,315 @@ impl ModelChecker {
         report
     }
 
-    /// One worker of the parallel search: pops nodes, expands them, and
+    /// Runs the work-stealing scheduler: one Chase-Lev deque per worker,
+    /// the root seeded into worker 0's deque, termination through the
+    /// [`StealPool::node_done`] live-node counter.
+    fn run_stealing(&self, workers: usize, root_node: Node, cx: WorkerCtx<'_, '_>) {
+        let deques: Vec<WorkDeque<Node>> = (0..workers).map(|_| WorkDeque::new()).collect();
+        let pool = StealPool {
+            stealers: deques.iter().map(WorkDeque::stealer).collect(),
+            live: AtomicU64::new(1),
+            idlers: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            unpark: Condvar::new(),
+        };
+        deques[0].push(root_node);
+
+        std::thread::scope(|scope| {
+            for (index, deque) in deques.into_iter().enumerate() {
+                let pool = &pool;
+                scope.spawn(move || self.stealing_worker(index, deque, pool, cx));
+            }
+        });
+    }
+
+    /// One worker of the work-stealing search. The deque is *owned* by this
+    /// worker (local push/pop are lock- and fence-cheap); siblings only
+    /// touch it through their [`Stealer`] handles.
+    fn stealing_worker(
+        &self,
+        index: usize,
+        deque: WorkDeque<Node>,
+        pool: &StealPool,
+        cx: WorkerCtx<'_, '_>,
+    ) {
+        let _stop_on_panic = OnPanic(|| pool.stop(cx.stats));
+        let strategy = build_strategy(self.config.strategy);
+        let reduction = build_reduction(self.config.reduction);
+        let mut memo = DiscoveryMemo::with_shared(Arc::clone(&cx.stats.discoveries));
+        let mut events: Vec<Event> = Vec::new();
+
+        while let Some(node) = pool.next_node(index, &deque, cx.stats) {
+            // Session control: a fired cancel token or expired deadline winds
+            // every worker down (each polls here, so none can hang on work
+            // the others abandoned).
+            if cx.ctrl.check_interrupt().is_some() {
+                pool.stop(cx.stats);
+                break;
+            }
+            match self.expand_node(
+                node,
+                strategy.as_ref(),
+                reduction.as_ref(),
+                &mut memo,
+                &mut events,
+                cx,
+            ) {
+                Expanded::Children(children) => {
+                    // Children enter `live` *before* their parent retires, so
+                    // the counter cannot dip to zero while work is still in
+                    // flight.
+                    if !children.is_empty() {
+                        pool.live.fetch_add(children.len() as u64, Ordering::AcqRel);
+                        for child in children {
+                            deque.push(child);
+                        }
+                        if pool.idlers.load(Ordering::Relaxed) > 0 {
+                            let _guard = pool
+                                .park
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            pool.unpark.notify_all();
+                        }
+                    }
+                    pool.node_done(cx.stats);
+                }
+                Expanded::Stop => {
+                    pool.stop(cx.stats);
+                    break;
+                }
+            }
+        }
+
+        cx.stats
+            .symbolic_executions
+            .fetch_add(memo.symbolic_executions, Ordering::Relaxed);
+    }
+
+    /// Runs the legacy donation scheduler (kept as the benchmark baseline).
+    fn run_donation(&self, workers: usize, root_node: Node, cx: WorkerCtx<'_, '_>) {
+        let queue = DonationQueue::new(workers, root_node);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let queue = &queue;
+                scope.spawn(move || self.donation_worker(queue, cx));
+            }
+        });
+    }
+
+    /// One worker of the donation search: pops nodes, expands them, and
     /// terminates when every worker is idle on an empty queue (or a stop
     /// condition fired). Each worker keeps a private stack of nodes and only
     /// exchanges work through the shared queue when other workers are
     /// starving, so the common case pays no synchronisation beyond the
-    /// fingerprint set and the statistics counters.
-    fn worker_loop(&self, shared: &SharedSearch, root: &Arc<Snapshot>, ctrl: &SessionCtrl) {
-        let _stop_on_panic = StopOnPanic(shared);
+    /// explored store and the statistics counters.
+    fn donation_worker(&self, queue: &DonationQueue, cx: WorkerCtx<'_, '_>) {
+        let _stop_on_panic = OnPanic(|| queue.stop(cx.stats));
         let strategy = build_strategy(self.config.strategy);
         let reduction = build_reduction(self.config.reduction);
-        let mut memo = DiscoveryMemo::with_shared(Arc::clone(&shared.discoveries));
+        let mut memo = DiscoveryMemo::with_shared(Arc::clone(&cx.stats.discoveries));
         let mut local: Vec<Node> = Vec::new();
         let mut events: Vec<Event> = Vec::new();
 
-        'work: loop {
-            let node = if shared.stop.load(Ordering::Relaxed) {
+        loop {
+            let node = if cx.stats.stop.load(Ordering::Relaxed) {
                 break;
             } else if let Some(node) = local.pop() {
                 node
             } else {
-                match shared.pop_work() {
+                match queue.pop_work(cx.stats) {
                     Some(node) => node,
                     None => break,
                 }
             };
-            // Session control: a fired cancel token or expired deadline winds
-            // every worker down (each polls here, so none can hang on work
-            // the others abandoned).
-            if ctrl.check_interrupt().is_some() {
-                shared.signal_stop();
+            if cx.ctrl.check_interrupt().is_some() {
+                queue.stop(cx.stats);
                 break;
             }
-            shared
-                .max_depth
-                .fetch_max(node.trace.len(), Ordering::Relaxed);
-
-            let revisit = node.revisit;
-            let parent_base = self.parent_base(&node);
-            let (state, properties, trace, sleep) =
-                self.materialize(node, strategy.as_ref(), &mut memo);
-
-            let enabled = enabled_transitions(&state, &self.scenario, &self.config);
-            let enabled_count = enabled.len();
-            let enabled = strategy.select(&state, enabled);
-            shared
-                .pruned_by_strategy
-                .fetch_add((enabled_count - enabled.len()) as u64, Ordering::Relaxed);
-
-            if enabled.is_empty() {
-                // A widened revisit of a terminal state was already counted
-                // (and final-checked) on its first visit.
-                if !revisit {
-                    shared.terminal_states.fetch_add(1, Ordering::Relaxed);
-                    for property in &properties {
-                        if let Some(message) = property.check_final(&state) {
-                            let typed = self.make_trace(&trace, None, property.name(), &message);
-                            let v = shared.record_violation(property.name(), message, typed);
-                            ctrl.notify_violation(&v);
-                            if self.config.stop_at_first_violation {
-                                shared.signal_stop();
-                            }
+            match self.expand_node(
+                node,
+                strategy.as_ref(),
+                reduction.as_ref(),
+                &mut memo,
+                &mut events,
+                cx,
+            ) {
+                Expanded::Children(children) => {
+                    // Work sharing: hand nodes to the shared queue only when
+                    // another worker is starving (or the queue is empty);
+                    // otherwise keep them on the private stack and skip the
+                    // lock entirely.
+                    if queue.needs_work() {
+                        let mut donated = children;
+                        if local.len() > 1 {
+                            let take = local.len() / 2;
+                            donated.extend(local.drain(..take));
                         }
+                        queue.push_work(donated);
+                    } else {
+                        local.extend(children);
                     }
                 }
-                continue;
-            }
-
-            if trace.len() >= self.config.max_depth {
-                shared.truncated.store(true, Ordering::Relaxed);
-                continue;
-            }
-
-            let choice = reduction.select(&state, &self.scenario, enabled, &sleep);
-            shared
-                .pruned_by_por
-                .fetch_add(choice.pruned, Ordering::Relaxed);
-            let mut child_sleeps =
-                reduction.child_sleeps(&state, &self.scenario, &choice.explore, &sleep);
-
-            let mut children = Vec::new();
-            for (index, transition) in choice.explore.into_iter().enumerate() {
-                if shared.stop.load(Ordering::Relaxed) {
-                    break 'work;
+                Expanded::Stop => {
+                    queue.stop(cx.stats);
+                    break;
                 }
-                if !shared.try_take_transition_budget(self.config.max_transitions) {
-                    break 'work;
-                }
-                if let Some(index) = transition.fault_counter_index() {
-                    shared.faults[index].fetch_add(1, Ordering::Relaxed);
-                }
-
-                let (next_state, next_properties, violations) = self.step_transition(
-                    &state,
-                    &properties,
-                    &transition,
-                    strategy.as_ref(),
-                    &mut memo,
-                    &mut events,
-                );
-
-                ctrl.maybe_progress(
-                    shared.transitions.load(Ordering::Relaxed),
-                    shared.unique_states.load(Ordering::Relaxed),
-                    trace.len() + 1,
-                );
-
-                let violated = !violations.is_empty();
-                for (property, message) in violations {
-                    let typed = self.make_trace(&trace, Some(&transition), &property, &message);
-                    let v = shared.record_violation(&property, message, typed);
-                    ctrl.notify_violation(&v);
-                }
-                if violated {
-                    if self.config.stop_at_first_violation {
-                        shared.signal_stop();
-                    }
-                    continue;
-                }
-
-                let child_sleep = std::mem::take(&mut child_sleeps[index]);
-                let mut child_digests: Vec<u64> =
-                    child_sleep.iter().map(Transition::digest).collect();
-                child_digests.sort_unstable();
-                child_digests.dedup();
-
-                match shared
-                    .explored
-                    .visit(next_state.fingerprint(), &child_digests)
-                {
-                    Visit::New => {
-                        shared.unique_states.fetch_add(1, Ordering::Relaxed);
-                        let mut child_trace = trace.clone();
-                        child_trace.push(transition.clone());
-                        children.push(self.make_node(
-                            root,
-                            &parent_base,
-                            child_trace,
-                            next_state,
-                            next_properties,
-                            child_sleep,
-                        ));
-                    }
-                    Visit::Known => {
-                        shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Visit::Widen(narrowed) => {
-                        let narrowed_sleep: Vec<Transition> = child_sleep
-                            .into_iter()
-                            .filter(|t| narrowed.binary_search(&t.digest()).is_ok())
-                            .collect();
-                        let mut child_trace = trace.clone();
-                        child_trace.push(transition.clone());
-                        let mut node = self.make_node(
-                            root,
-                            &parent_base,
-                            child_trace,
-                            next_state,
-                            next_properties,
-                            narrowed_sleep,
-                        );
-                        node.revisit = true;
-                        children.push(node);
-                    }
-                }
-            }
-
-            // Work sharing: hand nodes to the shared queue only when another
-            // worker is starving (or the queue is empty); otherwise keep them
-            // on the private stack and skip the lock entirely.
-            if shared.needs_work() {
-                if local.len() > 1 {
-                    let donated = local.len() / 2;
-                    children.extend(local.drain(..donated));
-                }
-                shared.push_work(children);
-            } else {
-                local.extend(children);
             }
         }
 
-        shared
+        cx.stats
             .symbolic_executions
             .fetch_add(memo.symbolic_executions, Ordering::Relaxed);
+    }
+
+    /// Expands one frontier node: materializes its state, applies the
+    /// strategy and the reduction, steps every surviving transition, and
+    /// returns the unexplored children. Scheduler-agnostic — both parallel
+    /// engines drive the search through this.
+    fn expand_node(
+        &self,
+        node: Node,
+        strategy: &dyn SearchStrategy,
+        reduction: &dyn Reduction,
+        memo: &mut DiscoveryMemo,
+        events: &mut Vec<Event>,
+        cx: WorkerCtx<'_, '_>,
+    ) -> Expanded {
+        let WorkerCtx {
+            stats,
+            store,
+            root,
+            ctrl,
+        } = cx;
+        stats
+            .max_depth
+            .fetch_max(node.trace.len(), Ordering::Relaxed);
+
+        let revisit = node.revisit;
+        let parent_base = self.parent_base(&node);
+        let (state, properties, trace, sleep) = self.materialize(node, strategy, memo);
+
+        let enabled = enabled_transitions(&state, &self.scenario, &self.config);
+        let enabled_count = enabled.len();
+        let enabled = strategy.select(&state, enabled);
+        stats
+            .pruned_by_strategy
+            .fetch_add((enabled_count - enabled.len()) as u64, Ordering::Relaxed);
+
+        if enabled.is_empty() {
+            // A widened revisit of a terminal state was already counted
+            // (and final-checked) on its first visit.
+            let mut stop = false;
+            if !revisit {
+                stats.terminal_states.fetch_add(1, Ordering::Relaxed);
+                for property in &properties {
+                    if let Some(message) = property.check_final(&state) {
+                        let typed = self.make_trace(&trace, None, property.name(), &message);
+                        let v = stats.record_violation(property.name(), message, typed);
+                        ctrl.notify_violation(&v);
+                        if self.config.stop_at_first_violation {
+                            stop = true;
+                        }
+                    }
+                }
+            }
+            return if stop {
+                Expanded::Stop
+            } else {
+                Expanded::Children(Vec::new())
+            };
+        }
+
+        if trace.len() >= self.config.max_depth {
+            stats.truncated.store(true, Ordering::Relaxed);
+            return Expanded::Children(Vec::new());
+        }
+
+        let choice = reduction.select(&state, &self.scenario, enabled, &sleep);
+        stats
+            .pruned_by_por
+            .fetch_add(choice.pruned, Ordering::Relaxed);
+        let mut child_sleeps =
+            reduction.child_sleeps(&state, &self.scenario, &choice.explore, &sleep);
+
+        let mut children = Vec::new();
+        for (index, transition) in choice.explore.into_iter().enumerate() {
+            if stats.stop.load(Ordering::Relaxed) {
+                return Expanded::Stop;
+            }
+            if !stats.try_take_transition_budget(self.config.max_transitions) {
+                return Expanded::Stop;
+            }
+            if let Some(index) = transition.fault_counter_index() {
+                stats.faults[index].fetch_add(1, Ordering::Relaxed);
+            }
+
+            let (next_state, next_properties, violations) =
+                self.step_transition(&state, &properties, &transition, strategy, memo, events);
+
+            ctrl.maybe_progress(
+                stats.transitions.load(Ordering::Relaxed),
+                stats.unique_states.load(Ordering::Relaxed),
+                trace.len() + 1,
+                store.bytes(),
+            );
+
+            let violated = !violations.is_empty();
+            for (property, message) in violations {
+                let typed = self.make_trace(&trace, Some(&transition), &property, &message);
+                let v = stats.record_violation(&property, message, typed);
+                ctrl.notify_violation(&v);
+            }
+            if violated {
+                if self.config.stop_at_first_violation {
+                    return Expanded::Stop;
+                }
+                continue;
+            }
+
+            let child_sleep = std::mem::take(&mut child_sleeps[index]);
+            let mut child_digests: Vec<u64> = child_sleep.iter().map(Transition::digest).collect();
+            child_digests.sort_unstable();
+            child_digests.dedup();
+
+            match store.visit(next_state.fingerprint(), &child_digests) {
+                Visit::New => {
+                    stats.unique_states.fetch_add(1, Ordering::Relaxed);
+                    let mut child_trace = trace.clone();
+                    child_trace.push(transition.clone());
+                    children.push(self.make_node(
+                        root,
+                        &parent_base,
+                        child_trace,
+                        next_state,
+                        next_properties,
+                        child_sleep,
+                    ));
+                }
+                Visit::Known => {
+                    stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Visit::Widen(narrowed) => {
+                    let narrowed_sleep: Vec<Transition> = child_sleep
+                        .into_iter()
+                        .filter(|t| narrowed.binary_search(&t.digest()).is_ok())
+                        .collect();
+                    let mut child_trace = trace.clone();
+                    child_trace.push(transition.clone());
+                    let mut node = self.make_node(
+                        root,
+                        &parent_base,
+                        child_trace,
+                        next_state,
+                        next_properties,
+                        narrowed_sleep,
+                    );
+                    node.revisit = true;
+                    children.push(node);
+                }
+            }
+        }
+        Expanded::Children(children)
     }
 
     /// Performs `walks` random walks of at most `max_steps` transitions each
@@ -1120,7 +1131,275 @@ impl ModelChecker {
 // Shared state of the parallel search
 // ---------------------------------------------------------------------------
 
-/// The frontier queue plus the bookkeeping the termination protocol needs.
+/// What expanding one frontier node produced.
+enum Expanded {
+    /// The node's unexplored children (possibly none). The caller owes the
+    /// scheduler a `node_done`-style retirement for the expanded node.
+    Children(Vec<Node>),
+    /// A stop condition fired mid-expansion (budget exhausted, first
+    /// violation under `stop_at_first_violation`, or a sibling's stop flag):
+    /// wind the search down; any children are deliberately discarded.
+    Stop,
+}
+
+/// The per-run references every worker shares, bundled so the worker and
+/// expansion signatures stay tractable.
+#[derive(Clone, Copy)]
+struct WorkerCtx<'a, 'c> {
+    stats: &'a SharedStats,
+    store: &'a dyn ExploredStore,
+    root: &'a Arc<Snapshot>,
+    ctrl: &'a SessionCtrl<'c>,
+}
+
+/// Scheduler-agnostic shared state of one parallel run: the statistics
+/// counters, the collected violations, and the stop flag every worker polls
+/// between transitions. The *work distribution* state lives in the
+/// scheduler ([`StealPool`] or [`DonationQueue`]).
+struct SharedStats {
+    /// Cross-worker symbolic-discovery cache (see [`SharedDiscoveryCache`]).
+    discoveries: Arc<SharedDiscoveryCache>,
+    /// Set by any stop condition; whoever sets it must also wake the
+    /// scheduler's sleepers (via [`StealPool::stop`] / [`DonationQueue::stop`]).
+    stop: AtomicBool,
+    transitions: AtomicU64,
+    unique_states: AtomicU64,
+    terminal_states: AtomicU64,
+    symbolic_executions: AtomicU64,
+    pruned_by_strategy: AtomicU64,
+    pruned_by_por: AtomicU64,
+    dedup_hits: AtomicU64,
+    work_steals: AtomicU64,
+    /// Per-kind fault counters, indexed by
+    /// [`Transition::fault_counter_index`].
+    faults: [AtomicU64; FaultStats::KINDS],
+    max_depth: AtomicUsize,
+    truncated: AtomicBool,
+    violations: Mutex<Vec<Violation>>,
+}
+
+impl SharedStats {
+    fn new() -> SharedStats {
+        SharedStats {
+            discoveries: Arc::new(SharedDiscoveryCache::default()),
+            stop: AtomicBool::new(false),
+            transitions: AtomicU64::new(0),
+            unique_states: AtomicU64::new(0),
+            terminal_states: AtomicU64::new(0),
+            symbolic_executions: AtomicU64::new(0),
+            pruned_by_strategy: AtomicU64::new(0),
+            pruned_by_por: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            work_steals: AtomicU64::new(0),
+            faults: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_depth: AtomicUsize::new(0),
+            truncated: AtomicBool::new(false),
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Claims one unit of the transition budget. On exhaustion, marks the
+    /// run truncated and raises the stop flag — the calling worker returns
+    /// [`Expanded::Stop`] and its scheduler wakes the sleepers.
+    fn try_take_transition_budget(&self, max_transitions: u64) -> bool {
+        if max_transitions == 0 {
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let mut current = self.transitions.load(Ordering::Relaxed);
+        loop {
+            if current >= max_transitions {
+                self.truncated.store(true, Ordering::Relaxed);
+                self.stop.store(true, Ordering::Relaxed);
+                return false;
+            }
+            match self.transitions.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Records a violation and returns the caller's copy of it (for
+    /// streaming through the session observer). The typed trace is built by
+    /// the worker (via [`ModelChecker::make_trace`]) before taking the lock.
+    fn record_violation(&self, property: &str, message: String, trace: Trace) -> Violation {
+        let violation = Violation {
+            property: property.to_string(),
+            message,
+            trace,
+            transitions_explored: self.transitions.load(Ordering::Relaxed),
+            unique_states: self.unique_states.load(Ordering::Relaxed),
+        };
+        self.violations
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(violation.clone());
+        violation
+    }
+
+    /// Drains the counters and violations into a report (workers must have
+    /// joined).
+    fn report(&self) -> CheckReport {
+        let mut report = CheckReport::default();
+        report.stats.transitions = self.transitions.load(Ordering::Relaxed);
+        report.stats.unique_states = self.unique_states.load(Ordering::Relaxed);
+        report.stats.terminal_states = self.terminal_states.load(Ordering::Relaxed);
+        report.stats.symbolic_executions = self.symbolic_executions.load(Ordering::Relaxed);
+        report.stats.pruned_by_strategy = self.pruned_by_strategy.load(Ordering::Relaxed);
+        report.stats.pruned_by_por = self.pruned_by_por.load(Ordering::Relaxed);
+        report.stats.dedup_hits = self.dedup_hits.load(Ordering::Relaxed);
+        report.stats.work_steals = self.work_steals.load(Ordering::Relaxed);
+        report.stats.faults = FaultStats::from_counts(std::array::from_fn(|i| {
+            self.faults[i].load(Ordering::Relaxed)
+        }));
+        report.stats.max_depth = self.max_depth.load(Ordering::Relaxed);
+        report.stats.truncated = self.truncated.load(Ordering::Relaxed);
+        report.violations = std::mem::take(
+            &mut *self
+                .violations
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing scheduler state
+// ---------------------------------------------------------------------------
+
+/// How long an idle worker parks before re-checking the deques. The park
+/// protocol has a benign race (a producer can push between a thief's empty
+/// check and its wait), so sleeps are always bounded by this timeout
+/// instead of relying on wakeups alone.
+const PARK_TIMEOUT: Duration = Duration::from_micros(500);
+
+/// Shared state of the work-stealing scheduler: every worker's stealer
+/// handle plus the termination counter.
+struct StealPool {
+    stealers: Vec<Stealer<Node>>,
+    /// Frontier nodes created but not yet fully expanded (the root counts
+    /// as 1). A worker adds its children *before* retiring their parent
+    /// ([`StealPool::node_done`]), so `live` can only reach zero when no
+    /// node exists anywhere — in a deque, in flight, or being expanded —
+    /// which is exactly the termination condition. Workers that bail out
+    /// early (stop flag, interrupt, panic) leave `live` non-zero and
+    /// terminate through the stop flag instead.
+    live: AtomicU64,
+    /// Workers currently parked; producers only bother notifying when > 0.
+    idlers: AtomicUsize,
+    park: Mutex<()>,
+    unpark: Condvar,
+}
+
+impl StealPool {
+    /// Raises the stop flag and wakes every parked worker.
+    fn stop(&self, stats: &SharedStats) {
+        stats.stop.store(true, Ordering::Relaxed);
+        // Taking the lock orders this notify after any in-progress park
+        // decision, so nobody can sleep through the stop for more than the
+        // park timeout.
+        let _guard = self
+            .park
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.unpark.notify_all();
+    }
+
+    /// Retires one fully-expanded node; the last retirement ends the search.
+    fn node_done(&self, stats: &SharedStats) {
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.stop(stats);
+        }
+    }
+
+    /// The idle path of a worker's scheduling loop: local pop, then
+    /// round-robin stealing, then a bounded park. Returns `None` when the
+    /// search is over.
+    fn next_node(
+        &self,
+        index: usize,
+        deque: &WorkDeque<Node>,
+        stats: &SharedStats,
+    ) -> Option<Node> {
+        loop {
+            if stats.stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(node) = deque.pop() {
+                return Some(node);
+            }
+            if let Some(node) = self.try_steal(index, deque, stats) {
+                return Some(node);
+            }
+            if self.live.load(Ordering::Acquire) == 0 {
+                // The last node was retired between our pop and now.
+                self.stop(stats);
+                return None;
+            }
+            self.idlers.fetch_add(1, Ordering::Relaxed);
+            let guard = self
+                .park
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            drop(self.unpark.wait_timeout(guard, PARK_TIMEOUT));
+            self.idlers.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Tries each sibling round-robin, starting after `index`. On a hit,
+    /// migrates up to half of the victim's *remaining* deque into the
+    /// thief's own (steal-half: one successful steal rebalances whole
+    /// subtrees, so thieves then run locally instead of coming back per
+    /// node) before returning the first stolen node.
+    fn try_steal(
+        &self,
+        index: usize,
+        deque: &WorkDeque<Node>,
+        stats: &SharedStats,
+    ) -> Option<Node> {
+        let n = self.stealers.len();
+        for offset in 1..n {
+            let victim = &self.stealers[(index + offset) % n];
+            loop {
+                match victim.steal() {
+                    Steal::Success(node) => {
+                        stats.work_steals.fetch_add(1, Ordering::Relaxed);
+                        let extra = victim.len() / 2;
+                        for _ in 0..extra {
+                            match victim.steal() {
+                                Steal::Success(more) => {
+                                    stats.work_steals.fetch_add(1, Ordering::Relaxed);
+                                    deque.push(more);
+                                }
+                                Steal::Retry | Steal::Empty => break,
+                            }
+                        }
+                        return Some(node);
+                    }
+                    // Lost a race: the victim demonstrably has (or had)
+                    // work, so retry it rather than moving on.
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Donation scheduler state
+// ---------------------------------------------------------------------------
+
+/// The donation frontier queue plus the bookkeeping its termination
+/// protocol needs.
 struct Frontier {
     queue: Vec<Node>,
     /// Workers currently blocked waiting for work.
@@ -1130,33 +1409,32 @@ struct Frontier {
     stop: bool,
 }
 
-struct SharedSearch {
+/// The legacy work-donation scheduler: one mutex-protected LIFO frontier
+/// that busy workers donate to only when a sibling is starving. Kept
+/// selectable ([`SchedulerKind::Donation`]) as the baseline the
+/// work-stealing scheduler is benchmarked against.
+struct DonationQueue {
     workers: usize,
-    explored: ShardedFingerprints,
-    /// Cross-worker symbolic-discovery cache (see [`SharedDiscoveryCache`]).
-    discoveries: Arc<SharedDiscoveryCache>,
     frontier: Mutex<Frontier>,
     work_available: Condvar,
-    /// Mirror of `Frontier::stop` readable without the queue lock.
-    stop: AtomicBool,
     /// Mirror of `Frontier::idle` readable without the queue lock.
     idle_count: AtomicUsize,
-    transitions: AtomicU64,
-    unique_states: AtomicU64,
-    terminal_states: AtomicU64,
-    symbolic_executions: AtomicU64,
-    pruned_by_strategy: AtomicU64,
-    /// Per-kind fault counters, indexed by
-    /// [`Transition::fault_counter_index`].
-    faults: [AtomicU64; FaultStats::KINDS],
-    pruned_by_por: AtomicU64,
-    dedup_hits: AtomicU64,
-    max_depth: AtomicUsize,
-    truncated: AtomicBool,
-    violations: Mutex<Vec<Violation>>,
 }
 
-impl SharedSearch {
+impl DonationQueue {
+    fn new(workers: usize, root: Node) -> DonationQueue {
+        DonationQueue {
+            workers,
+            frontier: Mutex::new(Frontier {
+                queue: vec![root],
+                idle: 0,
+                stop: false,
+            }),
+            work_available: Condvar::new(),
+            idle_count: AtomicUsize::new(0),
+        }
+    }
+
     /// Locks the frontier, recovering the guard if another worker panicked
     /// while holding the lock (the state under it is kept consistent at
     /// every await point, so a poisoned guard is still safe to use).
@@ -1170,7 +1448,7 @@ impl SharedSearch {
     /// other workers may still produce work. Returns `None` when the search
     /// is over: stop was signalled, or every worker went idle at once (no
     /// node left anywhere to generate more work from).
-    fn pop_work(&self) -> Option<Node> {
+    fn pop_work(&self, stats: &SharedStats) -> Option<Node> {
         let mut frontier = self.lock_frontier();
         loop {
             if frontier.stop {
@@ -1183,7 +1461,7 @@ impl SharedSearch {
             self.idle_count.store(frontier.idle, Ordering::Relaxed);
             if frontier.idle == self.workers {
                 frontier.stop = true;
-                self.stop.store(true, Ordering::Relaxed);
+                stats.stop.store(true, Ordering::Relaxed);
                 self.work_available.notify_all();
                 return None;
             }
@@ -1222,68 +1500,24 @@ impl SharedSearch {
 
     /// Ends the search (first violation under stop-at-first, budget, or a
     /// panicking worker).
-    fn signal_stop(&self) {
-        self.stop.store(true, Ordering::Relaxed);
+    fn stop(&self, stats: &SharedStats) {
+        stats.stop.store(true, Ordering::Relaxed);
         let mut frontier = self.lock_frontier();
         frontier.stop = true;
         drop(frontier);
         self.work_available.notify_all();
     }
-
-    /// Claims one unit of the transition budget. Returns false (and winds the
-    /// search down) if the budget is exhausted.
-    fn try_take_transition_budget(&self, max_transitions: u64) -> bool {
-        if max_transitions == 0 {
-            self.transitions.fetch_add(1, Ordering::Relaxed);
-            return true;
-        }
-        let mut current = self.transitions.load(Ordering::Relaxed);
-        loop {
-            if current >= max_transitions {
-                self.truncated.store(true, Ordering::Relaxed);
-                self.signal_stop();
-                return false;
-            }
-            match self.transitions.compare_exchange_weak(
-                current,
-                current + 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(observed) => current = observed,
-            }
-        }
-    }
-
-    /// Records a violation and returns the caller's copy of it (for
-    /// streaming through the session observer). The typed trace is built by
-    /// the worker (via [`ModelChecker::make_trace`]) before taking the lock.
-    fn record_violation(&self, property: &str, message: String, trace: Trace) -> Violation {
-        let violation = Violation {
-            property: property.to_string(),
-            message,
-            trace,
-            transitions_explored: self.transitions.load(Ordering::Relaxed),
-            unique_states: self.unique_states.load(Ordering::Relaxed),
-        };
-        self.violations
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(violation.clone());
-        violation
-    }
 }
 
 /// Guard ensuring a panicking worker winds the whole search down instead of
-/// leaving its siblings blocked forever on the work-available condvar; the
-/// panic itself is then re-raised by `std::thread::scope`.
-struct StopOnPanic<'a>(&'a SharedSearch);
+/// leaving its siblings parked forever; the panic itself is then re-raised
+/// by `std::thread::scope`.
+struct OnPanic<F: Fn()>(F);
 
-impl Drop for StopOnPanic<'_> {
+impl<F: Fn()> Drop for OnPanic<F> {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            self.0.signal_stop();
+            (self.0)();
         }
     }
 }
@@ -1727,12 +1961,5 @@ mod tests {
         assert!(text.contains("pruned by POR"));
         assert!(text.contains("pruned by strategy"));
         assert!(text.contains("dedup hits"));
-    }
-
-    #[test]
-    fn fingerprint_hasher_is_identity_on_u64() {
-        let mut h = FingerprintHasher::default();
-        h.write_u64(0xdead_beef_cafe_f00d);
-        assert_eq!(h.finish(), 0xdead_beef_cafe_f00d);
     }
 }

@@ -27,6 +27,10 @@
 //!   the trait for application-specific properties.
 //! * [`checker`] — the depth-first search loop of Figure 5, violation
 //!   traces, search statistics, and a random-walk simulation mode.
+//! * [`explored`] — tiered explored-set storage behind the
+//!   [`ExploredStore`] trait: packed in-memory tables, cold-shard spill to
+//!   disk behind a bloom filter, and lossy SPIN-style bitstate hashing,
+//!   selected with [`ExploredMode`].
 //! * [`session`] — observable, cancellable check sessions: streamed
 //!   [`CheckEvent`]s, [`CancelToken`]/deadline interruption, and the
 //!   [`Outcome`] recorded on every report.
@@ -50,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod explored;
 pub mod faults;
 pub mod jsonv;
 pub mod minimize;
@@ -67,6 +72,7 @@ pub mod trace;
 pub mod transition;
 
 pub use checker::{CheckReport, FaultStats, ModelChecker, SearchStats, Violation};
+pub use explored::{ExploredConfig, ExploredMode, ExploredStats, ExploredStore};
 pub use faults::{FailoverStaleness, FaultPlan};
 pub use minimize::{BisectReport, MinimizeReport};
 pub use por::{independent, Footprint};
@@ -76,12 +82,13 @@ pub use properties::{
 };
 pub use replay::{ReplayOutcome, ReplayReport, ReplayViolation};
 pub use scenario::{
-    CheckerConfig, ReductionKind, Scenario, ScenarioBuilder, SendPolicy, StateStorage, StrategyKind,
+    CheckerConfig, ReductionKind, Scenario, ScenarioBuilder, SchedulerKind, SendPolicy,
+    StateStorage, StrategyKind,
 };
 pub use session::{
     CancelToken, CheckEvent, CheckObserver, CheckSession, InterruptReason, NoopObserver, Outcome,
 };
-pub use shard::{FrontierExport, ShardSpec, ShardedSearch, StepOutcome};
+pub use shard::{shard_of, FrontierExport, ShardSpec, ShardedSearch, StepOutcome};
 pub use state::SystemState;
 pub use strategy::{
     FlowIr, FullDfs, NoDelay, NoReduction, PorReduction, Reduction, ReductionChoice,

@@ -438,6 +438,49 @@ pub enum StateStorage {
     },
 }
 
+/// Which scheduler distributes frontier nodes across parallel workers
+/// (`workers > 1`; the sequential engine has no scheduler).
+///
+/// Both schedulers explore the same state space — they only differ in how
+/// idle workers obtain work, which changes throughput and the (already
+/// scheduling-dependent) exploration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// One lock-free Chase-Lev deque per worker: children are pushed and
+    /// popped locally with no synchronisation, and an idle worker steals
+    /// half of a victim's oldest subtree. The default — scales past the
+    /// point where a shared frontier lock saturates.
+    #[default]
+    WorkStealing,
+    /// The legacy shared mutex-protected frontier: busy workers donate
+    /// half their private stack only when a sibling is starving. Kept as
+    /// the baseline the work-stealing scheduler is benchmarked against.
+    Donation,
+}
+
+impl SchedulerKind {
+    /// Both schedulers, the default first.
+    pub const ALL: [SchedulerKind; 2] = [SchedulerKind::WorkStealing, SchedulerKind::Donation];
+
+    /// A short, stable label ("work-stealing" / "donation") used by reports
+    /// and the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::WorkStealing => "work-stealing",
+            SchedulerKind::Donation => "donation",
+        }
+    }
+
+    /// Parses a scheduler from its CLI spelling (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "work-stealing" | "steal" => Some(SchedulerKind::WorkStealing),
+            "donation" | "donate" => Some(SchedulerKind::Donation),
+            _ => None,
+        }
+    }
+}
+
 /// Search configuration.
 #[derive(Debug, Clone)]
 pub struct CheckerConfig {
@@ -481,6 +524,14 @@ pub struct CheckerConfig {
     pub inject_faults: bool,
     /// Limits on symbolic path exploration.
     pub explore: ExploreConfig,
+    /// How parallel workers exchange frontier nodes (see [`SchedulerKind`]).
+    /// Ignored by the sequential engine (`workers == 1`).
+    pub scheduler: SchedulerKind,
+    /// How the explored fingerprint set is stored (see
+    /// [`ExploredConfig`](crate::explored::ExploredConfig)): exact in-memory
+    /// (the default), exact with cold-shard spill to disk, or lossy bitstate
+    /// hashing.
+    pub explored: crate::explored::ExploredConfig,
 }
 
 impl Default for CheckerConfig {
@@ -498,6 +549,8 @@ impl Default for CheckerConfig {
             force_deep_clone: false,
             inject_faults: false,
             explore: ExploreConfig::default(),
+            scheduler: SchedulerKind::default(),
+            explored: crate::explored::ExploredConfig::default(),
         }
     }
 }
@@ -572,6 +625,28 @@ impl CheckerConfig {
     /// (builder style).
     pub fn with_fault_injection(mut self, inject: bool) -> Self {
         self.inject_faults = inject;
+        self
+    }
+
+    /// Selects the parallel scheduler (builder style).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Selects the explored-set storage mode (builder style). The memory
+    /// limit keeps its current value; see
+    /// [`with_mem_limit`](CheckerConfig::with_mem_limit).
+    pub fn with_explored(mut self, mode: crate::explored::ExploredMode) -> Self {
+        self.explored.mode = mode;
+        self
+    }
+
+    /// Sets the explored-set memory budget in bytes (builder style). `0`
+    /// selects the mode's default budget; the exact in-memory mode ignores
+    /// it entirely.
+    pub fn with_mem_limit(mut self, bytes: u64) -> Self {
+        self.explored.mem_limit = bytes;
         self
     }
 }

@@ -147,6 +147,10 @@ pub enum CheckEvent {
         rate: f64,
         /// Depth of the path that triggered this report.
         depth: usize,
+        /// Resident bytes of the explored fingerprint set at this point
+        /// (after any disk spilling; see
+        /// [`ExploredStore::bytes`](crate::explored::ExploredStore::bytes)).
+        explored_bytes: u64,
     },
     /// A property violation was just recorded (with its reproducing trace).
     ViolationFound(Violation),
@@ -366,7 +370,13 @@ impl<'o> SessionCtrl<'o> {
     /// Emits a `Progress` event if `transitions` crossed the next cadence
     /// mark. Exactly one caller wins each mark, so the parallel engine never
     /// emits duplicates.
-    pub(crate) fn maybe_progress(&self, transitions: u64, states: u64, depth: usize) {
+    pub(crate) fn maybe_progress(
+        &self,
+        transitions: u64,
+        states: u64,
+        depth: usize,
+        explored_bytes: u64,
+    ) {
         if self.progress_every == 0 {
             return;
         }
@@ -390,6 +400,7 @@ impl<'o> SessionCtrl<'o> {
                 transitions,
                 rate: states as f64 / elapsed,
                 depth,
+                explored_bytes,
             });
         }
     }

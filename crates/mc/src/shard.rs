@@ -25,9 +25,8 @@
 //! locally-generated nodes). Replays do not count as explored transitions,
 //! exactly as in checkpoint/replay storage.
 
-use crate::checker::{
-    visit_explored, CheckReport, FingerprintMap, ModelChecker, Node, Snapshot, Visit,
-};
+use crate::checker::{CheckReport, ModelChecker, Node, Snapshot};
+use crate::explored::{build_store, ExploredStore, Visit};
 use crate::properties::Event;
 use crate::session::SessionCtrl;
 use crate::state::SystemState;
@@ -35,6 +34,32 @@ use crate::strategy::{build_reduction, build_strategy, Reduction, SearchStrategy
 use crate::transition::{enabled_transitions, DiscoveryMemo, Transition};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Maps a state fingerprint to its owning shard.
+///
+/// This is THE shard-selection function: every component that partitions
+/// the fingerprint space — [`ShardSpec::owns`], the `nice-dist`
+/// coordinator's forward routing, in-process multi-shard test harnesses —
+/// must route through it, so a state exported by one component is always
+/// accepted by the shard the others would pick.
+///
+/// Ownership is decided by the *top byte* of the fingerprint (bits
+/// `56..=63`), taken modulo the shard count:
+///
+/// * the explored set's identity hashers bucket on the *low* bits, so the
+///   top bits are uniformly free for sharding;
+/// * the in-process explored store shards internally on bits `48..=55`
+///   (see `crate::explored`), deliberately disjoint from this byte so
+///   distributed sharding composes with store sharding instead of
+///   concentrating each dist-shard's states into few store shards.
+///
+/// `count <= 1` always maps to shard 0 (the solo search).
+pub fn shard_of(fingerprint: u64, count: u32) -> u32 {
+    if count <= 1 {
+        return 0;
+    }
+    ((fingerprint >> 56) as u32) % count
+}
 
 /// Which slice of the fingerprint space a search owns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,12 +77,9 @@ impl ShardSpec {
         ShardSpec { index: 0, count: 1 }
     }
 
-    /// True if this shard owns `fingerprint`. Ownership is decided by the
-    /// top byte of the fingerprint (the identity-hashed explored set
-    /// buckets on the low bits, so the top bits are uniformly free), taken
-    /// modulo the shard count.
+    /// True if this shard owns `fingerprint` (see [`shard_of`]).
     pub fn owns(&self, fingerprint: u64) -> bool {
-        self.count <= 1 || ((fingerprint >> 56) as u32) % self.count == self.index
+        shard_of(fingerprint, self.count) == self.index
     }
 }
 
@@ -100,7 +122,11 @@ pub struct ShardedSearch<'a> {
     reduction: Box<dyn Reduction>,
     memo: DiscoveryMemo,
     report: CheckReport,
-    explored: FingerprintMap,
+    /// The shard's explored set, in whatever storage mode
+    /// [`CheckerConfig::explored`](crate::scenario::CheckerConfig) selects —
+    /// a `nice serve` worker running a tiered store spills to disk exactly
+    /// like a local run would.
+    explored: Box<dyn ExploredStore>,
     root: Arc<Snapshot>,
     stack: Vec<Node>,
     events: Vec<Event>,
@@ -128,7 +154,7 @@ impl<'a> ShardedSearch<'a> {
             reduction: build_reduction(checker.config().reduction),
             memo: DiscoveryMemo::default(),
             report: CheckReport::default(),
-            explored: FingerprintMap::default(),
+            explored: build_store(&checker.config().explored),
             root,
             stack: Vec::new(),
             events: Vec::new(),
@@ -137,7 +163,7 @@ impl<'a> ShardedSearch<'a> {
             start,
         };
         if shard.owns(initial_fingerprint) {
-            visit_explored(&mut search.explored, initial_fingerprint, &[]);
+            search.explored.visit(initial_fingerprint, &[]);
             search.report.stats.unique_states = 1;
             search.stack.push(Node {
                 base: Arc::clone(&search.root),
@@ -195,7 +221,7 @@ impl<'a> ShardedSearch<'a> {
         let mut digests: Vec<u64> = export.sleep.iter().map(Transition::digest).collect();
         digests.sort_unstable();
         digests.dedup();
-        match visit_explored(&mut self.explored, export.fingerprint, &digests) {
+        match self.explored.visit(export.fingerprint, &digests) {
             Visit::New => {
                 self.report.stats.unique_states += 1;
                 self.stack.push(Node {
@@ -324,6 +350,7 @@ impl<'a> ShardedSearch<'a> {
                     report.stats.transitions,
                     report.stats.unique_states,
                     trace.len() + 1,
+                    self.explored.bytes(),
                 );
             }
 
@@ -365,7 +392,7 @@ impl<'a> ShardedSearch<'a> {
             child_digests.sort_unstable();
             child_digests.dedup();
 
-            match visit_explored(&mut self.explored, fingerprint, &child_digests) {
+            match self.explored.visit(fingerprint, &child_digests) {
                 Visit::New => {
                     report.stats.unique_states += 1;
                     let mut child_trace = trace.clone();
@@ -415,6 +442,8 @@ impl<'a> ShardedSearch<'a> {
     pub fn finish(self) -> CheckReport {
         let mut report = self.report;
         report.stats.symbolic_executions = self.memo.symbolic_executions;
+        report.stats.absorb_explored(self.explored.stats());
+        report.lossy = self.explored.lossy();
         report.stats.duration = self.start.elapsed();
         report
     }
@@ -451,7 +480,7 @@ mod tests {
                     progressed = true;
                 }
                 for export in shards[i].take_forwards() {
-                    let owner = ((export.fingerprint >> 56) as u32 % count) as usize;
+                    let owner = shard_of(export.fingerprint, count) as usize;
                     if shards[owner].inject(export) {
                         progressed = true;
                     }
@@ -479,6 +508,30 @@ mod tests {
         CheckerConfig {
             stop_at_first_violation: false,
             ..CheckerConfig::default()
+        }
+    }
+
+    #[test]
+    fn shard_of_uses_the_top_byte_modulo_count() {
+        // Solo searches own everything regardless of the fingerprint.
+        assert_eq!(shard_of(u64::MAX, 0), 0);
+        assert_eq!(shard_of(u64::MAX, 1), 0);
+        // Only bits 56..=63 participate: low bits never change the owner.
+        for fp in [0u64, 0xffff_ffff_ffff, 0x00ff_ffff_ffff_ffff] {
+            assert_eq!(shard_of(fp, 4), 0, "{fp:#x}");
+        }
+        for top in 0..=255u64 {
+            let fp = (top << 56) | 0x1234_5678_9abc;
+            assert_eq!(shard_of(fp, 4), (top % 4) as u32);
+            assert_eq!(shard_of(fp, 7), (top % 7) as u32);
+            // Always a valid index.
+            assert!(shard_of(fp, 3) < 3);
+        }
+        // `owns` agrees with `shard_of` by construction.
+        let spec = ShardSpec { index: 2, count: 5 };
+        for top in 0..=255u64 {
+            let fp = top << 56;
+            assert_eq!(spec.owns(fp), shard_of(fp, 5) == 2);
         }
     }
 

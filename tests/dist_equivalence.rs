@@ -14,7 +14,7 @@
 //! environment variable, which must not leak into concurrent spawns.
 
 use nice::prelude::*;
-use nice_dist::{Coordinator, JobEvent, JobSpec, DIE_AFTER_ENV};
+use nice_dist::{Coordinator, JobEvent, JobSpec, DIE_AFTER_ENV, WORKER_BIN_ENV};
 use std::sync::{Mutex, PoisonError};
 
 /// One coordinator (and its worker processes) at a time, and a fence around
@@ -240,5 +240,36 @@ fn a_worker_killed_mid_job_neither_hangs_nor_changes_the_verdict() {
     assert!(
         dist.stats.dedup_hits >= seq.stats.dedup_hits,
         "kill: replayed forwards can only add dedup hits"
+    );
+}
+
+#[test]
+fn a_worker_that_always_dies_on_spawn_fails_the_job_instead_of_hanging() {
+    let _guard = lock();
+
+    // A stand-in for a stale or broken worker binary: accepts the job
+    // frame, then dies without ever producing a frame of its own. Without
+    // the coordinator's crash-streak cap this respawns forever and the job
+    // never returns (exactly the failure mode of a worker speaking an old
+    // protocol version).
+    let script = std::env::temp_dir().join(format!("nice-dying-worker-{}.sh", std::process::id()));
+    std::fs::write(&script, "#!/bin/sh\nhead -c 1 >/dev/null\nexit 1\n").expect("write script");
+    let mut perms = std::fs::metadata(&script)
+        .expect("stat script")
+        .permissions();
+    std::os::unix::fs::PermissionsExt::set_mode(&mut perms, 0o755);
+    std::fs::set_permissions(&script, perms).expect("chmod script");
+
+    std::env::set_var(WORKER_BIN_ENV, &script);
+    let result = Coordinator::new(1)
+        .expect("spawning the pool itself succeeds")
+        .run_job(&full_spec("chain:3:1", false), |_| {}, None);
+    std::env::remove_var(WORKER_BIN_ENV);
+    let _ = std::fs::remove_file(&script);
+
+    let err = result.expect_err("a worker dying on every spawn must fail the job");
+    assert!(
+        err.to_string().contains("died"),
+        "error should name the crash loop, got: {err}"
     );
 }
